@@ -1,0 +1,61 @@
+// Ablation: allreduce algorithm choice.
+//
+// The same data-parallel training step with each collective, measuring
+// (a) correctness-invariant accuracy, (b) messages and bytes on the wire,
+// and (c) the alpha-beta model's predicted cost of each algorithm on the
+// paper's networks at scale — why production systems pick ring for large
+// gradients and trees for small ones.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "comm/cluster.hpp"
+#include "perf/cost_model.hpp"
+#include "perf/specs.hpp"
+
+using namespace minsgd;
+
+int main() {
+  bench::banner("Ablation — allreduce algorithm",
+                "semantics identical, wire traffic very different");
+
+  auto proxy = core::bench_proxy();
+  data::SyntheticImageNet ds(proxy.dataset);
+
+  core::CsvWriter csv(bench::csv_path("ablation_allreduce"),
+                      {"algo", "acc", "messages", "bytes"});
+
+  bench::section("one epoch of 8-way data-parallel training per algorithm");
+  std::printf("%-24s %10s %10s %14s\n", "algorithm", "acc", "messages",
+              "bytes");
+  for (const auto algo :
+       {comm::AllreduceAlgo::kStar, comm::AllreduceAlgo::kTree,
+        comm::AllreduceAlgo::kRing, comm::AllreduceAlgo::kRecursiveHalving}) {
+    auto rc = proxy.recipe(proxy.base_batch * 8, core::LrRule::kLars);
+    rc.epochs = 2;
+    rc.warmup_epochs = 0.5;
+    const auto res =
+        core::run_recipe_distributed(proxy.alexnet_factory(), rc, ds, 8, algo);
+    std::printf("%-24s %9.1f%% %10lld %14lld\n", comm::to_string(algo),
+                100 * res.result.best_test_acc,
+                static_cast<long long>(res.traffic.messages),
+                static_cast<long long>(res.traffic.bytes));
+    csv.row(comm::to_string(algo), res.result.best_test_acc,
+            res.traffic.messages, res.traffic.bytes);
+  }
+  std::printf("(accuracy identical across algorithms: the collective changes\n"
+              " the wire pattern, not the mathematics)\n");
+
+  bench::section("modeled time for a 25M-param gradient, QDR IB");
+  const auto net = perf::intel_qdr_ib();
+  const std::int64_t bytes = 25'000'000 * 4;
+  std::printf("%8s %14s %14s\n", "nodes", "log-tree", "ring");
+  for (int nodes : {8, 64, 512, 2048}) {
+    std::printf("%8d %13.4fs %13.4fs\n", nodes,
+                perf::allreduce_time_logtree(net, nodes, bytes),
+                perf::allreduce_time_ring(net, nodes, bytes));
+  }
+  std::printf("\nRing's per-node traffic is batch-size- and node-count-\n"
+              "independent (2|W| bytes), which is what lets the 2048-node\n"
+              "runs keep t_comm under t_comp (Table 9).\n");
+  return 0;
+}

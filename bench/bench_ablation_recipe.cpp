@@ -1,0 +1,99 @@
+// Ablations of the large-batch recipe's design choices:
+//   1. warmup on/off at large batch (the Goyal et al. ingredient),
+//   2. the LARS trust coefficient (the one new hyperparameter),
+//   3. momentum on/off under LARS.
+// These are the knobs DESIGN.md calls out; the paper fixes them at
+// (5-13 epochs, 0.001 on ImageNet scale, 0.9) — here we show each one's
+// contribution on the proxy task.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "nn/models.hpp"
+#include "optim/lars.hpp"
+#include "train/trainer.hpp"
+
+using namespace minsgd;
+
+int main() {
+  bench::banner("Ablation — warmup, trust coefficient, momentum",
+                "each recipe ingredient carries weight at large batch");
+
+  auto proxy = core::bench_proxy();
+  data::SyntheticImageNet ds(proxy.dataset);
+  const std::int64_t large = proxy.base_batch * 16;
+
+  core::CsvWriter csv(bench::csv_path("ablation_recipe"),
+                      {"variant", "value", "best_acc", "diverged"});
+
+  bench::section("1. warmup at 16x batch (LARS)");
+  for (double warmup : {0.0, 1.0, 2.0, 4.0}) {
+    auto rc = proxy.recipe(large, core::LrRule::kLars);
+    rc.warmup_epochs = warmup;
+    const auto out = bench::run_proxy(proxy.alexnet_factory(), rc, ds);
+    std::printf("  warmup %.0f epochs: acc %5.1f%%%s\n", warmup,
+                100 * out.best_acc, out.diverged ? " (DIVERGED)" : "");
+    csv.row("warmup_epochs", warmup, out.best_acc, out.diverged);
+  }
+
+  bench::section("2. LARS trust coefficient at 16x batch");
+  for (double trust : {0.01, 0.05, 0.1, 0.5, 2.0}) {
+    auto rc = proxy.recipe(large, core::LrRule::kLars);
+    rc.lars_trust_coeff = trust;
+    const auto out = bench::run_proxy(proxy.alexnet_factory(), rc, ds);
+    std::printf("  trust %.2f: acc %5.1f%%%s\n", trust, 100 * out.best_acc,
+                out.diverged ? " (DIVERGED)" : "");
+    csv.row("trust_coeff", trust, out.best_acc, out.diverged);
+  }
+
+  bench::section("3. momentum under LARS at 16x batch");
+  for (double momentum : {0.0, 0.5, 0.9}) {
+    auto rc = proxy.recipe(large, core::LrRule::kLars);
+    rc.momentum = momentum;
+    const auto out = bench::run_proxy(proxy.alexnet_factory(), rc, ds);
+    std::printf("  momentum %.1f: acc %5.1f%%%s\n", momentum,
+                100 * out.best_acc, out.diverged ? " (DIVERGED)" : "");
+    csv.row("momentum", momentum, out.best_acc, out.diverged);
+  }
+
+  bench::section("4. LRN vs BN at 16x batch (the paper's AlexNet-BN change)");
+  for (const auto norm : {nn::AlexNetNorm::kLRN, nn::AlexNetNorm::kBN}) {
+    auto factory = [&proxy, norm] {
+      return nn::tiny_alexnet(proxy.dataset.classes, proxy.dataset.resolution,
+                              norm, proxy.model_width);
+    };
+    const auto rc = proxy.recipe(large, core::LrRule::kLars);
+    const auto out = bench::run_proxy(factory, rc, ds);
+    std::printf("  %s: acc %5.1f%%%s\n",
+                norm == nn::AlexNetNorm::kLRN ? "LRN" : "BN ",
+                100 * out.best_acc, out.diverged ? " (DIVERGED)" : "");
+    csv.row("norm", norm == nn::AlexNetNorm::kLRN ? 0.0 : 1.0, out.best_acc,
+            out.diverged);
+  }
+
+  bench::section("5. LARC clipping at 16x batch");
+  for (const bool clip : {false, true}) {
+    auto rc = proxy.recipe(large, core::LrRule::kLars);
+    core::Recipe r = core::make_recipe(rc, ds);
+    optim::LarsConfig lc;
+    lc.trust_coeff = rc.lars_trust_coeff;
+    lc.momentum = rc.momentum;
+    lc.weight_decay = rc.weight_decay;
+    lc.clip = clip;
+    auto net = proxy.alexnet_factory()();
+    optim::Lars lars(lc);
+    const auto res =
+        train::train_single(*net, lars, *r.schedule, ds, r.options);
+    std::printf("  clip=%d: acc %5.1f%%%s\n", clip ? 1 : 0,
+                100 * res.best_test_acc, res.diverged ? " (DIVERGED)" : "");
+    csv.row("larc_clip", clip ? 1.0 : 0.0, res.best_test_acc, res.diverged);
+  }
+
+  std::printf(
+      "\nReading: warmup buys the early iterations back (the scaled LR is\n"
+      "too hot for a cold He-initialized net); the trust coefficient has a\n"
+      "wide usable plateau but fails open at extreme values; momentum\n"
+      "matters as much as it does at small batch; BN replaces LRN cleanly\n"
+      "(the paper's AlexNet-BN switch); LARC clipping is a safety rail that\n"
+      "costs little when the trust coefficient is already sane.\n");
+  return 0;
+}

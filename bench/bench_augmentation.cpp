@@ -1,0 +1,72 @@
+// Data augmentation (the YES/NO rows of Tables 9 and 10).
+//
+// The paper's baseline gains 2.3 points from weak augmentation (73.0% ->
+// 75.3%). Whether augmentation helps depends on the data distribution
+// being closed under the augmentations — true for natural images, not for
+// the default synthetic task (whose patterns are shift- but not
+// flip-invariant). This bench shows both regimes:
+//   1. the default task: hflip augmentation produces out-of-distribution
+//      training samples and *costs* accuracy (a substitution limit,
+//      recorded as such in EXPERIMENTS.md);
+//   2. the mirror-invariant task variant with a small training set: the
+//      distribution is flip-closed and augmentation recovers accuracy,
+//      reproducing the paper's direction.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace minsgd;
+
+namespace {
+
+void sweep(const char* label, const data::SynthConfig& cfg,
+           const core::ProxyScale& proxy, std::int64_t epochs,
+           std::optional<data::AugmentConfig> transform,
+           core::CsvWriter& csv) {
+  data::SyntheticImageNet ds(cfg);
+  std::printf("%s\n", label);
+  for (bool aug : {false, true}) {
+    auto rc = proxy.recipe(proxy.base_batch, core::LrRule::kLinearWarmup);
+    rc.augment = aug;
+    rc.augment_config = transform;
+    rc.epochs = epochs;
+    const auto out = bench::run_proxy(proxy.alexnet_factory(), rc, ds);
+    std::printf("  augmentation %-3s best acc %5.1f%%\n", aug ? "ON" : "OFF",
+                100 * out.best_acc);
+    csv.row(label, aug, out.best_acc);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Tables 9/10 augmentation rows — weak augmentation",
+                "the paper's baseline gains 2.3 points from weak "
+                "augmentation (73.0% -> 75.3% on ResNet-50)");
+
+  auto proxy = core::bench_proxy();
+  core::CsvWriter csv(bench::csv_path("augmentation"),
+                      {"task", "augment", "best_acc"});
+
+  // 1. Default task: not flip-closed; augmentation is a distribution
+  //    mismatch and hurts (see file comment).
+  sweep("default task (not flip-invariant), pad-crop+flip:", proxy.dataset,
+        proxy, proxy.epochs, std::nullopt, csv);
+
+  // 2. Mirror-invariant variant, data-starved so regularization matters;
+  //    flip-only augmentation (pad-crop's zero borders are themselves
+  //    out-of-distribution for the toroidal generator).
+  auto cfg = proxy.dataset;
+  cfg.mirror_invariant = true;
+  cfg.train_size = 256;
+  std::printf("\n");
+  sweep("mirror-invariant task, 256 train samples, flip-only:", cfg, proxy,
+        24, data::AugmentConfig{.pad = 0, .hflip = true}, csv);
+
+  std::printf(
+      "\nReading: augmentation helps exactly when the task is closed under\n"
+      "the transform — the natural-image property the paper relies on. The\n"
+      "flip-closed variant reproduces the paper's direction; the default\n"
+      "task documents the substitution's limit.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Kernel microbenchmarks (google-benchmark): the compute and communication
+// primitives everything else is built from.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "nn/conv.hpp"
+#include "nn/norm.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+
+using namespace minsgd;
+
+namespace {
+
+void BM_Sgemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  rng.fill_normal(a, 0.0f, 1.0f);
+  rng.fill_normal(b, 0.0f, 1.0f);
+  for (auto _ : state) {
+    sgemm(Trans::kNo, Trans::kNo, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+          c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SgemmTransB(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(2);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  rng.fill_normal(a, 0.0f, 1.0f);
+  rng.fill_normal(b, 0.0f, 1.0f);
+  for (auto _ : state) {
+    sgemm(Trans::kNo, Trans::kYes, n, n, n, 1.0f, a.data(), b.data(), 0.0f,
+          c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_SgemmTransB)->Arg(128)->Arg(256);
+
+void BM_ConvForward(benchmark::State& state) {
+  const auto channels = state.range(0);
+  nn::Conv2d conv(channels, channels, 3, 1, 1);
+  Rng rng(3);
+  conv.init(rng);
+  Tensor x({4, channels, 16, 16});
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+  Tensor y;
+  for (auto _ : state) {
+    conv.forward(x, y, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * conv.flops(x.shape()));
+}
+BENCHMARK(BM_ConvForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ConvBackward(benchmark::State& state) {
+  const auto channels = state.range(0);
+  nn::Conv2d conv(channels, channels, 3, 1, 1);
+  Rng rng(4);
+  conv.init(rng);
+  Tensor x({4, channels, 16, 16});
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+  Tensor y, dy, dx;
+  conv.forward(x, y, true);
+  dy.resize(y.shape());
+  rng.fill_normal(dy.span(), 0.0f, 1.0f);
+  for (auto _ : state) {
+    conv.backward(x, y, dy, dx);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward)->Arg(16)->Arg(32);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  const auto channels = state.range(0);
+  nn::BatchNorm2d bn(channels);
+  Rng rng(5);
+  Tensor x({8, channels, 16, 16});
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+  Tensor y;
+  for (auto _ : state) {
+    bn.forward(x, y, true);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * x.numel());
+}
+BENCHMARK(BM_BatchNormForward)->Arg(16)->Arg(64);
+
+void BM_L2Norm(benchmark::State& state) {
+  std::vector<float> v(static_cast<std::size_t>(state.range(0)));
+  Rng rng(6);
+  rng.fill_normal(v, 0.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l2_norm(v));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_L2Norm)->Arg(1 << 12)->Arg(1 << 20);
+
+void BM_Allreduce(benchmark::State& state) {
+  const int world = static_cast<int>(state.range(0));
+  const auto algo = static_cast<comm::AllreduceAlgo>(state.range(1));
+  const std::int64_t words = 1 << 16;
+  comm::SimCluster cluster(world);
+  for (auto _ : state) {
+    cluster.run([&](comm::Communicator& c) {
+      std::vector<float> data(static_cast<std::size_t>(words), 1.0f);
+      c.allreduce_sum(data, algo);
+      benchmark::DoNotOptimize(data.data());
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * words * 4 * world);
+  state.SetLabel(comm::to_string(algo));
+}
+BENCHMARK(BM_Allreduce)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 3})
+    ->Args({8, 1})
+    ->Args({8, 2});
+
+}  // namespace
+
+BENCHMARK_MAIN();

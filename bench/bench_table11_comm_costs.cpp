@@ -1,0 +1,68 @@
+// Table 11: network alpha/beta constants, and what they imply for the
+// gradient allreduce of each model — plus *measured* message/byte counts
+// from the simulated cluster's real collective implementations.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "comm/cluster.hpp"
+#include "nn/analysis.hpp"
+#include "nn/models.hpp"
+#include "perf/cost_model.hpp"
+#include "perf/specs.hpp"
+
+using namespace minsgd;
+
+int main() {
+  bench::banner("Table 11 — communication is much slower than computation",
+                "gamma (time/flop) << 1/bandwidth (beta) << latency (alpha)");
+
+  const perf::NetworkSpec nets[] = {perf::mellanox_fdr_ib(),
+                                    perf::intel_qdr_ib(), perf::intel_10gbe()};
+
+  std::printf("%-32s %12s %14s\n", "network", "alpha (s)", "beta (s/byte)");
+  core::CsvWriter csv(bench::csv_path("table11_comm_costs"),
+                      {"network", "alpha", "beta", "alexnet_allreduce_s",
+                       "resnet_allreduce_s"});
+  auto alex = nn::alexnet();
+  auto res50 = nn::resnet(50);
+  const auto pa = nn::profile_model(*alex, nn::alexnet_input());
+  const auto pr = nn::profile_model(*res50, nn::resnet_input());
+  for (const auto& n : nets) {
+    std::printf("%-32s %12.1e %14.1e\n", n.name.c_str(), n.alpha, n.beta);
+  }
+
+  bench::section("implied gradient allreduce time (ring, 512 nodes)");
+  std::printf("%-32s %14s %14s\n", "network", "AlexNet 61M", "ResNet-50 25M");
+  for (const auto& n : nets) {
+    const double ta = perf::allreduce_time_ring(n, 512, pa.grad_bytes());
+    const double tr = perf::allreduce_time_ring(n, 512, pr.grad_bytes());
+    std::printf("%-32s %13.3fs %13.3fs\n", n.name.c_str(), ta, tr);
+    csv.row(n.name, n.alpha, n.beta, ta, tr);
+  }
+
+  bench::section("gamma vs beta vs alpha (paper's ordering)");
+  const double gamma = 0.9e-13;  // s/flop for a P100, as the paper quotes
+  std::printf("gamma (P100 time per flop)      = %.1e s\n", gamma);
+  std::printf("beta  (FDR IB time per byte)    = %.1e s  (%.0fx gamma)\n",
+              nets[0].beta, nets[0].beta / gamma);
+  std::printf("alpha (FDR IB per-message)      = %.1e s  (%.0fx beta)\n",
+              nets[0].alpha, nets[0].alpha / nets[0].beta);
+
+  bench::section("measured collective traffic (simulated cluster, 8 ranks)");
+  const std::int64_t words = 100'000;
+  std::printf("%-24s %10s %14s\n", "algorithm", "messages", "bytes");
+  for (const auto algo :
+       {comm::AllreduceAlgo::kStar, comm::AllreduceAlgo::kTree,
+        comm::AllreduceAlgo::kRing, comm::AllreduceAlgo::kRecursiveHalving}) {
+    comm::SimCluster cluster(8);
+    cluster.run([&](comm::Communicator& c) {
+      std::vector<float> grad(static_cast<std::size_t>(words), 1.0f);
+      c.allreduce_sum(grad, algo);
+    });
+    const auto t = cluster.total_traffic();
+    std::printf("%-24s %10lld %14lld\n", comm::to_string(algo),
+                static_cast<long long>(t.messages),
+                static_cast<long long>(t.bytes));
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table 2: fixed-epoch ImageNet training — iterations, per-iteration time
+// and total time as the batch size (and node count) grows.
+//
+// The paper's table assumes batch 512 per machine, t_comp constant under
+// weak scaling, and a log(P) communication term. We evaluate exactly that
+// model (perf::project_training with CommModel::kLogTree) on the paper's
+// own constants and print the resulting rows.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "perf/cost_model.hpp"
+#include "perf/specs.hpp"
+
+using namespace minsgd;
+
+int main() {
+  bench::banner("Table 2 — iterations & total time vs batch (fixed epochs)",
+                "larger batches need linearly fewer iterations; per-iteration "
+                "time is near constant, so total time drops almost linearly");
+
+  const perf::WorkloadSpec work{/*flops_per_image=*/7'700'000'000,
+                                /*params=*/25'000'000,
+                                /*dataset_size=*/1'280'000,
+                                /*epochs=*/100,
+                                /*fwd_bwd_factor=*/3.0};
+  const auto device = perf::nvidia_p100();
+  const auto net = perf::mellanox_fdr_ib();
+
+  core::CsvWriter csv(bench::csv_path("table2_iterations"),
+                      {"batch", "nodes", "iterations", "t_comp_s", "t_comm_s",
+                       "iter_time_s", "total_time_s"});
+
+  std::printf("%10s %6s %12s %10s %10s %12s %12s\n", "batch", "nodes",
+              "iterations", "t_comp", "t_comm", "iter_time", "total");
+  std::vector<std::pair<std::int64_t, int>> rows = {
+      {512, 1},     {1024, 2},   {2048, 4},    {4096, 8},
+      {8192, 16},   {16384, 32}, {32768, 64},  {65536, 128},
+      {131072, 256}, {1'280'000, 2500}};
+  for (const auto& [batch, nodes] : rows) {
+    const auto p = perf::project_training(
+        work, {batch, nodes, perf::CommModel::kLogTree}, device, net);
+    std::printf("%10lld %6d %12lld %9.3fs %9.5fs %11.3fs %12s\n",
+                static_cast<long long>(batch), nodes,
+                static_cast<long long>(p.iterations), p.t_comp, p.t_comm,
+                p.iteration_time(),
+                bench::human_time(p.total_seconds()).c_str());
+    csv.row(batch, nodes, p.iterations, p.t_comp, p.t_comm,
+            p.iteration_time(), p.total_seconds());
+  }
+
+  bench::section("check against the paper's closed forms");
+  std::printf("batch 512  -> 250,000 iterations (paper row 1)\n");
+  std::printf("batch 8192 -> 15,625 iterations (paper row 5)\n");
+  std::printf("batch 1.28M-> 100 iterations (paper last row)\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table 6: the computation/communication "scaling ratio" of AlexNet vs
+// ResNet-50, computed from this repository's own model definitions.
+//
+// Paper: AlexNet 61M params / 1.5 GFLOP -> ratio 24.6; ResNet-50 25M params
+// / 7.7 GFLOP -> ratio 308; the 12.5x gap is why ResNet-50 weak-scales so
+// much better.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "nn/analysis.hpp"
+#include "nn/models.hpp"
+
+using namespace minsgd;
+
+namespace {
+
+void report(const char* label, nn::Network& net, const Shape& input,
+            double paper_params, double paper_flops, double paper_ratio,
+            core::CsvWriter& csv) {
+  const auto p = nn::profile_model(net, input);
+  std::printf("%-14s params %8.2fM (paper %5.0fM)   flops/img %6.2fG "
+              "(paper %4.1fG)   ratio %6.1f (paper %5.1f)\n",
+              label, p.params / 1e6, paper_params / 1e6,
+              p.flops_per_image / 1e9, paper_flops / 1e9, p.scaling_ratio(),
+              paper_ratio);
+  csv.row(label, p.params, p.flops_per_image, p.scaling_ratio(),
+          paper_params, paper_flops, paper_ratio);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 6 — scaling ratio (flops per image / parameters)",
+                "ResNet-50's ratio is ~12.5x AlexNet's, so it weak-scales "
+                "far better under synchronous SGD");
+
+  core::CsvWriter csv(bench::csv_path("table6_scaling_ratio"),
+                      {"model", "params", "flops_per_image", "ratio",
+                       "paper_params", "paper_flops", "paper_ratio"});
+
+  auto alex = nn::alexnet();
+  auto res50 = nn::resnet(50);
+  report("AlexNet", *alex, nn::alexnet_input(), 61e6, 1.5e9, 24.6, csv);
+  report("ResNet-50", *res50, nn::resnet_input(), 25e6, 7.7e9, 308.0, csv);
+
+  bench::section("additional models (not in the paper's table)");
+  auto r18 = nn::resnet(18);
+  auto r34 = nn::resnet(34);
+  report("ResNet-18", *r18, nn::resnet_input(), 11.7e6, 3.6e9, 310.0, csv);
+  report("ResNet-34", *r34, nn::resnet_input(), 21.8e6, 7.3e9, 336.0, csv);
+
+  const auto pa = nn::profile_model(*alex, nn::alexnet_input());
+  const auto pr = nn::profile_model(*res50, nn::resnet_input());
+  std::printf("\nratio(ResNet-50)/ratio(AlexNet) = %.1f (paper: 12.5x)\n",
+              pr.scaling_ratio() / pa.scaling_ratio());
+  return 0;
+}

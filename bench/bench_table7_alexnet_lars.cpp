@@ -1,0 +1,52 @@
+// Table 7: with LARS + warmup, AlexNet(-BN) holds baseline accuracy from
+// batch 512 up to 32K in the same 100 epochs.
+//
+// Proxy reproduction: the AlexNet-flavored proxy at 1x/4x/8x/16x the base
+// batch with LARS, against the baseline. The paper's warmup lengths (13/8/5
+// epochs) shrink as the batch grows; ours scale the same way.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace minsgd;
+
+int main() {
+  bench::banner("Table 7 — AlexNet + LARS matches baseline at every batch",
+                "0.583 at B=512 (baseline); 0.584/0.583/0.585 at 4K/8K/32K "
+                "with LARS");
+
+  auto proxy = core::bench_proxy();
+  data::SyntheticImageNet ds(proxy.dataset);
+
+  core::CsvWriter csv(bench::csv_path("table7_alexnet_lars"),
+                      {"batch", "rule", "warmup_epochs", "best_acc",
+                       "diverged"});
+
+  std::printf("%8s %-16s %8s %10s\n", "batch", "LR rule", "warmup", "acc");
+
+  const auto base = bench::run_proxy(
+      proxy.alexnet_factory(),
+      proxy.recipe(proxy.base_batch, core::LrRule::kLinearWarmup), ds);
+  std::printf("%8lld %-16s %8s %9.1f%%  (baseline)\n",
+              static_cast<long long>(proxy.base_batch), "regular", "N/A",
+              100 * base.best_acc);
+  csv.row(proxy.base_batch, "regular", 0.0, base.best_acc, base.diverged);
+
+  for (std::int64_t factor : {4, 8, 16}) {
+    const auto batch = proxy.base_batch * factor;
+    // Paper: longer warmup at smaller large-batches (13 ep at 4K, 5 at 32K).
+    auto rc = proxy.recipe(batch, core::LrRule::kLars);
+    rc.warmup_epochs = (factor <= 4) ? 3.0 : 2.0;
+    const auto out = bench::run_proxy(proxy.alexnet_factory(), rc, ds);
+    std::printf("%8lld %-16s %7.0fep %9.1f%%%s\n",
+                static_cast<long long>(batch), "LARS", rc.warmup_epochs,
+                100 * out.best_acc, out.diverged ? "  (DIVERGED)" : "");
+    csv.row(batch, "LARS", rc.warmup_epochs, out.best_acc, out.diverged);
+  }
+
+  std::printf(
+      "\nShape under test: every LARS row lands within a few points of the\n"
+      "baseline in the same epoch budget — batch size no longer costs\n"
+      "accuracy, so it can be spent on parallelism (Tables 8/9).\n");
+  return 0;
+}

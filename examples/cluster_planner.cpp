@@ -1,0 +1,97 @@
+// Cluster planner: answer "how long would this training run take on that
+// cluster?" with the paper-calibrated performance model.
+//
+//   $ ./cluster_planner [model] [batch] [nodes] [epochs]
+//     model: alexnet | resnet50   (default resnet50)
+//     batch: global batch size    (default 32768)
+//     nodes: cluster size         (default 2048)
+//     epochs:                     (default 90)
+//
+// This is the tool-ified version of the paper's Tables 2/8/9: profile the
+// network architecture for FLOPs and parameters, pick a device and
+// interconnect, and project iterations, per-iteration time, total time,
+// and communication volume.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "nn/analysis.hpp"
+#include "nn/models.hpp"
+#include "perf/cost_model.hpp"
+#include "perf/energy.hpp"
+#include "perf/specs.hpp"
+
+using namespace minsgd;
+
+int main(int argc, char** argv) {
+  const std::string model = argc > 1 ? argv[1] : "resnet50";
+  const std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 32768;
+  const int nodes = argc > 3 ? std::atoi(argv[3]) : 2048;
+  const std::int64_t epochs = argc > 4 ? std::atoll(argv[4]) : 90;
+
+  std::unique_ptr<nn::Network> net;
+  Shape input;
+  if (model == "alexnet") {
+    net = nn::alexnet();
+    input = nn::alexnet_input();
+  } else if (model == "resnet50") {
+    net = nn::resnet(50);
+    input = nn::resnet_input();
+  } else {
+    std::fprintf(stderr, "unknown model '%s' (alexnet|resnet50)\n",
+                 model.c_str());
+    return 1;
+  }
+  if (batch <= 0 || nodes <= 0 || epochs <= 0 || batch % nodes != 0) {
+    std::fprintf(stderr,
+                 "batch/nodes/epochs must be positive, nodes | batch\n");
+    return 1;
+  }
+
+  const auto prof = nn::profile_model(*net, input);
+  std::printf("model %s: %.1fM params, %.2f GFLOP/image, scaling ratio %.0f\n",
+              prof.name.c_str(), prof.params / 1e6,
+              prof.flops_per_image / 1e9, prof.scaling_ratio());
+
+  const perf::WorkloadSpec work{prof.flops_per_image, prof.params, 1'280'000,
+                                epochs, 3.0};
+  const perf::RunSpec run{batch, nodes, perf::CommModel::kRing};
+
+  struct Option {
+    perf::DeviceSpec dev;
+    perf::NetworkSpec net;
+  };
+  const Option options[] = {
+      {perf::intel_knl7250(), perf::intel_qdr_ib()},
+      {perf::intel_skylake8160(), perf::intel_qdr_ib()},
+      {perf::nvidia_p100(), perf::mellanox_fdr_ib()},
+  };
+
+  std::printf("\nplan: batch %lld over %d nodes (local %lld), %lld epochs\n",
+              static_cast<long long>(batch), nodes,
+              static_cast<long long>(batch / nodes),
+              static_cast<long long>(epochs));
+  std::printf("%-28s %10s %10s %10s %12s\n", "device + network", "iters",
+              "t_comp", "t_comm", "total");
+  for (const auto& o : options) {
+    const auto p = perf::project_training(work, run, o.dev, o.net);
+    std::printf("%-28s %10lld %9.3fs %9.4fs %9.1f min\n", o.dev.name.c_str(),
+                static_cast<long long>(p.iterations), p.t_comp, p.t_comm,
+                p.total_seconds() / 60.0);
+  }
+
+  // Energy estimate for the whole run on the first option.
+  const auto p = perf::project_training(work, run, options[0].dev,
+                                        options[0].net);
+  const auto e = perf::estimate_iteration_energy(
+      3 * prof.flops_per_image * batch, prof.params * nodes, /*hops=*/2);
+  std::printf("\nenergy model (per %lld-iteration run): compute %.1f kJ, "
+              "gradient movement %.1f kJ\n",
+              static_cast<long long>(p.iterations),
+              e.compute_j * p.iterations / 1e3,
+              e.comm_j * p.iterations / 1e3);
+  std::printf("\n(total comm volume: %.1f GB; messages: %lld)\n",
+              static_cast<double>(p.comm_bytes) / 1e9,
+              static_cast<long long>(p.messages));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Distributed training example: synchronous data-parallel SGD on a
+// simulated cluster, with the collective algorithm under your control.
+//
+//   $ ./distributed_training [world] [algo]
+//     world: number of simulated ranks (default 8)
+//     algo:  star | ring | tree | rhd   (default ring)
+//
+// Demonstrates the paper's Figure 2(a) structure: every rank trains a model
+// replica on its own data shard; gradients are summed with an allreduce
+// each iteration; every replica applies the identical update. The traffic
+// meter reports exactly how many messages and bytes the chosen collective
+// put on the (simulated) wire.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/proxy.hpp"
+#include "core/recipe.hpp"
+
+using namespace minsgd;
+
+namespace {
+
+comm::AllreduceAlgo parse_algo(const char* s) {
+  if (std::strcmp(s, "star") == 0) return comm::AllreduceAlgo::kStar;
+  if (std::strcmp(s, "tree") == 0) return comm::AllreduceAlgo::kTree;
+  if (std::strcmp(s, "rhd") == 0) return comm::AllreduceAlgo::kRecursiveHalving;
+  return comm::AllreduceAlgo::kRing;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int world = argc > 1 ? std::atoi(argv[1]) : 8;
+  const auto algo = parse_algo(argc > 2 ? argv[2] : "ring");
+  if (world <= 0) {
+    std::fprintf(stderr, "usage: %s [world>0] [star|ring|tree|rhd]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  auto proxy = core::bench_proxy();
+  data::SyntheticImageNet dataset(proxy.dataset);
+
+  // A global batch divisible by the world size; each rank sees 1/world.
+  core::RecipeConfig rc = proxy.recipe(proxy.base_batch * 8,
+                                       core::LrRule::kLars);
+  rc.epochs = 6;
+  rc.warmup_epochs = 1.0;
+  std::printf("training on %d simulated ranks, allreduce=%s, "
+              "global batch %lld (local %lld)\n",
+              world, comm::to_string(algo),
+              static_cast<long long>(rc.global_batch),
+              static_cast<long long>(rc.global_batch / world));
+
+  const auto res = core::run_recipe_distributed(proxy.alexnet_factory(), rc,
+                                                dataset, world, algo);
+
+  std::printf("\nresult: best test accuracy %.1f%% over %lld iterations\n",
+              100 * res.result.best_test_acc,
+              static_cast<long long>(res.iterations));
+  std::printf("wire traffic: %lld messages, %.2f MB total\n",
+              static_cast<long long>(res.traffic.messages),
+              static_cast<double>(res.traffic.bytes) / 1e6);
+  std::printf(
+      "\nTry: %s 8 star   — watch the byte count blow up at the root.\n"
+      "     %s 16 ring  — bandwidth-optimal, the production choice.\n",
+      argv[0], argv[0]);
+  return 0;
+}

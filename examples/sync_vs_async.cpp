@@ -1,0 +1,99 @@
+// Sync vs async: why the paper (and everyone scaling ImageNet) chose
+// synchronous SGD.
+//
+//   $ ./sync_vs_async [workers]
+//
+// Trains the same model three ways with the same per-worker work:
+//   1. single process (the sequential reference),
+//   2. synchronous data-parallel on a simulated cluster (allreduce),
+//   3. asynchronous parameter server (Downpour-style, no barriers).
+// The sync run matches the sequential reference's learning curve exactly
+// (sequential consistency); the async run's result depends on gradient
+// staleness, which is reported.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/proxy.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "optim/schedule.hpp"
+#include "optim/sgd.hpp"
+#include "train/async_trainer.hpp"
+#include "train/easgd.hpp"
+#include "train/trainer.hpp"
+
+using namespace minsgd;
+
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 4;
+  if (workers <= 0) {
+    std::fprintf(stderr, "usage: %s [workers>0]\n", argv[0]);
+    return 1;
+  }
+
+  auto proxy = core::bench_proxy();
+  // Dropout/BN introduce per-replica randomness; use the deterministic
+  // ResNet-free proxy for an exact consistency demonstration.
+  auto factory = [&] {
+    auto net = std::make_unique<nn::Network>("demo");
+    net->emplace<nn::Conv2d>(3, 16, 3, 1, 1);
+    net->emplace<nn::ReLU>();
+    net->emplace<nn::MaxPool2d>(2, 2);
+    net->emplace<nn::Flatten>();
+    net->emplace<nn::Linear>(
+        16 * (proxy.dataset.resolution / 2) * (proxy.dataset.resolution / 2),
+        proxy.dataset.classes);
+    return net;
+  };
+  data::SyntheticImageNet dataset(proxy.dataset);
+
+  train::TrainOptions options;
+  options.global_batch = 64;
+  options.epochs = 6;
+  optim::ConstantLr lr(0.02);
+
+  // 1. Sequential reference.
+  auto net = factory();
+  optim::Sgd opt({.momentum = 0.9, .weight_decay = 0.0005});
+  const auto seq = train::train_single(*net, opt, lr, dataset, options);
+  std::printf("sequential:        final loss %.4f, test acc %.1f%%\n",
+              seq.epochs.back().train_loss, 100 * seq.final_test_acc);
+
+  // 2. Synchronous data-parallel.
+  const auto sync = train::train_sync_data_parallel(
+      factory,
+      [] {
+        return std::make_unique<optim::Sgd>(
+            optim::SgdConfig{.momentum = 0.9, .weight_decay = 0.0005});
+      },
+      lr, dataset, options, workers, comm::AllreduceAlgo::kRing);
+  std::printf("sync (%d workers): final loss %.4f, test acc %.1f%%   "
+              "<- matches sequential\n",
+              workers, sync.result.epochs.back().train_loss,
+              100 * sync.result.final_test_acc);
+
+  // 3. Asynchronous parameter server.
+  const auto async = train::train_async_param_server(factory, lr, dataset,
+                                                     options, workers);
+  std::printf("async (%d workers): final loss %.4f, test acc %.1f%%   "
+              "max staleness %lld update(s)\n",
+              workers, async.final_train_loss, 100 * async.final_test_acc,
+              static_cast<long long>(async.max_staleness));
+
+  // 4. Elastic Averaging SGD (the paper's other cited async scheme).
+  const auto easgd =
+      train::train_easgd(factory, lr, dataset, options, workers);
+  std::printf("EASGD (%d workers): final loss %.4f, center acc %.1f%%  "
+              "%lld elastic syncs\n",
+              workers, easgd.final_train_loss, 100 * easgd.center_test_acc,
+              static_cast<long long>(easgd.elastic_updates));
+
+  std::printf(
+      "\nSequential consistency is what makes the sync result debuggable:\n"
+      "any world size computes the same weights as one process. The async\n"
+      "run has no such guarantee — its trajectory depends on thread timing\n"
+      "and stale gradients, which is why it destabilizes at scale.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "comm/cluster.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace minsgd::comm {
+
+namespace {
+int checked_world(int world) {
+  if (world <= 0) throw std::invalid_argument("SimCluster: world <= 0");
+  return world;
+}
+}  // namespace
+
+SimCluster::SimCluster(int world)
+    : world_(checked_world(world)),
+      meter_(static_cast<std::size_t>(world_)),
+      barrier_(world_) {
+  mailboxes_.reserve(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void SimCluster::run(const std::function<void(Communicator&)>& fn) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world_));
+  threads.reserve(static_cast<std::size_t>(world_));
+  for (int r = 0; r < world_; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      try {
+        Communicator comm(*this, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace minsgd::comm

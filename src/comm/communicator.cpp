@@ -1,0 +1,246 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "comm/cluster.hpp"
+#include "tensor/ops.hpp"
+
+namespace minsgd::comm {
+
+const char* to_string(AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::kStar: return "star";
+    case AllreduceAlgo::kRing: return "ring";
+    case AllreduceAlgo::kTree: return "tree";
+    case AllreduceAlgo::kRecursiveHalving: return "rec-halving-doubling";
+  }
+  return "?";
+}
+
+Communicator::Communicator(SimCluster& cluster, int rank)
+    : cluster_(cluster), rank_(rank) {
+  if (rank < 0 || rank >= cluster.world()) {
+    throw std::invalid_argument("Communicator: rank out of range");
+  }
+}
+
+int Communicator::world() const { return cluster_.world(); }
+
+void Communicator::send(int dst, std::int64_t tag,
+                        std::span<const float> data) {
+  if (dst < 0 || dst >= world()) {
+    throw std::invalid_argument("Communicator::send: bad destination");
+  }
+  if (dst == rank_) {
+    throw std::invalid_argument("Communicator::send: self-send not allowed");
+  }
+  cluster_.meter().record_send(static_cast<std::size_t>(rank_),
+                               static_cast<std::int64_t>(data.size()) * 4);
+  cluster_.mailbox(dst).deliver(
+      Message{rank_, tag, std::vector<float>(data.begin(), data.end())});
+}
+
+std::vector<float> Communicator::recv(int src, std::int64_t tag) {
+  if (src < 0 || src >= world()) {
+    throw std::invalid_argument("Communicator::recv: bad source");
+  }
+  return cluster_.mailbox(rank_).take(src, tag).payload;
+}
+
+void Communicator::barrier() { cluster_.barrier_sync().arrive_and_wait(); }
+
+void Communicator::broadcast(std::span<float> data, int root) {
+  const int p = world();
+  if (p == 1) return;
+  const std::int64_t tag = next_collective_tag();
+  const int vrank = (rank_ - root + p) % p;
+  // Receive from parent (the peer that differs in the lowest set bit).
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int vsrc = vrank - mask;
+      auto payload = recv((vsrc + root) % p, tag);
+      if (payload.size() != data.size()) {
+        throw std::logic_error("broadcast: payload size mismatch");
+      }
+      std::copy(payload.begin(), payload.end(), data.begin());
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to children.
+  mask >>= 1;
+  while (mask > 0) {
+    if ((vrank & mask) == 0 && vrank + mask < p) {
+      send(((vrank + mask) + root) % p, tag, data);
+    }
+    mask >>= 1;
+  }
+}
+
+void Communicator::reduce_sum(std::span<float> data, int root) {
+  const int p = world();
+  if (p == 1) return;
+  const std::int64_t tag = next_collective_tag();
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if ((vrank & mask) == 0) {
+      if (vrank + mask < p) {
+        auto payload = recv(((vrank + mask) + root) % p, tag);
+        if (payload.size() != data.size()) {
+          throw std::logic_error("reduce_sum: payload size mismatch");
+        }
+        axpy(1.0f, payload, data);
+      }
+    } else {
+      send(((vrank - mask) + root) % p, tag, data);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+void Communicator::allreduce_sum(std::span<float> data, AllreduceAlgo algo) {
+  if (world() == 1) return;
+  switch (algo) {
+    case AllreduceAlgo::kStar: allreduce_star(data); break;
+    case AllreduceAlgo::kRing: allreduce_ring(data); break;
+    case AllreduceAlgo::kTree: allreduce_tree(data); break;
+    case AllreduceAlgo::kRecursiveHalving: allreduce_rhd(data); break;
+  }
+}
+
+void Communicator::allgather(std::span<const float> local,
+                             std::span<float> out) {
+  const int p = world();
+  const std::size_t n = local.size();
+  if (out.size() != n * static_cast<std::size_t>(p)) {
+    throw std::invalid_argument("allgather: out must be world * local");
+  }
+  const std::int64_t tag = next_collective_tag();
+  std::copy(local.begin(), local.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(n) * rank_);
+  // Simple ring rotation: world-1 steps, each step pass the slot you just
+  // received (starting with your own).
+  const int right = (rank_ + 1) % p;
+  const int left = (rank_ - 1 + p) % p;
+  int cur = rank_;
+  for (int step = 0; step < p - 1; ++step) {
+    send(right, tag + step,
+         out.subspan(static_cast<std::size_t>(cur) * n, n));
+    auto payload = recv(left, tag + step);
+    cur = (cur - 1 + p) % p;
+    std::copy(payload.begin(), payload.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(cur) * n);
+  }
+  seq_ += p;  // consumed p-1 step tags; keep counters aligned across ranks
+}
+
+void Communicator::allreduce_star(std::span<float> data) {
+  const std::int64_t tag = next_collective_tag();
+  if (rank_ == 0) {
+    for (int src = 1; src < world(); ++src) {
+      auto payload = recv(src, tag);
+      axpy(1.0f, payload, data);
+    }
+    for (int dst = 1; dst < world(); ++dst) send(dst, tag + 1, data);
+  } else {
+    send(0, tag, data);
+    auto payload = recv(0, tag + 1);
+    std::copy(payload.begin(), payload.end(), data.begin());
+  }
+  ++seq_;  // the reply tag
+}
+
+void Communicator::allreduce_tree(std::span<float> data) {
+  reduce_sum(data, 0);
+  broadcast(data, 0);
+}
+
+void Communicator::allreduce_ring(std::span<float> data) {
+  const int p = world();
+  const std::int64_t n = static_cast<std::int64_t>(data.size());
+  if (n < p) {
+    // Degenerate tiny payload: tree is simpler and correct.
+    allreduce_tree(data);
+    return;
+  }
+  const std::int64_t base_tag = next_collective_tag();
+  seq_ += 2 * (p - 1);  // reserve a tag per step
+
+  // Chunk c covers [c*n/p, (c+1)*n/p).
+  auto chunk_begin = [&](int c) { return static_cast<std::int64_t>(c) * n / p; };
+  auto chunk = [&](int c) {
+    const std::int64_t b = chunk_begin(c);
+    const std::int64_t e = static_cast<std::int64_t>(c + 1) * n / p;
+    return data.subspan(static_cast<std::size_t>(b),
+                        static_cast<std::size_t>(e - b));
+  };
+
+  const int right = (rank_ + 1) % p;
+  const int left = (rank_ - 1 + p) % p;
+
+  // Reduce-scatter: after p-1 steps, rank r owns the full sum of chunk
+  // (r+1) mod p.
+  for (int step = 0; step < p - 1; ++step) {
+    const int send_c = (rank_ - step + p) % p;
+    const int recv_c = (rank_ - step - 1 + p) % p;
+    send(right, base_tag + step, chunk(send_c));
+    auto payload = recv(left, base_tag + step);
+    axpy(1.0f, payload, chunk(recv_c));
+  }
+  // Allgather: circulate the completed chunks.
+  for (int step = 0; step < p - 1; ++step) {
+    const int send_c = (rank_ + 1 - step + p) % p;
+    const int recv_c = (rank_ - step + p) % p;
+    send(right, base_tag + (p - 1) + step, chunk(send_c));
+    auto payload = recv(left, base_tag + (p - 1) + step);
+    auto dst = chunk(recv_c);
+    std::copy(payload.begin(), payload.end(), dst.begin());
+  }
+}
+
+void Communicator::allreduce_rhd(std::span<float> data) {
+  const int p = world();
+  // Largest power of two <= p.
+  int p2 = 1;
+  while (p2 * 2 <= p) p2 *= 2;
+  const int rem = p - p2;
+  const std::int64_t tag = next_collective_tag();
+  seq_ += 64;  // generous reservation: log2(p) phases + remainder traffic
+
+  // Fold the surplus ranks into the first `rem` ranks.
+  bool active = true;
+  if (rank_ >= p2) {
+    send(rank_ - p2, tag, data);
+    active = false;
+  } else if (rank_ < rem) {
+    auto payload = recv(rank_ + p2, tag);
+    axpy(1.0f, payload, data);
+  }
+
+  if (active) {
+    // Recursive doubling on the p2 active ranks: exchange with partner at
+    // distance `mask`, both sides add. (This is the halving-doubling
+    // pattern specialized to whole-vector exchange; bandwidth-optimal
+    // variants split the vector, which kTree/kRing already cover.)
+    for (int mask = 1; mask < p2; mask <<= 1) {
+      const int partner = rank_ ^ mask;
+      send(partner, tag + 1 + mask, data);
+      auto payload = recv(partner, tag + 1 + mask);
+      axpy(1.0f, payload, data);
+    }
+  }
+
+  // Unfold: send results back to the surplus ranks.
+  if (rank_ < rem) {
+    send(rank_ + p2, tag + 2, data);
+  } else if (rank_ >= p2) {
+    auto payload = recv(rank_ - p2, tag + 2);
+    std::copy(payload.begin(), payload.end(), data.begin());
+  }
+}
+
+}  // namespace minsgd::comm

@@ -1,0 +1,81 @@
+// Communicator: the rank-facing message-passing API (an MPI subset).
+//
+// Point-to-point send/recv over mailboxes, plus the collectives synchronous
+// SGD needs: barrier, binomial-tree broadcast/reduce, allgather, and an
+// allreduce with selectable algorithm (star, ring, binomial tree,
+// recursive halving-doubling). All collectives are implemented *on top of*
+// send/recv so the traffic meter sees every message — the message/byte
+// counts of Figures 8-10 are measured, not assumed.
+//
+// Usage contract (as in MPI): every rank of the cluster must call the same
+// sequence of collective operations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace minsgd::comm {
+
+class SimCluster;
+
+enum class AllreduceAlgo {
+  kStar,              // everyone -> root, root sums, root -> everyone
+  kRing,              // reduce-scatter + allgather ring (bandwidth-optimal)
+  kTree,              // binomial reduce to 0 + binomial broadcast
+  kRecursiveHalving,  // recursive halving-doubling (latency-optimal-ish)
+};
+
+const char* to_string(AllreduceAlgo algo);
+
+class Communicator {
+ public:
+  Communicator(SimCluster& cluster, int rank);
+
+  int rank() const { return rank_; }
+  int world() const;
+
+  // -- point to point ----------------------------------------------------
+  /// Buffered, non-blocking send (never deadlocks on unmatched recv order).
+  void send(int dst, std::int64_t tag, std::span<const float> data);
+
+  /// Blocks until the matching message arrives.
+  std::vector<float> recv(int src, std::int64_t tag);
+
+  // -- collectives ---------------------------------------------------------
+  /// Synchronizes all ranks.
+  void barrier();
+
+  /// Binomial-tree broadcast of `data` from `root` (in place on non-roots).
+  void broadcast(std::span<float> data, int root = 0);
+
+  /// Binomial-tree sum-reduction into `root`'s buffer; other ranks' buffers
+  /// are left unspecified.
+  void reduce_sum(std::span<float> data, int root = 0);
+
+  /// In-place allreduce (sum) with the chosen algorithm.
+  void allreduce_sum(std::span<float> data,
+                     AllreduceAlgo algo = AllreduceAlgo::kRing);
+
+  /// Gathers equal-size `local` contributions from every rank into `out`
+  /// (out.size() == world * local.size()), rank-major order.
+  void allgather(std::span<const float> local, std::span<float> out);
+
+ private:
+  void allreduce_star(std::span<float> data);
+  void allreduce_ring(std::span<float> data);
+  void allreduce_tree(std::span<float> data);
+  void allreduce_rhd(std::span<float> data);
+
+  /// Next tag for a collective op. All ranks run the same collective
+  /// sequence, so matching counters yield matching tags.
+  std::int64_t next_collective_tag() { return kCollectiveBase + seq_++; }
+
+  static constexpr std::int64_t kCollectiveBase = std::int64_t{1} << 40;
+
+  SimCluster& cluster_;
+  int rank_;
+  std::int64_t seq_ = 0;
+};
+
+}  // namespace minsgd::comm

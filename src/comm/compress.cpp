@@ -1,0 +1,75 @@
+#include "comm/compress.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+namespace minsgd::comm {
+
+OneBitCompressor::OneBitCompressor(std::size_t dim) : residual_(dim, 0.0f) {
+  if (dim == 0) throw std::invalid_argument("OneBitCompressor: dim == 0");
+}
+
+std::size_t OneBitCompressor::payload_floats(std::size_t numel) {
+  return 2 + (numel + 31) / 32;
+}
+
+std::vector<float> OneBitCompressor::compress(std::span<const float> grad) {
+  if (grad.size() != residual_.size()) {
+    throw std::invalid_argument("OneBitCompressor: gradient size mismatch");
+  }
+  const std::size_t n = grad.size();
+  // Error-feedback input: v = grad + residual.
+  // Two-level quantizer: positive coordinates -> +pos_scale, the rest ->
+  // -neg_scale, with scales chosen as the conditional means (the MSE-optimal
+  // reconstruction for a fixed sign partition).
+  double pos_sum = 0.0, neg_sum = 0.0;
+  std::size_t pos_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(grad[i]) + residual_[i];
+    if (v > 0) {
+      pos_sum += v;
+      ++pos_count;
+    } else {
+      neg_sum += v;
+    }
+  }
+  const std::size_t neg_count = n - pos_count;
+  const float pos_scale =
+      pos_count ? static_cast<float>(pos_sum / pos_count) : 0.0f;
+  const float neg_scale =
+      neg_count ? static_cast<float>(-neg_sum / neg_count) : 0.0f;
+
+  std::vector<float> payload(payload_floats(n), 0.0f);
+  payload[0] = pos_scale;
+  payload[1] = neg_scale;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(grad[i]) + residual_[i];
+    const bool positive = v > 0;
+    if (positive) {
+      const std::size_t word = i / 32, bit = i % 32;
+      auto bits = std::bit_cast<std::uint32_t>(payload[2 + word]);
+      bits |= (1u << bit);
+      payload[2 + word] = std::bit_cast<float>(bits);
+    }
+    const float reconstructed = positive ? pos_scale : -neg_scale;
+    residual_[i] = static_cast<float>(v - reconstructed);
+  }
+  return payload;
+}
+
+void OneBitCompressor::decompress_add(std::span<const float> payload,
+                                      std::span<float> out) {
+  const std::size_t n = out.size();
+  if (payload.size() != payload_floats(n)) {
+    throw std::invalid_argument("OneBitCompressor: payload size mismatch");
+  }
+  const float pos_scale = payload[0];
+  const float neg_scale = payload[1];
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto bits = std::bit_cast<std::uint32_t>(payload[2 + i / 32]);
+    out[i] += (bits >> (i % 32)) & 1u ? pos_scale : -neg_scale;
+  }
+}
+
+}  // namespace minsgd::comm

@@ -1,0 +1,43 @@
+// 1-bit SGD gradient compression with error feedback (Seide et al. 2014).
+//
+// The paper cites 1-bit SGD as the bandwidth-side alternative to its own
+// latency-side answer (fewer, larger batches). Each gradient coordinate is
+// quantized to one bit (its sign), with two per-tensor scales (the mean of
+// the positive and negative coordinates), and the quantization error is
+// carried into the next iteration's gradient — the error-feedback trick
+// that keeps training convergent despite 32x compression.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace minsgd::comm {
+
+/// Stateful compressor: owns the error-feedback residual for one worker.
+class OneBitCompressor {
+ public:
+  explicit OneBitCompressor(std::size_t dim);
+
+  std::size_t dim() const { return residual_.size(); }
+
+  /// Floats needed to carry a compressed gradient of `numel` coordinates:
+  /// two scales plus one bit per coordinate packed 32-per-float.
+  static std::size_t payload_floats(std::size_t numel);
+
+  /// Quantizes `grad + residual` to the sign representation, updates the
+  /// residual to the quantization error, and returns the packed payload.
+  std::vector<float> compress(std::span<const float> grad);
+
+  /// Expands a payload back to dense floats (adds into `out`).
+  static void decompress_add(std::span<const float> payload,
+                             std::span<float> out);
+
+  /// Direct read of the residual (for tests).
+  std::span<const float> residual() const { return residual_; }
+
+ private:
+  std::vector<float> residual_;
+};
+
+}  // namespace minsgd::comm

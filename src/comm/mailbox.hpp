@@ -1,0 +1,59 @@
+// Mailbox: the per-rank message queue behind the simulated transport.
+//
+// Messages are float payloads tagged with (source, tag). recv() blocks until
+// a matching message arrives; matching is FIFO within a (source, tag) pair,
+// which is exactly MPI's non-overtaking guarantee for a single channel.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace minsgd::comm {
+
+struct Message {
+  int src = -1;
+  std::int64_t tag = 0;
+  std::vector<float> payload;
+};
+
+class Mailbox {
+ public:
+  void deliver(Message msg) {
+    {
+      std::lock_guard lk(mu_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until a message from `src` with `tag` is available, removes and
+  /// returns it. Earlier matching messages are returned first.
+  Message take(int src, std::int64_t tag) {
+    std::unique_lock lk(mu_);
+    for (;;) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->src == src && it->tag == tag) {
+          Message m = std::move(*it);
+          queue_.erase(it);
+          return m;
+        }
+      }
+      cv_.wait(lk);
+    }
+  }
+
+  bool empty() const {
+    std::lock_guard lk(mu_);
+    return queue_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace minsgd::comm

@@ -1,0 +1,62 @@
+// Model parallelism (paper Figure 2(b)): one layer's weights partitioned
+// across machines, activations exchanged at the partition boundary.
+//
+// The paper contrasts this with data parallelism and explains why data
+// parallelism won for ImageNet-scale models (the matrices are too small to
+// justify splitting). This module implements the canonical example — a
+// fully connected layer with its output dimension row-partitioned over the
+// ranks — so the trade-off is executable: the math is identical to the
+// single-machine layer (tested), but every forward needs an allgather of
+// activations and every backward an allreduce of input gradients.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "comm/communicator.hpp"
+#include "tensor/tensor.hpp"
+
+namespace minsgd::comm {
+
+/// A Linear layer shard: this rank owns rows [first_row, first_row + rows)
+/// of the (out x in) weight matrix and the matching bias slice.
+class ShardedLinear {
+ public:
+  /// Splits `out_features` as evenly as possible over `comm.world()`;
+  /// earlier ranks get the remainder rows.
+  ShardedLinear(Communicator& comm, std::int64_t in_features,
+                std::int64_t out_features);
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  std::int64_t local_rows() const { return rows_; }
+  std::int64_t first_row() const { return first_; }
+
+  Tensor& local_weight() { return w_; }
+  Tensor& local_bias() { return b_; }
+
+  /// Initializes the local shard so the *assembled* matrix equals what a
+  /// single-machine Linear initialized from `seed` would hold (every rank
+  /// draws the full matrix stream and keeps its rows — cheap at these
+  /// sizes, and it makes the equivalence exact).
+  void init(std::uint64_t seed);
+
+  /// y = x W^T + b for the full layer: each rank computes its row block,
+  /// then all ranks allgather so everyone holds the complete (batch x out)
+  /// activation (the boundary-crossing edges of Figure 2(b)).
+  void forward(const Tensor& x, Tensor& y);
+
+  /// Given dL/dy for the full output, accumulates local dW/db and returns
+  /// dL/dx (an allreduce over the ranks' partial input gradients).
+  void backward(const Tensor& x, const Tensor& dy, Tensor& dx);
+
+  Tensor& weight_grad() { return dw_; }
+  Tensor& bias_grad() { return db_; }
+
+ private:
+  Communicator& comm_;
+  std::int64_t in_, out_, rows_, first_;
+  Tensor w_, b_, dw_, db_;
+};
+
+}  // namespace minsgd::comm

@@ -1,0 +1,84 @@
+// ParameterServer: the asynchronous (Downpour-style) baseline.
+//
+// The paper's Background section contrasts synchronous allreduce SGD with
+// the master-worker parameter-server scheme where the master applies each
+// worker's gradient on arrival, first-come-first-served, and returns the
+// current weights. This class is that master: a mutex-serialized weight
+// store with staleness accounting, used by train::AsyncParamServerTrainer.
+#pragma once
+
+#include <cstdint>
+#include <algorithm>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace minsgd::comm {
+
+class ParameterServer {
+ public:
+  /// Initializes the global weights.
+  explicit ParameterServer(std::vector<float> initial_weights)
+      : weights_(std::move(initial_weights)),
+        worker_version_() {}
+
+  std::size_t dim() const { return weights_.size(); }
+
+  /// Registers `workers` clients (staleness is tracked per worker).
+  void set_workers(int workers) {
+    std::lock_guard lk(mu_);
+    worker_version_.assign(static_cast<std::size_t>(workers), 0);
+  }
+
+  /// Worker `worker` pushes a gradient computed at its last pulled version
+  /// and immediately receives the updated weights (one round trip, like the
+  /// Downpour master). Returns the staleness (updates applied globally since
+  /// that worker last pulled).
+  std::int64_t push_pull(int worker, std::span<const float> grad, double lr,
+                         std::span<float> weights_out) {
+    std::lock_guard lk(mu_);
+    if (grad.size() != weights_.size() ||
+        weights_out.size() != weights_.size()) {
+      throw std::invalid_argument("ParameterServer: dimension mismatch");
+    }
+    auto& seen = worker_version_.at(static_cast<std::size_t>(worker));
+    const std::int64_t staleness = version_ - seen;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      weights_[i] -= static_cast<float>(lr) * grad[i];
+    }
+    ++version_;
+    seen = version_;
+    std::copy(weights_.begin(), weights_.end(), weights_out.begin());
+    max_staleness_ = std::max(max_staleness_, staleness);
+    return staleness;
+  }
+
+  /// Reads the current weights without updating (initial pull).
+  void pull(int worker, std::span<float> weights_out) {
+    std::lock_guard lk(mu_);
+    if (weights_out.size() != weights_.size()) {
+      throw std::invalid_argument("ParameterServer: dimension mismatch");
+    }
+    worker_version_.at(static_cast<std::size_t>(worker)) = version_;
+    std::copy(weights_.begin(), weights_.end(), weights_out.begin());
+  }
+
+  std::int64_t updates_applied() const {
+    std::lock_guard lk(mu_);
+    return version_;
+  }
+  std::int64_t max_staleness() const {
+    std::lock_guard lk(mu_);
+    return max_staleness_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<float> weights_;
+  std::vector<std::int64_t> worker_version_;
+  std::int64_t version_ = 0;
+  std::int64_t max_staleness_ = 0;
+};
+
+}  // namespace minsgd::comm

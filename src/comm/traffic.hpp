@@ -1,0 +1,62 @@
+// TrafficMeter: counts the messages and bytes each rank puts on the wire.
+//
+// Figures 8-10 of the paper argue about latency overhead (message count)
+// and bandwidth overhead (bytes moved) as functions of batch size; the
+// meter makes those measurable quantities of our collectives rather than
+// formulas taken on faith.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace minsgd::comm {
+
+struct TrafficStats {
+  std::int64_t messages = 0;
+  std::int64_t bytes = 0;
+
+  TrafficStats& operator+=(const TrafficStats& o) {
+    messages += o.messages;
+    bytes += o.bytes;
+    return *this;
+  }
+};
+
+/// Per-rank atomic counters; aggregate with total().
+class TrafficMeter {
+ public:
+  explicit TrafficMeter(std::size_t world) : per_rank_(world) {}
+
+  void record_send(std::size_t rank, std::int64_t bytes) {
+    per_rank_[rank].messages.fetch_add(1, std::memory_order_relaxed);
+    per_rank_[rank].bytes.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  TrafficStats rank_stats(std::size_t rank) const {
+    return {per_rank_[rank].messages.load(std::memory_order_relaxed),
+            per_rank_[rank].bytes.load(std::memory_order_relaxed)};
+  }
+
+  TrafficStats total() const {
+    TrafficStats t;
+    for (std::size_t r = 0; r < per_rank_.size(); ++r) t += rank_stats(r);
+    return t;
+  }
+
+  void reset() {
+    for (auto& c : per_rank_) {
+      c.messages.store(0, std::memory_order_relaxed);
+      c.bytes.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Counters {
+    std::atomic<std::int64_t> messages{0};
+    std::atomic<std::int64_t> bytes{0};
+  };
+  std::vector<Counters> per_rank_;
+};
+
+}  // namespace minsgd::comm

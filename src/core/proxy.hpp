@@ -1,0 +1,49 @@
+// Proxy experiment scales: the laptop-sized stand-ins for the paper's
+// ImageNet runs.
+//
+// Every accuracy experiment (integration tests and the Table 3/4/5/7/10 and
+// Figure 1/4/5/6/7 benches) uses one of these presets so results are
+// comparable across binaries. micro_proxy() is sized for the CI test suite;
+// bench_proxy() is the larger instance the bench harness uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/recipe.hpp"
+#include "data/synthetic.hpp"
+#include "nn/models.hpp"
+
+namespace minsgd::core {
+
+struct ProxyScale {
+  data::SynthConfig dataset;
+  std::int64_t base_batch = 32;
+  double base_lr = 0.05;
+  std::int64_t epochs = 8;
+  double warmup_epochs_large = 1.0;  // warmup used at large batch
+  double lars_trust = 0.1;          // trust coeff for the AlexNet proxy
+  double lars_trust_resnet = 0.02;   // the residual proxy needs less damping
+  std::int64_t model_width = 16;     // tiny_alexnet base width
+
+  /// AlexNet-flavored proxy model (conv trunk + FC head + dropout).
+  std::function<std::unique_ptr<nn::Network>()> alexnet_factory() const;
+
+  /// ResNet-flavored proxy model (residual trunk + GAP head).
+  std::function<std::unique_ptr<nn::Network>()> resnet_factory() const;
+
+  /// Recipe preset for a batch size and rule, warmup scaled to batch.
+  RecipeConfig recipe(std::int64_t global_batch, LrRule rule) const;
+
+  /// Same, with the trust coefficient tuned for the residual proxy.
+  RecipeConfig resnet_recipe(std::int64_t global_batch, LrRule rule) const;
+};
+
+/// Test-suite scale: trains in seconds.
+ProxyScale micro_proxy();
+
+/// Bench scale: the default for the experiment harness (minutes total).
+ProxyScale bench_proxy();
+
+}  // namespace minsgd::core

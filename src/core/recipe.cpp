@@ -1,0 +1,89 @@
+#include "core/recipe.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace minsgd::core {
+
+const char* to_string(LrRule rule) {
+  switch (rule) {
+    case LrRule::kLinearWarmup: return "linear-scaling+warmup";
+    case LrRule::kLars: return "LARS+warmup";
+  }
+  return "?";
+}
+
+Recipe make_recipe(const RecipeConfig& config,
+                   const data::SyntheticImageNet& dataset) {
+  if (config.global_batch < config.base_batch) {
+    throw std::invalid_argument("make_recipe: global_batch < base_batch");
+  }
+  if (config.warmup_epochs < 0 ||
+      config.warmup_epochs >= static_cast<double>(config.epochs)) {
+    throw std::invalid_argument("make_recipe: bad warmup_epochs");
+  }
+
+  Recipe r;
+  r.total_iterations = optim::iterations_for_epochs(
+      config.epochs, dataset.train_size(), config.global_batch);
+  r.scaled_lr = optim::linear_scaled_lr(config.base_lr, config.base_batch,
+                                        config.global_batch);
+
+  auto poly = std::make_unique<optim::PolyLr>(r.scaled_lr, r.total_iterations,
+                                              config.poly_power);
+  const auto iters_per_epoch =
+      static_cast<double>(dataset.train_size()) /
+      static_cast<double>(config.global_batch);
+  const auto warmup_iters = static_cast<std::int64_t>(
+      std::llround(config.warmup_epochs * iters_per_epoch));
+  if (warmup_iters > 0) {
+    r.schedule = std::make_unique<optim::WarmupLr>(std::move(poly),
+                                                   warmup_iters,
+                                                   config.base_lr);
+  } else {
+    r.schedule = std::move(poly);
+  }
+
+  if (config.rule == LrRule::kLars) {
+    optim::LarsConfig lc;
+    lc.trust_coeff = config.lars_trust_coeff;
+    lc.momentum = config.momentum;
+    lc.weight_decay = config.weight_decay;
+    r.optimizer_factory = [lc] { return std::make_unique<optim::Lars>(lc); };
+  } else {
+    optim::SgdConfig sc;
+    sc.momentum = config.momentum;
+    sc.weight_decay = config.weight_decay;
+    r.optimizer_factory = [sc] { return std::make_unique<optim::Sgd>(sc); };
+  }
+
+  r.options.global_batch = config.global_batch;
+  r.options.epochs = config.epochs;
+  r.options.init_seed = config.init_seed;
+  r.options.verbose = config.verbose;
+  if (config.augment) {
+    r.options.augment = config.augment_config.value_or(data::AugmentConfig{});
+  }
+  return r;
+}
+
+train::TrainResult run_recipe(
+    const std::function<std::unique_ptr<nn::Network>()>& model_factory,
+    const RecipeConfig& config, const data::SyntheticImageNet& dataset) {
+  Recipe r = make_recipe(config, dataset);
+  auto net = model_factory();
+  auto opt = r.optimizer_factory();
+  return train::train_single(*net, *opt, *r.schedule, dataset, r.options);
+}
+
+train::DistResult run_recipe_distributed(
+    const std::function<std::unique_ptr<nn::Network>()>& model_factory,
+    const RecipeConfig& config, const data::SyntheticImageNet& dataset,
+    int world, comm::AllreduceAlgo algo) {
+  Recipe r = make_recipe(config, dataset);
+  return train::train_sync_data_parallel(model_factory, r.optimizer_factory,
+                                         *r.schedule, dataset, r.options,
+                                         world, algo);
+}
+
+}  // namespace minsgd::core

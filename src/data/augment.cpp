@@ -1,0 +1,47 @@
+#include "data/augment.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace minsgd::data {
+
+void augment_image(std::span<float> chw, std::int64_t resolution,
+                   const AugmentConfig& config, Rng& rng) {
+  const std::int64_t r = resolution;
+  if (static_cast<std::int64_t>(chw.size()) != 3 * r * r) {
+    throw std::invalid_argument("augment_image: span size mismatch");
+  }
+  if (config.pad < 0) throw std::invalid_argument("augment_image: pad < 0");
+
+  const std::int64_t pad = config.pad;
+  if (pad > 0) {
+    // Crop offset in the zero-padded frame; offset == pad is the identity.
+    const auto oy = static_cast<std::int64_t>(rng.uniform_int(2 * pad + 1));
+    const auto ox = static_cast<std::int64_t>(rng.uniform_int(2 * pad + 1));
+    std::vector<float> tmp(chw.begin(), chw.end());
+    for (std::int64_t c = 0; c < 3; ++c) {
+      for (std::int64_t y = 0; y < r; ++y) {
+        for (std::int64_t x = 0; x < r; ++x) {
+          const std::int64_t sy = y + oy - pad;
+          const std::int64_t sx = x + ox - pad;
+          chw[(c * r + y) * r + x] =
+              (sy >= 0 && sy < r && sx >= 0 && sx < r)
+                  ? tmp[static_cast<std::size_t>((c * r + sy) * r + sx)]
+                  : 0.0f;
+        }
+      }
+    }
+  }
+  if (config.hflip && rng.uniform() < 0.5) {
+    for (std::int64_t c = 0; c < 3; ++c) {
+      for (std::int64_t y = 0; y < r; ++y) {
+        float* row = chw.data() + (c * r + y) * r;
+        for (std::int64_t x = 0; x < r / 2; ++x) {
+          std::swap(row[x], row[r - 1 - x]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace minsgd::data

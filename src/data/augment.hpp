@@ -1,0 +1,27 @@
+// Weak data augmentation: random pad-crop and horizontal flip.
+//
+// The paper distinguishes "no augmentation" (73.0% baseline) from "weak
+// augmentation" (75.3% baseline) from Facebook's heavy pipeline. Pad-crop +
+// hflip is the classic weak recipe and is what Table 9/10's "YES" rows use
+// here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/rng.hpp"
+
+namespace minsgd::data {
+
+struct AugmentConfig {
+  std::int64_t pad = 2;   // zero-pad then crop back to original size
+  bool hflip = true;      // mirror with probability 1/2
+};
+
+/// Applies pad-crop + flip in place to one CHW image of side `resolution`.
+/// `rng` supplies the crop offsets / flip coin, so the caller controls
+/// determinism (each worker uses its own stream, reseeded per epoch).
+void augment_image(std::span<float> chw, std::int64_t resolution,
+                   const AugmentConfig& config, Rng& rng);
+
+}  // namespace minsgd::data

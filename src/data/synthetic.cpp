@@ -1,0 +1,127 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace minsgd::data {
+namespace {
+constexpr std::uint64_t kTrainSalt = 0x7261696eull;  // "rain"
+constexpr std::uint64_t kTestSalt = 0x74657374ull;   // "test"
+constexpr int kWavesPerChannel = 4;
+}  // namespace
+
+SyntheticImageNet::SyntheticImageNet(SynthConfig config) : config_(config) {
+  if (config_.classes < 2) {
+    throw std::invalid_argument("SyntheticImageNet: need >= 2 classes");
+  }
+  if (config_.resolution < 8) {
+    throw std::invalid_argument("SyntheticImageNet: resolution < 8");
+  }
+  if (config_.train_size <= 0 || config_.test_size <= 0) {
+    throw std::invalid_argument("SyntheticImageNet: empty split");
+  }
+  if (config_.max_shift < 0 || config_.max_shift >= config_.resolution / 2) {
+    throw std::invalid_argument("SyntheticImageNet: bad max_shift");
+  }
+  // Build class prototypes: per channel, a sum of random oriented sinusoids
+  // normalized to unit RMS, so every class has comparable energy.
+  const std::int64_t r = config_.resolution;
+  Rng proto_rng(config_.seed);
+  prototypes_.reserve(static_cast<std::size_t>(config_.classes));
+  for (std::int64_t cls = 0; cls < config_.classes; ++cls) {
+    Tensor p({1, 3, r, r});
+    for (std::int64_t ch = 0; ch < 3; ++ch) {
+      for (int wv = 0; wv < kWavesPerChannel; ++wv) {
+        const double fx = proto_rng.uniform(0.5, 3.0) * 2.0 * M_PI / r;
+        const double fy = proto_rng.uniform(0.5, 3.0) * 2.0 * M_PI / r;
+        const double phase = proto_rng.uniform(0.0, 2.0 * M_PI);
+        const double amp = proto_rng.uniform(0.5, 1.0);
+        for (std::int64_t y = 0; y < r; ++y) {
+          for (std::int64_t x = 0; x < r; ++x) {
+            p.at(0, ch, y, x) += static_cast<float>(
+                amp * std::sin(fx * x + fy * y + phase));
+          }
+        }
+      }
+    }
+    // Normalize to unit RMS.
+    double ss = 0.0;
+    for (std::int64_t i = 0; i < p.numel(); ++i) ss += p[i] * p[i];
+    const auto inv_rms = static_cast<float>(
+        1.0 / std::sqrt(ss / static_cast<double>(p.numel()) + 1e-12));
+    for (std::int64_t i = 0; i < p.numel(); ++i) p[i] *= inv_rms;
+    prototypes_.push_back(std::move(p));
+  }
+}
+
+std::int64_t SyntheticImageNet::image_numel() const {
+  return 3 * config_.resolution * config_.resolution;
+}
+
+const Tensor& SyntheticImageNet::prototype(std::int64_t cls) const {
+  return prototypes_.at(static_cast<std::size_t>(cls));
+}
+
+std::int32_t SyntheticImageNet::generate(std::int64_t idx,
+                                         std::uint64_t split_salt,
+                                         std::span<float> out) const {
+  if (static_cast<std::int64_t>(out.size()) != image_numel()) {
+    throw std::invalid_argument("SyntheticImageNet: output span size");
+  }
+  // Per-sample stream: fully determined by (seed, split, index).
+  Rng rng(config_.seed ^ (split_salt * 0x9e3779b97f4a7c15ull) ^
+          (static_cast<std::uint64_t>(idx) * 0xd1b54a32d192ed03ull));
+  const auto label =
+      static_cast<std::int32_t>(rng.uniform_int(
+          static_cast<std::uint64_t>(config_.classes)));
+  auto distractor_cls = static_cast<std::int64_t>(rng.uniform_int(
+      static_cast<std::uint64_t>(config_.classes - 1)));
+  if (distractor_cls >= label) ++distractor_cls;
+
+  const std::int64_t r = config_.resolution;
+  const std::int64_t s = config_.max_shift;
+  const bool mirrored = config_.mirror_invariant && rng.uniform() < 0.5;
+  const auto dx = static_cast<std::int64_t>(rng.uniform_int(2 * s + 1)) - s;
+  const auto dy = static_cast<std::int64_t>(rng.uniform_int(2 * s + 1)) - s;
+  const auto ddx = static_cast<std::int64_t>(rng.uniform_int(2 * s + 1)) - s;
+  const auto ddy = static_cast<std::int64_t>(rng.uniform_int(2 * s + 1)) - s;
+
+  const Tensor& proto = prototypes_[static_cast<std::size_t>(label)];
+  const Tensor& dis = prototypes_[static_cast<std::size_t>(distractor_cls)];
+  const float dw = config_.distractor;
+  std::size_t o = 0;
+  for (std::int64_t ch = 0; ch < 3; ++ch) {
+    for (std::int64_t y = 0; y < r; ++y) {
+      for (std::int64_t x = 0; x < r; ++x, ++o) {
+        // Toroidal shift keeps energy constant under translation; the
+        // optional mirror flips the sampling coordinate.
+        const std::int64_t sx = mirrored ? (r - 1 - x) : x;
+        const std::int64_t py = ((y + dy) % r + r) % r;
+        const std::int64_t px = ((sx + dx) % r + r) % r;
+        const std::int64_t qy = ((y + ddy) % r + r) % r;
+        const std::int64_t qx = ((sx + ddx) % r + r) % r;
+        out[o] = proto.at(0, ch, py, px) + dw * dis.at(0, ch, qy, qx) +
+                 config_.noise * static_cast<float>(rng.normal());
+      }
+    }
+  }
+  return label;
+}
+
+std::int32_t SyntheticImageNet::get_train(std::int64_t idx,
+                                          std::span<float> out) const {
+  if (idx < 0 || idx >= config_.train_size) {
+    throw std::out_of_range("SyntheticImageNet::get_train: index");
+  }
+  return generate(idx, kTrainSalt, out);
+}
+
+std::int32_t SyntheticImageNet::get_test(std::int64_t idx,
+                                         std::span<float> out) const {
+  if (idx < 0 || idx >= config_.test_size) {
+    throw std::out_of_range("SyntheticImageNet::get_test: index");
+  }
+  return generate(idx, kTestSalt, out);
+}
+
+}  // namespace minsgd::data

@@ -1,0 +1,42 @@
+#include "nn/activation.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace minsgd::nn {
+
+void ReLU::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+  y.resize(x.shape());
+  copy(x.span(), y.span());
+  relu_inplace(y.span());
+}
+
+void ReLU::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                    Tensor& dx) {
+  dx.resize(x.shape());
+  const auto n = y.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    dx[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+  }
+}
+
+Shape Flatten::output_shape(const Shape& input) const {
+  if (input.rank() < 2) {
+    throw std::invalid_argument("Flatten: input rank < 2");
+  }
+  return {input[0], input.numel() / input[0]};
+}
+
+void Flatten::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+  y.resize(output_shape(x.shape()));
+  copy(x.span(), y.span());
+}
+
+void Flatten::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
+                       Tensor& dx) {
+  dx.resize(x.shape());
+  copy(dy.span(), dx.span());
+}
+
+}  // namespace minsgd::nn

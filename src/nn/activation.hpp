@@ -1,0 +1,29 @@
+// Elementwise activation layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace minsgd::nn {
+
+/// Rectified linear unit. Backward uses the cached output sign (y > 0),
+/// so no extra mask storage is needed.
+class ReLU final : public Layer {
+ public:
+  std::string name() const override { return "relu"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  void forward(const Tensor& x, Tensor& y, bool training) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+};
+
+/// Flatten: NCHW -> (N, C*H*W). Shape-only; data is already contiguous.
+class Flatten final : public Layer {
+ public:
+  std::string name() const override { return "flatten"; }
+  Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& x, Tensor& y, bool training) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+};
+
+}  // namespace minsgd::nn

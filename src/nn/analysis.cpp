@@ -1,0 +1,30 @@
+#include "nn/analysis.hpp"
+
+#include <sstream>
+
+namespace minsgd::nn {
+
+ModelProfile profile_model(Network& net, const Shape& input) {
+  ModelProfile p;
+  p.name = net.name();
+  p.params = net.num_params();
+  p.flops_per_image = net.flops(input);
+  return p;
+}
+
+std::string layer_table(Network& net, const Shape& input) {
+  std::ostringstream os;
+  Shape s = input;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    Layer& l = net.layer(i);
+    const Shape out = l.output_shape(s);
+    std::int64_t params = 0;
+    for (const auto& pr : l.params()) params += pr.value->numel();
+    os << i << "\t" << l.name() << "\t" << out.str() << "\tparams=" << params
+       << "\tflops=" << l.flops(s) << "\n";
+    s = out;
+  }
+  return os.str();
+}
+
+}  // namespace minsgd::nn

@@ -1,0 +1,36 @@
+// Static model analysis: parameter counts, FLOPs, and the paper's
+// computation/communication "scaling ratio" (Table 6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace minsgd::nn {
+
+/// Summary of a model's compute-vs-communication character.
+struct ModelProfile {
+  std::string name;
+  std::int64_t params = 0;        // |W|: number of learnable scalars
+  std::int64_t flops_per_image = 0;  // forward FLOPs, one image
+  /// Paper's scaling ratio: flops per image / parameters. Communication per
+  /// iteration moves |W| gradients; computation grows with FLOPs, so higher
+  /// means easier to scale (Table 6: ResNet-50 ~308, AlexNet ~24.6).
+  double scaling_ratio() const {
+    return params == 0 ? 0.0
+                       : static_cast<double>(flops_per_image) /
+                             static_cast<double>(params);
+  }
+  /// Gradient bytes exchanged per iteration (float32).
+  std::int64_t grad_bytes() const { return params * 4; }
+};
+
+/// Profiles `net` on an input of shape `input` (batch dimension ignored for
+/// the per-image FLOP count; pass batch 1).
+ModelProfile profile_model(Network& net, const Shape& input);
+
+/// One line per layer: name, output shape, params, FLOPs.
+std::string layer_table(Network& net, const Shape& input);
+
+}  // namespace minsgd::nn

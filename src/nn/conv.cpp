@@ -1,0 +1,188 @@
+#include "nn/conv.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace minsgd::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               bool bias, std::int64_t groups)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      pad_(pad),
+      groups_(groups),
+      has_bias_(bias),
+      w_({out_channels, in_channels / groups, kernel, kernel}),
+      b_(bias ? Tensor({out_channels}) : Tensor()),
+      dw_({out_channels, in_channels / groups, kernel, kernel}),
+      db_(bias ? Tensor({out_channels}) : Tensor()) {
+  if (in_c_ <= 0 || out_c_ <= 0 || k_ <= 0 || stride_ <= 0 || pad_ < 0 ||
+      groups_ <= 0 || in_c_ % groups_ != 0 || out_c_ % groups_ != 0) {
+    throw std::invalid_argument("Conv2d: invalid configuration");
+  }
+}
+
+std::string Conv2d::name() const {
+  std::string s = "conv" + std::to_string(k_) + "x" + std::to_string(k_) +
+                  "(" + std::to_string(in_c_) + "->" + std::to_string(out_c_) +
+                  ")/s" + std::to_string(stride_);
+  if (groups_ > 1) s += "/g" + std::to_string(groups_);
+  return s;
+}
+
+Shape Conv2d::output_shape(const Shape& input) const {
+  if (input.rank() != 4 || input[1] != in_c_) {
+    throw std::invalid_argument("Conv2d " + name() + ": bad input " +
+                                input.str());
+  }
+  const std::int64_t out_h = (input[2] + 2 * pad_ - k_) / stride_ + 1;
+  const std::int64_t out_w = (input[3] + 2 * pad_ - k_) / stride_ + 1;
+  if (out_h <= 0 || out_w <= 0) {
+    throw std::invalid_argument("Conv2d " + name() + ": input too small " +
+                                input.str());
+  }
+  return {input[0], out_c_, out_h, out_w};
+}
+
+void Conv2d::im2col(const Tensor& x, std::int64_t n, float* col,
+                    std::int64_t out_h, std::int64_t out_w) const {
+  const std::int64_t h = x.shape()[2], w = x.shape()[3];
+  const std::int64_t spatial = out_h * out_w;
+  // col is (in_c*k*k) x (out_h*out_w), row-major, channel-major rows, so the
+  // rows belonging to one channel group are contiguous.
+  for (std::int64_t c = 0; c < in_c_; ++c) {
+    for (std::int64_t ki = 0; ki < k_; ++ki) {
+      for (std::int64_t kj = 0; kj < k_; ++kj) {
+        float* dst = col + ((c * k_ + ki) * k_ + kj) * spatial;
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+          const std::int64_t ih = oh * stride_ - pad_ + ki;
+          if (ih < 0 || ih >= h) {
+            std::memset(dst + oh * out_w, 0,
+                        static_cast<std::size_t>(out_w) * sizeof(float));
+            continue;
+          }
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
+            const std::int64_t iw = ow * stride_ - pad_ + kj;
+            dst[oh * out_w + ow] =
+                (iw >= 0 && iw < w) ? x.at(n, c, ih, iw) : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const float* col, Tensor& dx, std::int64_t n,
+                    std::int64_t out_h, std::int64_t out_w) const {
+  const std::int64_t h = dx.shape()[2], w = dx.shape()[3];
+  const std::int64_t spatial = out_h * out_w;
+  for (std::int64_t c = 0; c < in_c_; ++c) {
+    for (std::int64_t ki = 0; ki < k_; ++ki) {
+      for (std::int64_t kj = 0; kj < k_; ++kj) {
+        const float* src = col + ((c * k_ + ki) * k_ + kj) * spatial;
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+          const std::int64_t ih = oh * stride_ - pad_ + ki;
+          if (ih < 0 || ih >= h) continue;
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
+            const std::int64_t iw = ow * stride_ - pad_ + kj;
+            if (iw >= 0 && iw < w) dx.at(n, c, ih, iw) += src[oh * out_w + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+  const Shape out = output_shape(x.shape());
+  y.resize(out);
+  const std::int64_t batch = x.shape()[0];
+  const std::int64_t out_h = out[2], out_w = out[3];
+  const std::int64_t spatial = out_h * out_w;
+  const std::int64_t kdim = (in_c_ / groups_) * k_ * k_;  // per-group depth
+  const std::int64_t g_out = out_c_ / groups_;
+  col_buf_.resize({in_c_ * k_ * k_, spatial});
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    im2col(x, n, col_buf_.data(), out_h, out_w);
+    for (std::int64_t g = 0; g < groups_; ++g) {
+      // y[n, group g] = W_g (g_out x kdim) * col_g (kdim x spatial)
+      sgemm(Trans::kNo, Trans::kNo, g_out, spatial, kdim, 1.0f,
+            w_.data() + g * g_out * kdim, kdim,
+            col_buf_.data() + g * kdim * spatial, spatial, 0.0f,
+            y.data() + (n * out_c_ + g * g_out) * spatial, spatial);
+    }
+    if (has_bias_) {
+      for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+        float* dst = y.data() + (n * out_c_ + oc) * spatial;
+        const float bv = b_[oc];
+        for (std::int64_t s = 0; s < spatial; ++s) dst[s] += bv;
+      }
+    }
+  }
+}
+
+void Conv2d::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                      Tensor& dx) {
+  const Shape out = y.shape();
+  const std::int64_t batch = x.shape()[0];
+  const std::int64_t out_h = out[2], out_w = out[3];
+  const std::int64_t spatial = out_h * out_w;
+  const std::int64_t kdim = (in_c_ / groups_) * k_ * k_;
+  const std::int64_t g_out = out_c_ / groups_;
+
+  dx.resize(x.shape());
+  dx.zero();
+  col_buf_.resize({in_c_ * k_ * k_, spatial});
+  Tensor dcol({in_c_ * k_ * k_, spatial});
+
+  for (std::int64_t n = 0; n < batch; ++n) {
+    im2col(x, n, col_buf_.data(), out_h, out_w);
+    for (std::int64_t g = 0; g < groups_; ++g) {
+      const float* dy_g = dy.data() + (n * out_c_ + g * g_out) * spatial;
+      // dW_g += dy_g (g_out x spatial) * col_g^T (spatial x kdim)
+      sgemm(Trans::kNo, Trans::kYes, g_out, kdim, spatial, 1.0f, dy_g, spatial,
+            col_buf_.data() + g * kdim * spatial, spatial, 1.0f,
+            dw_.data() + g * g_out * kdim, kdim);
+      // dcol_g = W_g^T (kdim x g_out) * dy_g (g_out x spatial)
+      sgemm(Trans::kYes, Trans::kNo, kdim, spatial, g_out, 1.0f,
+            w_.data() + g * g_out * kdim, kdim, dy_g, spatial, 0.0f,
+            dcol.data() + g * kdim * spatial, spatial);
+    }
+    col2im(dcol.data(), dx, n, out_h, out_w);
+    if (has_bias_) {
+      for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+        const float* src = dy.data() + (n * out_c_ + oc) * spatial;
+        double acc = 0.0;
+        for (std::int64_t s = 0; s < spatial; ++s) acc += src[s];
+        db_[oc] += static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+std::vector<ParamRef> Conv2d::params() {
+  std::vector<ParamRef> p;
+  p.push_back({"weight", &w_, &dw_, /*decay=*/true});
+  if (has_bias_) p.push_back({"bias", &b_, &db_, /*decay=*/false});
+  return p;
+}
+
+void Conv2d::init(Rng& rng) {
+  he_normal(w_, (in_c_ / groups_) * k_ * k_, rng);
+  if (has_bias_) b_.zero();
+}
+
+std::int64_t Conv2d::flops(const Shape& input) const {
+  const Shape out = output_shape(input);
+  // 2 flops (mul+add) per MAC; per image (batch dim excluded).
+  return 2 * out_c_ * (in_c_ / groups_) * k_ * k_ * out[2] * out[3];
+}
+
+}  // namespace minsgd::nn

@@ -1,0 +1,46 @@
+// Conv2d: 2-D convolution lowered to im2col + sgemm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace minsgd::nn {
+
+/// 2-D convolution over NCHW inputs. Weight layout is OIHW; output is
+/// NC'H'W' with H' = (H + 2*pad - kh)/stride + 1.
+class Conv2d final : public Layer {
+ public:
+  /// `groups` splits channels Krizhevsky-style: in/out channels are divided
+  /// into `groups` independent convolutions (weight is OIHW with
+  /// I = in_channels/groups).
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride = 1, std::int64_t pad = 0,
+         bool bias = true, std::int64_t groups = 1);
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& x, Tensor& y, bool training) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  std::vector<ParamRef> params() override;
+  void init(Rng& rng) override;
+  std::int64_t flops(const Shape& input) const override;
+
+  Tensor& weight() { return w_; }
+  Tensor& bias() { return b_; }
+
+ private:
+  void im2col(const Tensor& x, std::int64_t n, float* col,
+              std::int64_t out_h, std::int64_t out_w) const;
+  void col2im(const float* col, Tensor& dx, std::int64_t n, std::int64_t out_h,
+              std::int64_t out_w) const;
+
+  std::int64_t in_c_, out_c_, k_, stride_, pad_, groups_;
+  bool has_bias_;
+  Tensor w_, b_, dw_, db_;
+  Tensor col_buf_;  // scratch: (in_c*k*k) x (out_h*out_w), reused per image
+};
+
+}  // namespace minsgd::nn

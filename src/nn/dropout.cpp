@@ -1,0 +1,47 @@
+#include "nn/dropout.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace minsgd::nn {
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {
+  if (p < 0.0f || p >= 1.0f) {
+    throw std::invalid_argument("Dropout: p must be in [0, 1)");
+  }
+}
+
+std::string Dropout::name() const {
+  return "dropout(p=" + std::to_string(p_) + ")";
+}
+
+void Dropout::forward(const Tensor& x, Tensor& y, bool training) {
+  y.resize(x.shape());
+  last_was_training_ = training;
+  if (!training || p_ == 0.0f) {
+    copy(x.span(), y.span());
+    return;
+  }
+  mask_.resize(x.shape());
+  const float keep = 1.0f - p_;
+  const float inv_keep = 1.0f / keep;
+  const std::int64_t n = x.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const bool kept = rng_.uniform() >= p_;
+    mask_[i] = kept ? inv_keep : 0.0f;
+    y[i] = x[i] * mask_[i];
+  }
+}
+
+void Dropout::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
+                       Tensor& dx) {
+  dx.resize(x.shape());
+  if (!last_was_training_ || p_ == 0.0f) {
+    copy(dy.span(), dx.span());
+    return;
+  }
+  hadamard(dy.span(), mask_.span(), dx.span());
+}
+
+}  // namespace minsgd::nn

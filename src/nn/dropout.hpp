@@ -1,0 +1,30 @@
+// Dropout with inverted scaling (test-time forward is the identity).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace minsgd::nn {
+
+/// Inverted dropout: at train time each unit is zeroed with probability p
+/// and survivors are scaled by 1/(1-p); at eval time it is the identity.
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(float p, std::uint64_t seed = 0x5eedu);
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  void forward(const Tensor& x, Tensor& y, bool training) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+
+  /// Reseeds the mask stream (used to keep data-parallel replicas identical).
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+ private:
+  float p_;
+  Rng rng_;
+  Tensor mask_;
+  bool last_was_training_ = false;
+};
+
+}  // namespace minsgd::nn

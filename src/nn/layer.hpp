@@ -1,0 +1,81 @@
+// Layer: the interface every network building block implements.
+//
+// Layers are stateful: forward() may cache whatever backward() needs
+// (pooling argmaxes, batch-norm statistics, dropout masks). The caller keeps
+// the activations and passes (x, y, dy) back into backward(). Parameter
+// gradients are *accumulated* into ParamRef::grad, so data-parallel code can
+// sum local gradients before the optimizer step.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace minsgd::nn {
+
+/// A named view of one learnable parameter and its gradient accumulator.
+///
+/// `decay` distinguishes weights (subject to L2 weight decay and to the
+/// LARS trust-ratio denominator term) from biases / norm scales, which the
+/// large-batch recipes exempt.
+struct ParamRef {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  bool decay = true;
+};
+
+/// A named view of one non-learnable state tensor (e.g. batch-norm running
+/// statistics). Buffers are not touched by optimizers but belong in
+/// checkpoints: inference is wrong without them.
+struct BufferRef {
+  std::string name;
+  Tensor* value = nullptr;
+};
+
+/// Abstract network layer. See file comment for the forward/backward
+/// contract. Implementations must be usable for repeated forward/backward
+/// cycles with varying batch sizes.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Human-readable layer type + config, e.g. "conv3x3(64->128)/s2".
+  virtual std::string name() const = 0;
+
+  /// Output shape produced for a given input shape. Throws on mismatch.
+  virtual Shape output_shape(const Shape& input) const = 0;
+
+  /// y = f(x). `training` toggles train-time behaviour (dropout, BN stats).
+  virtual void forward(const Tensor& x, Tensor& y, bool training) = 0;
+
+  /// Given dL/dy, accumulates parameter gradients and writes dL/dx.
+  /// Must be called with the same (x, y) the preceding forward produced.
+  virtual void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                        Tensor& dx) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Non-learnable persistent state (empty for most layers).
+  virtual std::vector<BufferRef> buffers() { return {}; }
+
+  /// Initializes parameters (no-op for stateless layers).
+  virtual void init(Rng& /*rng*/) {}
+
+  /// Forward-pass FLOPs for one image of shape `input` (multiply+add = 2).
+  /// Used by the Table 6 scaling-ratio analysis; 0 for negligible layers.
+  virtual std::int64_t flops(const Shape& input) const {
+    (void)input;
+    return 0;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace minsgd::nn

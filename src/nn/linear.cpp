@@ -1,0 +1,82 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace minsgd::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias)
+    : in_(in_features),
+      out_(out_features),
+      has_bias_(bias),
+      w_({out_features, in_features}),
+      b_(bias ? Tensor({out_features}) : Tensor()),
+      dw_({out_features, in_features}),
+      db_(bias ? Tensor({out_features}) : Tensor()) {
+  if (in_ <= 0 || out_ <= 0) throw std::invalid_argument("Linear: bad dims");
+}
+
+std::string Linear::name() const {
+  return "linear(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
+}
+
+Shape Linear::output_shape(const Shape& input) const {
+  if (input.rank() != 2 || input[1] != in_) {
+    throw std::invalid_argument("Linear " + name() + ": bad input " +
+                                input.str());
+  }
+  return {input[0], out_};
+}
+
+void Linear::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+  const Shape out = output_shape(x.shape());
+  y.resize(out);
+  const std::int64_t batch = x.shape()[0];
+  // y (batch x out) = x (batch x in) * W^T (in x out)
+  sgemm(Trans::kNo, Trans::kYes, batch, out_, in_, 1.0f, x.data(), in_,
+        w_.data(), in_, 0.0f, y.data(), out_);
+  if (has_bias_) {
+    for (std::int64_t n = 0; n < batch; ++n) {
+      float* row = y.data() + n * out_;
+      for (std::int64_t o = 0; o < out_; ++o) row[o] += b_[o];
+    }
+  }
+}
+
+void Linear::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
+                      Tensor& dx) {
+  const std::int64_t batch = x.shape()[0];
+  dx.resize(x.shape());
+  // dW (out x in) += dy^T (out x batch) * x (batch x in)
+  sgemm(Trans::kYes, Trans::kNo, out_, in_, batch, 1.0f, dy.data(), out_,
+        x.data(), in_, 1.0f, dw_.data(), in_);
+  // dx (batch x in) = dy (batch x out) * W (out x in)
+  sgemm(Trans::kNo, Trans::kNo, batch, in_, out_, 1.0f, dy.data(), out_,
+        w_.data(), in_, 0.0f, dx.data(), in_);
+  if (has_bias_) {
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* row = dy.data() + n * out_;
+      for (std::int64_t o = 0; o < out_; ++o) db_[o] += row[o];
+    }
+  }
+}
+
+std::vector<ParamRef> Linear::params() {
+  std::vector<ParamRef> p;
+  p.push_back({"weight", &w_, &dw_, /*decay=*/true});
+  if (has_bias_) p.push_back({"bias", &b_, &db_, /*decay=*/false});
+  return p;
+}
+
+void Linear::init(Rng& rng) {
+  he_normal(w_, in_, rng);
+  if (has_bias_) b_.zero();
+}
+
+std::int64_t Linear::flops(const Shape& /*input*/) const {
+  return 2 * in_ * out_;
+}
+
+}  // namespace minsgd::nn

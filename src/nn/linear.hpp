@@ -1,0 +1,34 @@
+// Linear: fully connected layer, y = x W^T + b.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+
+namespace minsgd::nn {
+
+/// Fully connected layer over (N x in) inputs producing (N x out).
+/// Weight layout is (out x in) so forward is one sgemm with B transposed.
+class Linear final : public Layer {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, bool bias = true);
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& x, Tensor& y, bool training) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  std::vector<ParamRef> params() override;
+  void init(Rng& rng) override;
+  std::int64_t flops(const Shape& input) const override;
+
+  Tensor& weight() { return w_; }
+  Tensor& bias() { return b_; }
+
+ private:
+  std::int64_t in_, out_;
+  bool has_bias_;
+  Tensor w_, b_, dw_, db_;
+};
+
+}  // namespace minsgd::nn

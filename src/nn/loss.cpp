@@ -1,0 +1,56 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace minsgd::nn {
+
+LossResult SoftmaxCrossEntropy::forward_backward(
+    const Tensor& logits, std::span<const std::int32_t> labels,
+    Tensor* dlogits) const {
+  if (logits.shape().rank() != 2) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: logits must be 2-D");
+  }
+  const std::int64_t batch = logits.shape()[0];
+  const std::int64_t classes = logits.shape()[1];
+  if (static_cast<std::int64_t>(labels.size()) != batch) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  }
+  if (dlogits) dlogits->resize(logits.shape());
+
+  LossResult res;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    const std::int32_t label = labels[static_cast<std::size_t>(n)];
+    if (label < 0 || label >= classes) {
+      throw std::out_of_range("SoftmaxCrossEntropy: label out of range");
+    }
+    // Stable log-sum-exp.
+    float m = row[0];
+    std::int64_t argmax = 0;
+    for (std::int64_t c = 1; c < classes; ++c) {
+      if (row[c] > m) {
+        m = row[c];
+        argmax = c;
+      }
+    }
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < classes; ++c) denom += std::exp(row[c] - m);
+    const double log_denom = std::log(denom);
+    res.loss += log_denom + m - row[label];
+    if (argmax == label) ++res.correct;
+    if (dlogits) {
+      float* g = dlogits->data() + n * classes;
+      for (std::int64_t c = 0; c < classes; ++c) {
+        const auto p = static_cast<float>(std::exp(row[c] - m) / denom);
+        g[c] = (p - (c == label ? 1.0f : 0.0f)) * inv_batch;
+      }
+    }
+  }
+  res.loss /= static_cast<double>(batch);
+  return res;
+}
+
+}  // namespace minsgd::nn

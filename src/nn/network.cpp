@@ -1,0 +1,148 @@
+#include "nn/network.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace minsgd::nn {
+
+Network& Network::add(LayerPtr layer) {
+  if (!layer) throw std::invalid_argument("Network::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+std::string Network::name() const { return label_; }
+
+Shape Network::output_shape(const Shape& input) const {
+  Shape s = input;
+  for (const auto& l : layers_) s = l->output_shape(s);
+  return s;
+}
+
+void Network::forward(const Tensor& x, Tensor& y, bool training) {
+  if (layers_.empty()) throw std::logic_error("Network::forward: empty net");
+  acts_.resize(layers_.size());
+  const Tensor* cur = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Tensor& out = (i + 1 == layers_.size()) ? y : acts_[i];
+    layers_[i]->forward(*cur, out, training);
+    cur = &out;
+  }
+  // Keep the final output cached too, so backward() has the (x, y) pair for
+  // the last layer even though the caller owns y.
+  acts_.back() = y;
+}
+
+void Network::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
+                       Tensor& dx) {
+  if (acts_.size() != layers_.size()) {
+    throw std::logic_error("Network::backward without forward");
+  }
+  dacts_.resize(layers_.size());
+  const Tensor* cur_dy = &dy;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Tensor& input = (i == 0) ? x : acts_[i - 1];
+    Tensor& out_dx = (i == 0) ? dx : dacts_[i - 1];
+    layers_[i]->backward(input, acts_[i], *cur_dy, out_dx);
+    cur_dy = &out_dx;
+  }
+}
+
+std::vector<ParamRef> Network::params() {
+  std::vector<ParamRef> all;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    for (ParamRef p : layers_[i]->params()) {
+      p.name = label_ + "." + std::to_string(i) + "." +
+               layers_[i]->name() + "." + p.name;
+      all.push_back(p);
+    }
+  }
+  return all;
+}
+
+std::vector<BufferRef> Network::buffers() {
+  std::vector<BufferRef> all;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    for (BufferRef b : layers_[i]->buffers()) {
+      b.name = label_ + "." + std::to_string(i) + "." +
+               layers_[i]->name() + "." + b.name;
+      all.push_back(b);
+    }
+  }
+  return all;
+}
+
+void Network::init(Rng& rng) {
+  for (auto& l : layers_) l->init(rng);
+}
+
+std::int64_t Network::flops(const Shape& input) const {
+  std::int64_t total = 0;
+  Shape s = input;
+  for (const auto& l : layers_) {
+    total += l->flops(s);
+    s = l->output_shape(s);
+  }
+  return total;
+}
+
+std::int64_t Network::num_params() {
+  std::int64_t n = 0;
+  for (const auto& p : params()) n += p.value->numel();
+  return n;
+}
+
+void Network::zero_grad() {
+  for (const auto& p : params()) p.grad->zero();
+}
+
+std::vector<float> Network::flatten_params() {
+  std::vector<float> flat;
+  for (const auto& p : params()) {
+    const auto s = p.value->span();
+    flat.insert(flat.end(), s.begin(), s.end());
+  }
+  return flat;
+}
+
+void Network::unflatten_params(std::span<const float> flat) {
+  std::size_t off = 0;
+  for (const auto& p : params()) {
+    const auto n = static_cast<std::size_t>(p.value->numel());
+    if (off + n > flat.size()) {
+      throw std::invalid_argument("unflatten_params: flat too small");
+    }
+    copy(flat.subspan(off, n), p.value->span());
+    off += n;
+  }
+  if (off != flat.size()) {
+    throw std::invalid_argument("unflatten_params: flat too large");
+  }
+}
+
+std::vector<float> Network::flatten_grads() {
+  std::vector<float> flat;
+  for (const auto& p : params()) {
+    const auto s = p.grad->span();
+    flat.insert(flat.end(), s.begin(), s.end());
+  }
+  return flat;
+}
+
+void Network::unflatten_grads(std::span<const float> flat) {
+  std::size_t off = 0;
+  for (const auto& p : params()) {
+    const auto n = static_cast<std::size_t>(p.grad->numel());
+    if (off + n > flat.size()) {
+      throw std::invalid_argument("unflatten_grads: flat too small");
+    }
+    copy(flat.subspan(off, n), p.grad->span());
+    off += n;
+  }
+  if (off != flat.size()) {
+    throw std::invalid_argument("unflatten_grads: flat too large");
+  }
+}
+
+}  // namespace minsgd::nn

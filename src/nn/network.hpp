@@ -1,0 +1,69 @@
+// Network: a sequential container of layers that is itself a Layer.
+//
+// It owns the inter-layer activations so the usual (x, y, dy) backward
+// contract works for arbitrarily deep stacks, and it can therefore be nested
+// (residual blocks hold Networks for their branches).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace minsgd::nn {
+
+/// Sequential layer container with owned activation storage.
+class Network final : public Layer {
+ public:
+  Network() = default;
+  explicit Network(std::string label) : label_(std::move(label)) {}
+
+  /// Appends a layer; returns a reference for chaining.
+  Network& add(LayerPtr layer);
+
+  /// Emplace-style helper: net.emplace<Conv2d>(3, 64, 7, 2, 3).
+  template <typename L, typename... Args>
+  Network& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  // Layer interface -----------------------------------------------------
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& x, Tensor& y, bool training) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  std::vector<ParamRef> params() override;
+  std::vector<BufferRef> buffers() override;
+  void init(Rng& rng) override;
+  std::int64_t flops(const Shape& input) const override;
+
+  // Whole-network conveniences ------------------------------------------
+  /// Total learnable parameter count.
+  std::int64_t num_params();
+
+  /// Zeroes every parameter gradient.
+  void zero_grad();
+
+  /// Copies all parameter values into a single flat vector (and back).
+  /// The flat layout is the order params() returns; it is the unit the
+  /// data-parallel trainer allreduces.
+  std::vector<float> flatten_params();
+  void unflatten_params(std::span<const float> flat);
+  std::vector<float> flatten_grads();
+  void unflatten_grads(std::span<const float> flat);
+
+ private:
+  std::string label_ = "net";
+  std::vector<LayerPtr> layers_;
+  std::vector<Tensor> acts_;    // acts_[i] = output of layers_[i]
+  std::vector<Tensor> dacts_;   // gradient scratch, same indexing
+};
+
+}  // namespace minsgd::nn

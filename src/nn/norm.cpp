@@ -1,0 +1,201 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace minsgd::nn {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : c_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_({channels}, 1.0f),
+      beta_({channels}),
+      dgamma_({channels}),
+      dbeta_({channels}),
+      running_mean_({channels}),
+      running_var_({channels}, 1.0f),
+      batch_inv_std_({channels}) {
+  if (c_ <= 0) throw std::invalid_argument("BatchNorm2d: channels <= 0");
+}
+
+std::string BatchNorm2d::name() const {
+  return "bn(" + std::to_string(c_) + ")";
+}
+
+void BatchNorm2d::forward(const Tensor& x, Tensor& y, bool training) {
+  if (x.shape().rank() != 4 || x.shape()[1] != c_) {
+    throw std::invalid_argument("BatchNorm2d " + name() + ": bad input " +
+                                x.shape().str());
+  }
+  y.resize(x.shape());
+  const std::int64_t batch = x.shape()[0];
+  const std::int64_t spatial = x.shape()[2] * x.shape()[3];
+  const std::int64_t m = batch * spatial;  // samples per channel
+  if (training) xhat_.resize(x.shape());
+
+  for (std::int64_t c = 0; c < c_; ++c) {
+    float mean, var;
+    if (training) {
+      double acc = 0.0;
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* src = x.data() + (n * c_ + c) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) acc += src[s];
+      }
+      mean = static_cast<float>(acc / static_cast<double>(m));
+      double vacc = 0.0;
+      for (std::int64_t n = 0; n < batch; ++n) {
+        const float* src = x.data() + (n * c_ + c) * spatial;
+        for (std::int64_t s = 0; s < spatial; ++s) {
+          const double d = src[s] - mean;
+          vacc += d * d;
+        }
+      }
+      var = static_cast<float>(vacc / static_cast<double>(m));
+      running_mean_[c] = momentum_ * running_mean_[c] + (1 - momentum_) * mean;
+      running_var_[c] = momentum_ * running_var_[c] + (1 - momentum_) * var;
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    if (training) batch_inv_std_[c] = inv_std;
+    const float g = gamma_[c], b = beta_[c];
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* src = x.data() + (n * c_ + c) * spatial;
+      float* dst = y.data() + (n * c_ + c) * spatial;
+      float* xh = training ? xhat_.data() + (n * c_ + c) * spatial : nullptr;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        const float h = (src[s] - mean) * inv_std;
+        if (xh) xh[s] = h;
+        dst[s] = g * h + b;
+      }
+    }
+  }
+}
+
+void BatchNorm2d::backward(const Tensor& x, const Tensor& /*y*/,
+                           const Tensor& dy, Tensor& dx) {
+  if (xhat_.shape() != x.shape()) {
+    throw std::logic_error(
+        "BatchNorm2d::backward without a preceding training forward");
+  }
+  dx.resize(x.shape());
+  const std::int64_t batch = x.shape()[0];
+  const std::int64_t spatial = x.shape()[2] * x.shape()[3];
+  const std::int64_t m = batch * spatial;
+  const float inv_m = 1.0f / static_cast<float>(m);
+
+  for (std::int64_t c = 0; c < c_; ++c) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* g = dy.data() + (n * c_ + c) * spatial;
+      const float* xh = xhat_.data() + (n * c_ + c) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        sum_dy += g[s];
+        sum_dy_xhat += static_cast<double>(g[s]) * xh[s];
+      }
+    }
+    dbeta_[c] += static_cast<float>(sum_dy);
+    dgamma_[c] += static_cast<float>(sum_dy_xhat);
+    const float coeff = gamma_[c] * batch_inv_std_[c];
+    const auto sdy = static_cast<float>(sum_dy);
+    const auto sdyx = static_cast<float>(sum_dy_xhat);
+    for (std::int64_t n = 0; n < batch; ++n) {
+      const float* g = dy.data() + (n * c_ + c) * spatial;
+      const float* xh = xhat_.data() + (n * c_ + c) * spatial;
+      float* out = dx.data() + (n * c_ + c) * spatial;
+      for (std::int64_t s = 0; s < spatial; ++s) {
+        out[s] = coeff * (g[s] - inv_m * (sdy + xh[s] * sdyx));
+      }
+    }
+  }
+}
+
+std::vector<ParamRef> BatchNorm2d::params() {
+  // Norm parameters are exempt from weight decay (and hence from the LARS
+  // denominator decay term), per the large-batch training recipes.
+  return {{"gamma", &gamma_, &dgamma_, /*decay=*/false},
+          {"beta", &beta_, &dbeta_, /*decay=*/false}};
+}
+
+std::vector<BufferRef> BatchNorm2d::buffers() {
+  return {{"running_mean", &running_mean_},
+          {"running_var", &running_var_}};
+}
+
+void BatchNorm2d::init(Rng& /*rng*/) {
+  gamma_.fill(1.0f);
+  beta_.zero();
+  running_mean_.zero();
+  running_var_.fill(1.0f);
+}
+
+LRN::LRN(std::int64_t local_size, float alpha, float beta, float k)
+    : n_(local_size), alpha_(alpha), beta_(beta), k_(k) {
+  if (n_ <= 0 || n_ % 2 == 0) {
+    throw std::invalid_argument("LRN: local_size must be positive odd");
+  }
+}
+
+std::string LRN::name() const { return "lrn(n=" + std::to_string(n_) + ")"; }
+
+void LRN::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+  if (x.shape().rank() != 4) {
+    throw std::invalid_argument("LRN: input must be NCHW");
+  }
+  y.resize(x.shape());
+  scale_.resize(x.shape());
+  const std::int64_t batch = x.shape()[0], ch = x.shape()[1];
+  const std::int64_t spatial = x.shape()[2] * x.shape()[3];
+  const std::int64_t half = n_ / 2;
+  const float a = alpha_ / static_cast<float>(n_);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t s = 0; s < spatial; ++s) {
+      for (std::int64_t c = 0; c < ch; ++c) {
+        double acc = 0.0;
+        const std::int64_t lo = std::max<std::int64_t>(0, c - half);
+        const std::int64_t hi = std::min(ch - 1, c + half);
+        for (std::int64_t cc = lo; cc <= hi; ++cc) {
+          const float v = x.data()[(n * ch + cc) * spatial + s];
+          acc += static_cast<double>(v) * v;
+        }
+        const float sc = k_ + a * static_cast<float>(acc);
+        scale_.data()[(n * ch + c) * spatial + s] = sc;
+        y.data()[(n * ch + c) * spatial + s] =
+            x.data()[(n * ch + c) * spatial + s] * std::pow(sc, -beta_);
+      }
+    }
+  }
+}
+
+void LRN::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                   Tensor& dx) {
+  dx.resize(x.shape());
+  const std::int64_t batch = x.shape()[0], ch = x.shape()[1];
+  const std::int64_t spatial = x.shape()[2] * x.shape()[3];
+  const std::int64_t half = n_ / 2;
+  const float a = alpha_ / static_cast<float>(n_);
+  // dx_i = dy_i * scale_i^{-beta}
+  //        - 2*(alpha/n)*beta * x_i * sum_{j: i in window(j)} dy_j*y_j/scale_j
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t s = 0; s < spatial; ++s) {
+      for (std::int64_t c = 0; c < ch; ++c) {
+        const std::int64_t idx = (n * ch + c) * spatial + s;
+        double cross = 0.0;
+        const std::int64_t lo = std::max<std::int64_t>(0, c - half);
+        const std::int64_t hi = std::min(ch - 1, c + half);
+        for (std::int64_t cc = lo; cc <= hi; ++cc) {
+          const std::int64_t jdx = (n * ch + cc) * spatial + s;
+          cross += static_cast<double>(dy.data()[jdx]) * y.data()[jdx] /
+                   scale_.data()[jdx];
+        }
+        dx.data()[idx] =
+            dy.data()[idx] * std::pow(scale_.data()[idx], -beta_) -
+            2.0f * a * beta_ * x.data()[idx] * static_cast<float>(cross);
+      }
+    }
+  }
+}
+
+}  // namespace minsgd::nn

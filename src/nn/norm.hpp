@@ -1,0 +1,62 @@
+// Normalization layers: BatchNorm2d and Local Response Normalization.
+//
+// The paper's AlexNet story depends on both: stock AlexNet uses LRN, and
+// scaling its batch size to 32K required replacing LRN with BN ("AlexNet-BN",
+// the refined model by B. Ginsburg cited in the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+
+namespace minsgd::nn {
+
+/// Per-channel batch normalization over NCHW with learnable scale (gamma)
+/// and shift (beta) and running statistics for inference.
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5f,
+                       float momentum = 0.9f);
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  void forward(const Tensor& x, Tensor& y, bool training) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  std::vector<ParamRef> params() override;
+  std::vector<BufferRef> buffers() override;
+  void init(Rng& rng) override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::int64_t c_;
+  float eps_, momentum_;
+  Tensor gamma_, beta_, dgamma_, dbeta_;
+  Tensor running_mean_, running_var_;
+  // Cached by the last training forward, consumed by backward.
+  Tensor xhat_;
+  Tensor batch_inv_std_;
+};
+
+/// Across-channel local response normalization (Krizhevsky 2012 / Caffe):
+///   y_c = x_c * (k + (alpha/n) * sum_{c' in window} x_{c'}^2)^{-beta}
+class LRN final : public Layer {
+ public:
+  explicit LRN(std::int64_t local_size = 5, float alpha = 1e-4f,
+               float beta = 0.75f, float k = 1.0f);
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  void forward(const Tensor& x, Tensor& y, bool training) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+
+ private:
+  std::int64_t n_;
+  float alpha_, beta_, k_;
+  Tensor scale_;  // cached (k + alpha/n * window sum of squares)
+};
+
+}  // namespace minsgd::nn

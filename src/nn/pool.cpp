@@ -1,0 +1,194 @@
+#include "nn/pool.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace minsgd::nn {
+namespace {
+
+Shape pooled_shape(const Shape& input, std::int64_t k, std::int64_t stride,
+                   std::int64_t pad, const char* what) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument(std::string(what) + ": input must be NCHW");
+  }
+  const std::int64_t out_h = (input[2] + 2 * pad - k) / stride + 1;
+  const std::int64_t out_w = (input[3] + 2 * pad - k) / stride + 1;
+  if (out_h <= 0 || out_w <= 0) {
+    throw std::invalid_argument(std::string(what) + ": input too small " +
+                                input.str());
+  }
+  return {input[0], input[1], out_h, out_w};
+}
+
+}  // namespace
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t pad)
+    : k_(kernel), stride_(stride), pad_(pad) {
+  if (k_ <= 0 || stride_ <= 0 || pad_ < 0) {
+    throw std::invalid_argument("MaxPool2d: invalid configuration");
+  }
+}
+
+std::string MaxPool2d::name() const {
+  return "maxpool" + std::to_string(k_) + "/s" + std::to_string(stride_);
+}
+
+Shape MaxPool2d::output_shape(const Shape& input) const {
+  return pooled_shape(input, k_, stride_, pad_, "MaxPool2d");
+}
+
+void MaxPool2d::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+  const Shape out = output_shape(x.shape());
+  y.resize(out);
+  argmax_.assign(static_cast<std::size_t>(out.numel()), -1);
+  const std::int64_t batch = out[0], ch = out[1], oh = out[2], ow = out[3];
+  const std::int64_t h = x.shape()[2], w = x.shape()[3];
+  std::int64_t oi = 0;
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = -1;
+          for (std::int64_t ki = 0; ki < k_; ++ki) {
+            const std::int64_t ih = i * stride_ - pad_ + ki;
+            if (ih < 0 || ih >= h) continue;
+            for (std::int64_t kj = 0; kj < k_; ++kj) {
+              const std::int64_t iw = j * stride_ - pad_ + kj;
+              if (iw < 0 || iw >= w) continue;
+              const float v = x.at(n, c, ih, iw);
+              if (v > best) {
+                best = v;
+                best_idx = ((n * ch + c) * h + ih) * w + iw;
+              }
+            }
+          }
+          y[oi] = best;
+          argmax_[static_cast<std::size_t>(oi)] = best_idx;
+        }
+      }
+    }
+  }
+}
+
+void MaxPool2d::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                         Tensor& dx) {
+  dx.resize(x.shape());
+  dx.zero();
+  const std::int64_t n = y.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t src = argmax_[static_cast<std::size_t>(i)];
+    if (src >= 0) dx[src] += dy[i];
+  }
+}
+
+AvgPool2d::AvgPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t pad)
+    : k_(kernel), stride_(stride), pad_(pad) {
+  if (k_ <= 0 || stride_ <= 0 || pad_ < 0) {
+    throw std::invalid_argument("AvgPool2d: invalid configuration");
+  }
+}
+
+std::string AvgPool2d::name() const {
+  return "avgpool" + std::to_string(k_) + "/s" + std::to_string(stride_);
+}
+
+Shape AvgPool2d::output_shape(const Shape& input) const {
+  return pooled_shape(input, k_, stride_, pad_, "AvgPool2d");
+}
+
+void AvgPool2d::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+  const Shape out = output_shape(x.shape());
+  y.resize(out);
+  const std::int64_t batch = out[0], ch = out[1], oh = out[2], ow = out[3];
+  const std::int64_t h = x.shape()[2], w = x.shape()[3];
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          double acc = 0.0;
+          for (std::int64_t ki = 0; ki < k_; ++ki) {
+            const std::int64_t ih = i * stride_ - pad_ + ki;
+            if (ih < 0 || ih >= h) continue;
+            for (std::int64_t kj = 0; kj < k_; ++kj) {
+              const std::int64_t iw = j * stride_ - pad_ + kj;
+              if (iw < 0 || iw >= w) continue;
+              acc += x.at(n, c, ih, iw);
+            }
+          }
+          y.at(n, c, i, j) = static_cast<float>(acc) * inv;
+        }
+      }
+    }
+  }
+}
+
+void AvgPool2d::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                         Tensor& dx) {
+  dx.resize(x.shape());
+  dx.zero();
+  const Shape out = y.shape();
+  const std::int64_t batch = out[0], ch = out[1], oh = out[2], ow = out[3];
+  const std::int64_t h = x.shape()[2], w = x.shape()[3];
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      for (std::int64_t i = 0; i < oh; ++i) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          const float g = dy.at(n, c, i, j) * inv;
+          for (std::int64_t ki = 0; ki < k_; ++ki) {
+            const std::int64_t ih = i * stride_ - pad_ + ki;
+            if (ih < 0 || ih >= h) continue;
+            for (std::int64_t kj = 0; kj < k_; ++kj) {
+              const std::int64_t iw = j * stride_ - pad_ + kj;
+              if (iw < 0 || iw >= w) continue;
+              dx.at(n, c, ih, iw) += g;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Shape GlobalAvgPool::output_shape(const Shape& input) const {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("GlobalAvgPool: input must be NCHW");
+  }
+  return {input[0], input[1]};
+}
+
+void GlobalAvgPool::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+  const Shape out = output_shape(x.shape());
+  y.resize(out);
+  const std::int64_t batch = out[0], ch = out[1];
+  const std::int64_t spatial = x.shape()[2] * x.shape()[3];
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      const float* src = x.data() + (n * ch + c) * spatial;
+      double acc = 0.0;
+      for (std::int64_t s = 0; s < spatial; ++s) acc += src[s];
+      y.at(n, c) = static_cast<float>(acc) * inv;
+    }
+  }
+}
+
+void GlobalAvgPool::backward(const Tensor& x, const Tensor& /*y*/,
+                             const Tensor& dy, Tensor& dx) {
+  dx.resize(x.shape());
+  const std::int64_t batch = x.shape()[0], ch = x.shape()[1];
+  const std::int64_t spatial = x.shape()[2] * x.shape()[3];
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      float* dst = dx.data() + (n * ch + c) * spatial;
+      const float g = dy.at(n, c) * inv;
+      for (std::int64_t s = 0; s < spatial; ++s) dst[s] = g;
+    }
+  }
+}
+
+}  // namespace minsgd::nn

@@ -1,0 +1,53 @@
+// Pooling layers: max, average, and global average.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace minsgd::nn {
+
+/// Max pooling over NCHW. Caches argmax indices for backward.
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t pad = 0);
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& x, Tensor& y, bool training) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+
+ private:
+  std::int64_t k_, stride_, pad_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+/// Average pooling over NCHW (zero-padded cells count toward the divisor,
+/// matching Caffe's AVE pooling which the paper's stack used).
+class AvgPool2d final : public Layer {
+ public:
+  AvgPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t pad = 0);
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& x, Tensor& y, bool training) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+
+ private:
+  std::int64_t k_, stride_, pad_;
+};
+
+/// Global average pooling: NCHW -> (N, C). The ResNet head.
+class GlobalAvgPool final : public Layer {
+ public:
+  std::string name() const override { return "gap"; }
+  Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& x, Tensor& y, bool training) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+};
+
+}  // namespace minsgd::nn

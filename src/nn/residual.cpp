@@ -1,0 +1,95 @@
+#include "nn/residual.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace minsgd::nn {
+
+ResidualBlock::ResidualBlock(std::unique_ptr<Network> branch,
+                             std::unique_ptr<Network> shortcut)
+    : branch_(std::move(branch)), shortcut_(std::move(shortcut)) {
+  if (!branch_) throw std::invalid_argument("ResidualBlock: null branch");
+}
+
+std::string ResidualBlock::name() const {
+  return shortcut_ ? "resblock(proj)" : "resblock(id)";
+}
+
+Shape ResidualBlock::output_shape(const Shape& input) const {
+  const Shape b = branch_->output_shape(input);
+  const Shape s = shortcut_ ? shortcut_->output_shape(input) : input;
+  if (b != s) {
+    throw std::invalid_argument("ResidualBlock: branch " + b.str() +
+                                " vs shortcut " + s.str() + " mismatch");
+  }
+  return b;
+}
+
+void ResidualBlock::forward(const Tensor& x, Tensor& y, bool training) {
+  branch_->forward(x, branch_out_, training);
+  const Tensor* sc = &x;
+  if (shortcut_) {
+    shortcut_->forward(x, shortcut_out_, training);
+    sc = &shortcut_out_;
+  }
+  if (branch_out_.shape() != sc->shape()) {
+    throw std::logic_error("ResidualBlock: shape mismatch at add");
+  }
+  sum_out_.resize(branch_out_.shape());
+  add(branch_out_.span(), sc->span(), sum_out_.span());
+  y.resize(sum_out_.shape());
+  copy(sum_out_.span(), y.span());
+  relu_inplace(y.span());
+}
+
+void ResidualBlock::backward(const Tensor& x, const Tensor& y,
+                             const Tensor& dy, Tensor& dx) {
+  // Through the final ReLU: pass gradient where y > 0.
+  d_sum_.resize(y.shape());
+  const std::int64_t n = y.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    d_sum_[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+  }
+  // The add fans the gradient out to both the branch and the shortcut.
+  branch_->backward(x, branch_out_, d_sum_, d_branch_in_);
+  if (shortcut_) {
+    shortcut_->backward(x, shortcut_out_, d_sum_, d_shortcut_in_);
+    dx.resize(x.shape());
+    add(d_branch_in_.span(), d_shortcut_in_.span(), dx.span());
+  } else {
+    dx.resize(x.shape());
+    add(d_branch_in_.span(), d_sum_.span(), dx.span());
+  }
+}
+
+std::vector<ParamRef> ResidualBlock::params() {
+  std::vector<ParamRef> all = branch_->params();
+  if (shortcut_) {
+    auto sp = shortcut_->params();
+    all.insert(all.end(), sp.begin(), sp.end());
+  }
+  return all;
+}
+
+std::vector<BufferRef> ResidualBlock::buffers() {
+  std::vector<BufferRef> all = branch_->buffers();
+  if (shortcut_) {
+    auto sb = shortcut_->buffers();
+    all.insert(all.end(), sb.begin(), sb.end());
+  }
+  return all;
+}
+
+void ResidualBlock::init(Rng& rng) {
+  branch_->init(rng);
+  if (shortcut_) shortcut_->init(rng);
+}
+
+std::int64_t ResidualBlock::flops(const Shape& input) const {
+  std::int64_t f = branch_->flops(input);
+  if (shortcut_) f += shortcut_->flops(input);
+  return f;
+}
+
+}  // namespace minsgd::nn

@@ -1,0 +1,37 @@
+// Residual block: y = relu(branch(x) + shortcut(x)).
+//
+// The branch and the (optional projection) shortcut are nested Networks, so
+// the block composes from the same layers the rest of the stack uses.
+#pragma once
+
+#include <memory>
+
+#include "nn/network.hpp"
+
+namespace minsgd::nn {
+
+/// Generic residual addition block. `shortcut` may be empty (identity); a
+/// non-empty shortcut is typically a strided 1x1 conv + BN projection.
+class ResidualBlock final : public Layer {
+ public:
+  ResidualBlock(std::unique_ptr<Network> branch,
+                std::unique_ptr<Network> shortcut = nullptr);
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& x, Tensor& y, bool training) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  std::vector<ParamRef> params() override;
+  std::vector<BufferRef> buffers() override;
+  void init(Rng& rng) override;
+  std::int64_t flops(const Shape& input) const override;
+
+ private:
+  std::unique_ptr<Network> branch_;
+  std::unique_ptr<Network> shortcut_;  // nullptr = identity
+  Tensor branch_out_, shortcut_out_, sum_out_;
+  Tensor d_sum_, d_branch_in_, d_shortcut_in_;
+};
+
+}  // namespace minsgd::nn

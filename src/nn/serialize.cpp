@@ -1,0 +1,121 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+namespace minsgd::nn {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'S', 'G', 'D'};
+constexpr std::uint32_t kVersion = 2;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("checkpoint: truncated (u32)");
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw std::runtime_error("checkpoint: truncated (u64)");
+  return v;
+}
+
+}  // namespace
+
+void save_checkpoint(Network& net, std::ostream& out) {
+  // Learnable parameters plus persistent buffers (batch-norm running
+  // statistics): inference is wrong without the latter.
+  struct Entry {
+    std::string name;
+    const Tensor* value;
+  };
+  std::vector<Entry> entries;
+  for (const auto& p : net.params()) entries.push_back({p.name, p.value});
+  for (const auto& b : net.buffers()) {
+    entries.push_back({"buffer." + b.name, b.value});
+  }
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, kVersion);
+  write_u64(out, entries.size());
+  for (const auto& e : entries) {
+    write_u64(out, e.name.size());
+    out.write(e.name.data(), static_cast<std::streamsize>(e.name.size()));
+    write_u64(out, static_cast<std::uint64_t>(e.value->numel()));
+    out.write(reinterpret_cast<const char*>(e.value->data()),
+              static_cast<std::streamsize>(e.value->numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("checkpoint: write failed");
+}
+
+void load_checkpoint(Network& net, std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("checkpoint: bad magic");
+  }
+  const auto version = read_u32(in);
+  if (version != kVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+  auto params = net.params();
+  auto bufs = net.buffers();
+  std::map<std::string, Tensor*> by_name;
+  for (auto& p : params) by_name[p.name] = p.value;
+  for (auto& b : bufs) by_name["buffer." + b.name] = b.value;
+
+  const auto count = read_u64(in);
+  if (count != by_name.size()) {
+    throw std::runtime_error("checkpoint: entry count mismatch (file " +
+                             std::to_string(count) + ", model " +
+                             std::to_string(by_name.size()) + ")");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_u64(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!in) throw std::runtime_error("checkpoint: truncated (name)");
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::runtime_error("checkpoint: unknown entry '" + name + "'");
+    }
+    const auto numel = read_u64(in);
+    if (numel != static_cast<std::uint64_t>(it->second->numel())) {
+      throw std::runtime_error("checkpoint: size mismatch for '" + name +
+                               "'");
+    }
+    in.read(reinterpret_cast<char*>(it->second->data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!in) throw std::runtime_error("checkpoint: truncated (data)");
+  }
+}
+
+void save_checkpoint(Network& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("checkpoint: cannot open " + path);
+  save_checkpoint(net, out);
+}
+
+void load_checkpoint(Network& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("checkpoint: cannot open " + path);
+  load_checkpoint(net, in);
+}
+
+}  // namespace minsgd::nn

@@ -1,0 +1,30 @@
+// Checkpointing: binary save/load of network parameters.
+//
+// Format (little-endian, versioned):
+//   magic "MSGD"  u32 version  u64 param_count
+//   per parameter: u64 name_len, name bytes, u64 numel, float data[numel]
+// Loading matches parameters by name and shape, so a checkpoint survives
+// refactors that keep the architecture identical, and fails loudly on any
+// mismatch rather than silently mis-assigning weights.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace minsgd::nn {
+
+/// Writes every parameter of `net` to `path`. Throws std::runtime_error on
+/// I/O failure.
+void save_checkpoint(Network& net, const std::string& path);
+
+/// Loads parameters into `net`. Every parameter in the file must exist in
+/// the network with the same element count, and vice versa.
+void load_checkpoint(Network& net, const std::string& path);
+
+/// Stream versions (unit-testable without touching the filesystem).
+void save_checkpoint(Network& net, std::ostream& out);
+void load_checkpoint(Network& net, std::istream& in);
+
+}  // namespace minsgd::nn

@@ -1,0 +1,77 @@
+#include "optim/lars.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace minsgd::optim {
+
+Lars::Lars(LarsConfig config) : config_(config) {
+  if (config_.trust_coeff <= 0) {
+    throw std::invalid_argument("Lars: trust_coeff must be positive");
+  }
+  if (config_.momentum < 0 || config_.momentum >= 1) {
+    throw std::invalid_argument("Lars: momentum must be in [0, 1)");
+  }
+  if (config_.weight_decay < 0 || config_.eps < 0) {
+    throw std::invalid_argument("Lars: negative weight_decay or eps");
+  }
+}
+
+void Lars::step(std::span<nn::ParamRef> params, double lr) {
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (const auto& p : params) velocity_.emplace_back(p.value->shape());
+  }
+  if (velocity_.size() != params.size()) {
+    throw std::invalid_argument("Lars::step: param list changed size");
+  }
+  last_local_.assign(params.size(), 0.0);
+  const auto m = static_cast<float>(config_.momentum);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& p = params[i];
+    Tensor& v = velocity_[i];
+    const bool adapt = p.decay || config_.adapt_non_decay_params;
+    const double wd = p.decay ? config_.weight_decay : 0.0;
+
+    double local = 1.0;
+    if (adapt) {
+      const double w_norm = l2_norm(p.value->span());
+      const double g_norm = l2_norm(p.grad->span());
+      local = config_.trust_coeff * w_norm /
+              (g_norm + wd * w_norm + config_.eps);
+      // A freshly zero-initialized tensor (w_norm == 0) gets local == 0 and
+      // would never move; fall back to the global rate there.
+      if (w_norm == 0.0) local = 1.0;
+      if (config_.clip && local > 1.0) local = 1.0;
+      last_local_[i] = local;
+    }
+
+    const auto eff = static_cast<float>(lr * local);
+    const auto fwd = static_cast<float>(wd);
+    const std::int64_t n = p.value->numel();
+    float* w = p.value->data();
+    const float* g = p.grad->data();
+    float* vel = v.data();
+    for (std::int64_t j = 0; j < n; ++j) {
+      vel[j] = m * vel[j] + eff * (g[j] + fwd * w[j]);
+      w[j] -= vel[j];
+    }
+  }
+}
+
+void Lars::reset() {
+  velocity_.clear();
+  last_local_.clear();
+}
+
+void Lars::save_state(std::ostream& out) const {
+  detail::save_tensor_vector(out, velocity_);
+}
+
+void Lars::load_state(std::istream& in) {
+  detail::load_tensor_vector(in, velocity_);
+  last_local_.clear();
+}
+
+}  // namespace minsgd::optim

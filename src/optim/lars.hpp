@@ -1,0 +1,61 @@
+// LARS: Layer-wise Adaptive Rate Scaling (You, Gitman & Ginsburg 2017).
+//
+// The paper's enabling algorithm. For each layer (each parameter tensor),
+// compute a *local* learning rate from the ratio of the weight norm to the
+// gradient norm:
+//
+//   local_lr = trust_coeff * ||w|| / (||g|| + weight_decay * ||w|| + eps)
+//
+// and take the momentum step with the product global_lr * local_lr. Layers
+// whose gradients are disproportionately large relative to their weights
+// (the failure mode that makes a single global lr diverge at 32K batches)
+// are automatically damped, while under-updating layers are boosted.
+#pragma once
+
+#include <vector>
+
+#include "optim/optimizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace minsgd::optim {
+
+struct LarsConfig {
+  double trust_coeff = 0.001;  // eta in the LARS paper
+  double momentum = 0.9;
+  double weight_decay = 0.0005;
+  double eps = 1e-9;  // guards ||g|| = 0 at initialization
+  /// Params with decay == false (biases, norm scales) skip both weight decay
+  /// and the trust-ratio scaling and follow the plain global-lr update, as
+  /// in the reference NVCaffe implementation.
+  bool adapt_non_decay_params = false;
+  /// LARC-style clipping (the follow-up variant adopted by Apex/DeepSpeed):
+  /// cap the local multiplier at 1 so LARS can only damp, never amplify,
+  /// the global schedule. Off by default (the paper uses unclipped LARS).
+  bool clip = false;
+};
+
+/// LARS optimizer. Per parameter tensor p:
+///   lr_local = trust * ||w|| / (||g|| + wd*||w|| + eps)    (adapted params)
+///   v <- m*v + lr*lr_local*(g + wd*w);  w <- w - v
+class Lars final : public Optimizer {
+ public:
+  explicit Lars(LarsConfig config = {});
+
+  void step(std::span<nn::ParamRef> params, double lr) override;
+  void reset() override;
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
+  const LarsConfig& config() const { return config_; }
+
+  /// Trust ratios from the most recent step (one per param tensor, 0 for
+  /// non-adapted ones). Exposed for instrumentation / the ablation bench.
+  const std::vector<double>& last_local_lrs() const { return last_local_; }
+
+ private:
+  LarsConfig config_;
+  std::vector<Tensor> velocity_;
+  std::vector<double> last_local_;
+};
+
+}  // namespace minsgd::optim

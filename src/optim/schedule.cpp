@@ -1,0 +1,89 @@
+#include "optim/schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace minsgd::optim {
+
+ConstantLr::ConstantLr(double base) : base_(base) {
+  if (base <= 0) throw std::invalid_argument("ConstantLr: base <= 0");
+}
+
+double ConstantLr::lr(std::int64_t /*iter*/) const { return base_; }
+
+PolyLr::PolyLr(double base, std::int64_t max_iter, double power)
+    : base_(base), power_(power), max_iter_(max_iter) {
+  if (base <= 0) throw std::invalid_argument("PolyLr: base <= 0");
+  if (max_iter <= 0) throw std::invalid_argument("PolyLr: max_iter <= 0");
+  if (power < 0) throw std::invalid_argument("PolyLr: power < 0");
+}
+
+double PolyLr::lr(std::int64_t iter) const {
+  if (iter >= max_iter_) return 0.0;
+  const double frac =
+      1.0 - static_cast<double>(iter) / static_cast<double>(max_iter_);
+  return base_ * std::pow(frac, power_);
+}
+
+StepLr::StepLr(double base, std::int64_t step_size, double gamma)
+    : base_(base), gamma_(gamma), step_size_(step_size) {
+  if (base <= 0) throw std::invalid_argument("StepLr: base <= 0");
+  if (step_size <= 0) throw std::invalid_argument("StepLr: step_size <= 0");
+  if (gamma <= 0 || gamma > 1) throw std::invalid_argument("StepLr: gamma");
+}
+
+double StepLr::lr(std::int64_t iter) const {
+  return base_ * std::pow(gamma_, static_cast<double>(iter / step_size_));
+}
+
+CosineLr::CosineLr(double base, std::int64_t max_iter)
+    : base_(base), max_iter_(max_iter) {
+  if (base <= 0) throw std::invalid_argument("CosineLr: base <= 0");
+  if (max_iter <= 0) throw std::invalid_argument("CosineLr: max_iter <= 0");
+}
+
+double CosineLr::lr(std::int64_t iter) const {
+  if (iter >= max_iter_) return 0.0;
+  const double frac =
+      static_cast<double>(iter) / static_cast<double>(max_iter_);
+  return base_ * 0.5 * (1.0 + std::cos(M_PI * frac));
+}
+
+WarmupLr::WarmupLr(LrSchedulePtr inner, std::int64_t warmup_iters,
+                   double start_lr)
+    : inner_(std::move(inner)), warmup_iters_(warmup_iters),
+      start_lr_(start_lr) {
+  if (!inner_) throw std::invalid_argument("WarmupLr: null inner schedule");
+  if (warmup_iters_ < 0) throw std::invalid_argument("WarmupLr: negative");
+  if (start_lr_ < 0) throw std::invalid_argument("WarmupLr: start_lr < 0");
+}
+
+double WarmupLr::lr(std::int64_t iter) const {
+  if (iter < warmup_iters_) {
+    const double target = inner_->lr(warmup_iters_);
+    const double frac = static_cast<double>(iter + 1) /
+                        static_cast<double>(warmup_iters_);
+    return start_lr_ + (target - start_lr_) * frac;
+  }
+  return inner_->lr(iter);
+}
+
+double linear_scaled_lr(double base_lr, std::int64_t base_batch,
+                        std::int64_t batch) {
+  if (base_lr <= 0 || base_batch <= 0 || batch <= 0) {
+    throw std::invalid_argument("linear_scaled_lr: non-positive argument");
+  }
+  return base_lr * static_cast<double>(batch) /
+         static_cast<double>(base_batch);
+}
+
+std::int64_t iterations_for_epochs(std::int64_t epochs,
+                                   std::int64_t dataset_size,
+                                   std::int64_t batch) {
+  if (epochs <= 0 || dataset_size <= 0 || batch <= 0) {
+    throw std::invalid_argument("iterations_for_epochs: non-positive");
+  }
+  return (epochs * dataset_size + batch - 1) / batch;
+}
+
+}  // namespace minsgd::optim

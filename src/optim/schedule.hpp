@@ -1,0 +1,98 @@
+// Learning-rate schedules.
+//
+// The paper's recipes are compositions of three pieces:
+//   * the linear scaling rule   (batch B -> kB implies lr eta -> k*eta),
+//   * a warmup phase            (ramp from a small lr to the scaled lr),
+//   * a decay policy            (poly with power 2 throughout the paper).
+// Each is a separate type here so recipes read like the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace minsgd::optim {
+
+/// Maps a global iteration index to a learning rate.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual double lr(std::int64_t iter) const = 0;
+};
+
+using LrSchedulePtr = std::unique_ptr<LrSchedule>;
+
+/// lr(t) = base.
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(double base);
+  double lr(std::int64_t iter) const override;
+
+ private:
+  double base_;
+};
+
+/// Caffe's "poly" policy: lr(t) = base * (1 - t/max_iter)^power.
+/// The paper uses power = 2 everywhere.
+class PolyLr final : public LrSchedule {
+ public:
+  PolyLr(double base, std::int64_t max_iter, double power = 2.0);
+  double lr(std::int64_t iter) const override;
+
+ private:
+  double base_, power_;
+  std::int64_t max_iter_;
+};
+
+/// Step decay: lr(t) = base * gamma^(t / step_size).
+class StepLr final : public LrSchedule {
+ public:
+  StepLr(double base, std::int64_t step_size, double gamma = 0.1);
+  double lr(std::int64_t iter) const override;
+
+ private:
+  double base_, gamma_;
+  std::int64_t step_size_;
+};
+
+/// Cosine annealing: lr(t) = base * (1 + cos(pi * t / max_iter)) / 2.
+/// Not used by the paper (it predates the cosine fashion) but provided for
+/// recipe experiments; decays smoothly from base to 0.
+class CosineLr final : public LrSchedule {
+ public:
+  CosineLr(double base, std::int64_t max_iter);
+  double lr(std::int64_t iter) const override;
+
+ private:
+  double base_;
+  std::int64_t max_iter_;
+};
+
+/// Gradual warmup (Goyal et al. 2017): during the first `warmup_iters`
+/// iterations, ramp linearly from `start_lr` to inner->lr(warmup start);
+/// afterwards delegate to the inner schedule (with the warmup offset kept,
+/// i.e. iteration indices are global).
+class WarmupLr final : public LrSchedule {
+ public:
+  WarmupLr(LrSchedulePtr inner, std::int64_t warmup_iters,
+           double start_lr = 0.0);
+  double lr(std::int64_t iter) const override;
+
+ private:
+  LrSchedulePtr inner_;
+  std::int64_t warmup_iters_;
+  double start_lr_;
+};
+
+/// The linear scaling rule (Krizhevsky 2014; Goyal et al. 2017): the lr that
+/// keeps per-example step size constant when the batch grows from
+/// `base_batch` to `batch`.
+double linear_scaled_lr(double base_lr, std::int64_t base_batch,
+                        std::int64_t batch);
+
+/// Iterations for a fixed-epoch budget: ceil(epochs * dataset_size / batch).
+/// The paper's central bookkeeping identity (Table 2, Figures 8-10).
+std::int64_t iterations_for_epochs(std::int64_t epochs,
+                                   std::int64_t dataset_size,
+                                   std::int64_t batch);
+
+}  // namespace minsgd::optim

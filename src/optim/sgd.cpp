@@ -1,0 +1,52 @@
+#include "optim/sgd.hpp"
+
+#include <stdexcept>
+
+namespace minsgd::optim {
+
+Sgd::Sgd(SgdConfig config) : config_(config) {
+  if (config_.momentum < 0 || config_.momentum >= 1) {
+    throw std::invalid_argument("Sgd: momentum must be in [0, 1)");
+  }
+  if (config_.weight_decay < 0) {
+    throw std::invalid_argument("Sgd: negative weight decay");
+  }
+}
+
+void Sgd::step(std::span<nn::ParamRef> params, double lr) {
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (const auto& p : params) velocity_.emplace_back(p.value->shape());
+  }
+  if (velocity_.size() != params.size()) {
+    throw std::invalid_argument("Sgd::step: param list changed size");
+  }
+  const auto m = static_cast<float>(config_.momentum);
+  const auto flr = static_cast<float>(lr);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& p = params[i];
+    Tensor& v = velocity_[i];
+    const float wd =
+        p.decay ? static_cast<float>(config_.weight_decay) : 0.0f;
+    const std::int64_t n = p.value->numel();
+    float* w = p.value->data();
+    const float* g = p.grad->data();
+    float* vel = v.data();
+    for (std::int64_t j = 0; j < n; ++j) {
+      vel[j] = m * vel[j] + (g[j] + wd * w[j]);
+      w[j] -= flr * vel[j];
+    }
+  }
+}
+
+void Sgd::reset() { velocity_.clear(); }
+
+void Sgd::save_state(std::ostream& out) const {
+  detail::save_tensor_vector(out, velocity_);
+}
+
+void Sgd::load_state(std::istream& in) {
+  detail::load_tensor_vector(in, velocity_);
+}
+
+}  // namespace minsgd::optim

@@ -1,0 +1,35 @@
+// Momentum SGD with L2 weight decay — the baseline update rule.
+#pragma once
+
+#include <vector>
+
+#include "optim/optimizer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace minsgd::optim {
+
+struct SgdConfig {
+  double momentum = 0.9;
+  double weight_decay = 0.0005;  // paper's setting for both models
+  /// Nesterov is not used by the paper; plain (heavy-ball) momentum.
+};
+
+/// v <- m*v + (g + wd*w);  w <- w - lr*v
+/// Weight decay is skipped for params with decay == false (biases, norms).
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(SgdConfig config = {});
+
+  void step(std::span<nn::ParamRef> params, double lr) override;
+  void reset() override;
+  void save_state(std::ostream& out) const override;
+  void load_state(std::istream& in) override;
+
+  const SgdConfig& config() const { return config_; }
+
+ private:
+  SgdConfig config_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace minsgd::optim

@@ -1,0 +1,84 @@
+#include "perf/cost_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace minsgd::perf {
+
+double allreduce_time_logtree(const NetworkSpec& net, int nodes,
+                              std::int64_t bytes) {
+  if (nodes <= 0) throw std::invalid_argument("allreduce: nodes <= 0");
+  if (nodes == 1) return 0.0;
+  const double hops = std::log2(static_cast<double>(nodes));
+  return hops * (net.alpha + static_cast<double>(bytes) * net.beta);
+}
+
+double allreduce_time_ring(const NetworkSpec& net, int nodes,
+                           std::int64_t bytes) {
+  if (nodes <= 0) throw std::invalid_argument("allreduce: nodes <= 0");
+  if (nodes == 1) return 0.0;
+  const double p = nodes;
+  return 2.0 * (p - 1.0) * net.alpha +
+         2.0 * (p - 1.0) / p * static_cast<double>(bytes) * net.beta;
+}
+
+Projection project_training(const WorkloadSpec& work, const RunSpec& run,
+                            const DeviceSpec& device, const NetworkSpec& net) {
+  if (work.flops_per_image <= 0 || work.params <= 0 ||
+      work.dataset_size <= 0 || work.epochs <= 0) {
+    throw std::invalid_argument("project_training: bad workload");
+  }
+  if (run.global_batch <= 0 || run.nodes <= 0 ||
+      run.global_batch % run.nodes != 0) {
+    throw std::invalid_argument(
+        "project_training: batch must be a positive multiple of nodes");
+  }
+  Projection p;
+  p.iterations = (work.epochs * work.dataset_size + run.global_batch - 1) /
+                 run.global_batch;
+  const std::int64_t local_batch = run.global_batch / run.nodes;
+  p.t_comp = work.fwd_bwd_factor *
+             static_cast<double>(work.flops_per_image) *
+             static_cast<double>(local_batch) / device.sustained_flops();
+  const std::int64_t grad_bytes = work.params * 4;
+  p.t_comm = (run.comm_model == CommModel::kLogTree)
+                 ? allreduce_time_logtree(net, run.nodes, grad_bytes)
+                 : allreduce_time_ring(net, run.nodes, grad_bytes);
+  // Latency/bandwidth bookkeeping, the paper's Figures 8-10: one allreduce
+  // per iteration; "messages" counts the per-iteration collective rounds
+  // and volume counts gradient bytes per node.
+  p.messages = p.iterations;
+  p.comm_bytes = p.iterations * grad_bytes;
+  return p;
+}
+
+double weak_scaling_efficiency(const WorkloadSpec& work,
+                               const DeviceSpec& device,
+                               const NetworkSpec& net,
+                               std::int64_t local_batch, int nodes,
+                               CommModel comm_model) {
+  const auto one =
+      project_training(work, {local_batch, 1, comm_model}, device, net);
+  const auto many = project_training(
+      work, {local_batch * nodes, nodes, comm_model}, device, net);
+  return one.iteration_time() / many.iteration_time();
+}
+
+double strong_scaling_efficiency(const WorkloadSpec& work,
+                                 const DeviceSpec& device,
+                                 const NetworkSpec& net,
+                                 std::int64_t global_batch, int nodes,
+                                 CommModel comm_model) {
+  if (global_batch % nodes != 0) {
+    throw std::invalid_argument(
+        "strong_scaling_efficiency: nodes must divide global_batch");
+  }
+  const auto one =
+      project_training(work, {global_batch, 1, comm_model}, device, net);
+  const auto many =
+      project_training(work, {global_batch, nodes, comm_model}, device, net);
+  const double speedup = one.total_seconds() / many.total_seconds();
+  return speedup / static_cast<double>(nodes);
+}
+
+}  // namespace minsgd::perf

@@ -1,0 +1,87 @@
+// Alpha-beta-gamma cost model for synchronous data-parallel SGD.
+//
+// This is the paper's own scaling analysis (Table 2 and the "Scaling
+// Efficiency of Large Batches" section) turned into code:
+//
+//   iterations(E, n, B)   = E * n / B
+//   t_iter                = t_comp + t_comm
+//   t_comp(B_local)       = fwd_bwd_factor * flops_per_image * B_local
+//                           / sustained_flops
+//   t_comm(P, |W|)        = allreduce cost of 4|W| bytes over P nodes
+//
+// Two allreduce cost shapes are provided: the log(P)*(alpha + V*beta) model
+// the paper's Table 2 uses, and the bandwidth-optimal ring model
+// 2*(P-1)/P*V*beta + 2*(P-1)*alpha. Both are exposed so benches can show
+// the paper's numbers and the tighter bound side by side.
+#pragma once
+
+#include <cstdint>
+
+#include "perf/specs.hpp"
+
+namespace minsgd::perf {
+
+/// Cost of one allreduce of `bytes` over `nodes`, log-tree model (Table 2).
+double allreduce_time_logtree(const NetworkSpec& net, int nodes,
+                              std::int64_t bytes);
+
+/// Cost of one allreduce of `bytes` over `nodes`, ring model.
+double allreduce_time_ring(const NetworkSpec& net, int nodes,
+                           std::int64_t bytes);
+
+enum class CommModel { kLogTree, kRing };
+
+struct WorkloadSpec {
+  std::int64_t flops_per_image = 0;  // forward pass, one image
+  std::int64_t params = 0;           // |W|
+  std::int64_t dataset_size = 0;     // n
+  std::int64_t epochs = 0;           // E
+  /// backward+update cost relative to forward (classic rule of thumb: the
+  /// two backward GEMMs double the forward work, so total = 3x forward).
+  double fwd_bwd_factor = 3.0;
+};
+
+struct RunSpec {
+  std::int64_t global_batch = 0;
+  int nodes = 1;
+  CommModel comm_model = CommModel::kLogTree;
+};
+
+struct Projection {
+  std::int64_t iterations = 0;
+  double t_comp = 0.0;        // per iteration, seconds
+  double t_comm = 0.0;        // per iteration, seconds
+  double iteration_time() const { return t_comp + t_comm; }
+  double total_seconds() const {
+    return static_cast<double>(iterations) * iteration_time();
+  }
+  std::int64_t messages = 0;       // total messages (latency overhead)
+  std::int64_t comm_bytes = 0;     // total bytes moved (bandwidth overhead)
+};
+
+/// Projects a full training run. Throws if global_batch is not divisible by
+/// nodes or any size is non-positive.
+Projection project_training(const WorkloadSpec& work, const RunSpec& run,
+                            const DeviceSpec& device, const NetworkSpec& net);
+
+/// Weak scaling efficiency at P nodes: keep the local batch fixed (global
+/// batch = local_batch * P) and compare per-iteration time against one
+/// node. 1.0 means communication is free; the paper's Table 2 argument is
+/// that this stays near 1 because t_comm grows only logarithmically.
+double weak_scaling_efficiency(const WorkloadSpec& work,
+                               const DeviceSpec& device,
+                               const NetworkSpec& net,
+                               std::int64_t local_batch, int nodes,
+                               CommModel comm_model = CommModel::kRing);
+
+/// Strong scaling efficiency at P nodes: keep the global batch fixed and
+/// compare total time speedup against one node, divided by P. Degrades
+/// faster than weak scaling because the per-node compute shrinks while the
+/// allreduce does not — the reason the paper grows the batch with P.
+double strong_scaling_efficiency(const WorkloadSpec& work,
+                                 const DeviceSpec& device,
+                                 const NetworkSpec& net,
+                                 std::int64_t global_batch, int nodes,
+                                 CommModel comm_model = CommModel::kRing);
+
+}  // namespace minsgd::perf

@@ -1,0 +1,34 @@
+#include "perf/specs.hpp"
+
+namespace minsgd::perf {
+
+DeviceSpec nvidia_m40() { return {"NVIDIA M40", 7.0e12, 0.30}; }
+
+DeviceSpec nvidia_p100() { return {"NVIDIA P100", 10.6e12, 0.45}; }
+
+DeviceSpec intel_knl7250() { return {"Intel KNL 7250", 6.0e12, 0.25}; }
+
+DeviceSpec intel_skylake8160() {
+  // 24 cores x 2.1 GHz x 64 SP flops/cycle (2x AVX-512 FMA) = 3.2 Tflops.
+  return {"Intel Xeon Platinum 8160", 3.2e12, 0.35};
+}
+
+NetworkSpec mellanox_fdr_ib() {
+  return {"Mellanox 56Gb/s FDR IB", 0.7e-6, 0.2e-9};
+}
+
+NetworkSpec intel_qdr_ib() {
+  return {"Intel 40Gb/s QDR IB", 1.2e-6, 0.3e-9};
+}
+
+NetworkSpec intel_10gbe() {
+  return {"Intel 10GbE NetEffect NE020", 7.2e-6, 0.9e-9};
+}
+
+NetworkSpec nvlink() {
+  // First-generation NVLink: ~50 GB/s effective per direction, ~5us
+  // software latency. Used for the paper's single-DGX-1 rows.
+  return {"NVLink (DGX-1)", 5.0e-6, 0.02e-9};
+}
+
+}  // namespace minsgd::perf

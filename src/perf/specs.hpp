@@ -1,0 +1,49 @@
+// Hardware specifications used by the analytic performance model.
+//
+// Peak FLOP rates are the vendor numbers the paper itself quotes (P100
+// 10.6 Tflops, KNL 6 Tflops); network alpha/beta constants are the paper's
+// Table 11. `dnn_efficiency` is the fraction of peak a tuned DNN framework
+// sustained on each device circa 2017 — the one calibration knob, recorded
+// per device and validated against the paper's published wall-clock rows in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace minsgd::perf {
+
+struct DeviceSpec {
+  std::string name;
+  double peak_flops = 0.0;      // single-precision flop/s
+  double dnn_efficiency = 0.3;  // sustained fraction of peak for conv nets
+  double sustained_flops() const { return peak_flops * dnn_efficiency; }
+};
+
+struct NetworkSpec {
+  std::string name;
+  double alpha = 0.0;  // per-message latency, seconds
+  double beta = 0.0;   // per-byte transfer time, seconds (1/bandwidth)
+};
+
+// -- devices (paper: "NVIDIA P100 GPU and Intel KNL" section) --------------
+DeviceSpec nvidia_m40();      // 7.0 Tflops; the paper's 14-day baseline GPU
+DeviceSpec nvidia_p100();     // 10.6 Tflops
+DeviceSpec intel_knl7250();   // 6.0 Tflops (Xeon Phi 7250)
+DeviceSpec intel_skylake8160();  // Xeon Platinum 8160, 32 SP flops/cycle/core
+
+// -- networks (paper Table 11) ---------------------------------------------
+NetworkSpec mellanox_fdr_ib();   // alpha 0.7us, beta 0.2 ns/byte
+NetworkSpec intel_qdr_ib();      // alpha 1.2us, beta 0.3 ns/byte
+NetworkSpec intel_10gbe();       // alpha 7.2us, beta 0.9 ns/byte
+NetworkSpec nvlink();            // intra-DGX-1 fabric (not in Table 11)
+
+/// Stampede-2-like cluster description.
+struct ClusterSpec {
+  std::string name;
+  DeviceSpec device;
+  NetworkSpec network;
+  int nodes = 1;
+};
+
+}  // namespace minsgd::perf

@@ -1,0 +1,150 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/threadpool.hpp"
+
+namespace minsgd {
+namespace {
+
+// Block sizes sized for a typical 32K L1 / 512K L2.
+constexpr std::int64_t kMC = 64;   // rows of A per block
+constexpr std::int64_t kKC = 256;  // depth per block
+constexpr std::int64_t kNC = 512;  // cols of B per block
+
+// Computes a kMC x kNC block of C += A_block * B_block where A_block is
+// packed row-major (mc x kc) and B_block is packed row-major (kc x nc).
+void micro_block(std::int64_t mc, std::int64_t nc, std::int64_t kc,
+                 const float* ap, const float* bp, float* c,
+                 std::int64_t ldc) {
+  for (std::int64_t i = 0; i < mc; ++i) {
+    float* crow = c + i * ldc;
+    const float* arow = ap + i * kc;
+    for (std::int64_t p = 0; p < kc; ++p) {
+      const float aval = arow[p];
+      const float* brow = bp + p * nc;
+      // Vectorizable axpy over the C row.
+      for (std::int64_t j = 0; j < nc; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+inline float load_a(const float* a, std::int64_t lda, Trans ta, std::int64_t i,
+                    std::int64_t p) {
+  return ta == Trans::kNo ? a[i * lda + p] : a[p * lda + i];
+}
+
+inline float load_b(const float* b, std::int64_t ldb, Trans tb, std::int64_t p,
+                    std::int64_t j) {
+  return tb == Trans::kNo ? b[p * ldb + j] : b[j * ldb + p];
+}
+
+// Direct (non-packing, single-thread) path for small problems, where the
+// blocked kernel's packing and fork-join overheads dominate. DNN training at
+// proxy resolutions consists almost entirely of such GEMMs.
+void gemm_small(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+                std::int64_t k, float alpha, const float* a, std::int64_t lda,
+                const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
+  if (tb == Trans::kNo) {
+    // C[i,:] += alpha * A[i,p] * B[p,:]  (unit-stride axpy rows)
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = alpha * load_a(a, lda, ta, i, p);
+        if (av == 0.0f) continue;
+        const float* brow = b + p * ldb;
+        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {
+    // C[i,j] += alpha * dot(A[i,:], B[j,:])  (unit-stride dot products)
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * ldb;
+        float acc = 0.0f;
+        if (ta == Trans::kNo) {
+          const float* arow = a + i * lda;
+          for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        } else {
+          for (std::int64_t p = 0; p < k; ++p) acc += a[p * lda + i] * brow[p];
+        }
+        crow[j] += alpha * acc;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+           float alpha, const float* a, std::int64_t lda, const float* b,
+           std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("sgemm: bad dims");
+  if (m == 0 || n == 0) return;
+
+  // Scale C by beta once, up front.
+  if (beta == 0.0f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::memset(c + i * ldc, 0, static_cast<std::size_t>(n) * sizeof(float));
+    }
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* row = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+  if (k == 0 || alpha == 0.0f) return;
+
+  if (m * n * k <= (std::int64_t{1} << 21)) {
+    gemm_small(ta, tb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    return;
+  }
+
+  // Parallelize over row-blocks of C; each task packs its own A/B blocks.
+  parallel_for(
+      0, (m + kMC - 1) / kMC,
+      [&](std::int64_t blk_lo, std::int64_t blk_hi) {
+        std::vector<float> apack(static_cast<std::size_t>(kMC * kKC));
+        std::vector<float> bpack(static_cast<std::size_t>(kKC * kNC));
+        for (std::int64_t blk = blk_lo; blk < blk_hi; ++blk) {
+          const std::int64_t i0 = blk * kMC;
+          const std::int64_t mc = std::min(kMC, m - i0);
+          for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
+            const std::int64_t kc = std::min(kKC, k - p0);
+            // Pack A block (mc x kc), pre-scaled by alpha.
+            for (std::int64_t i = 0; i < mc; ++i) {
+              for (std::int64_t p = 0; p < kc; ++p) {
+                apack[static_cast<std::size_t>(i * kc + p)] =
+                    alpha * load_a(a, lda, ta, i0 + i, p0 + p);
+              }
+            }
+            for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
+              const std::int64_t nc = std::min(kNC, n - j0);
+              // Pack B block (kc x nc).
+              for (std::int64_t p = 0; p < kc; ++p) {
+                for (std::int64_t j = 0; j < nc; ++j) {
+                  bpack[static_cast<std::size_t>(p * nc + j)] =
+                      load_b(b, ldb, tb, p0 + p, j0 + j);
+                }
+              }
+              micro_block(mc, nc, kc, apack.data(), bpack.data(),
+                          c + i0 * ldc + j0, ldc);
+            }
+          }
+        }
+      },
+      /*grain=*/1);
+}
+
+void sgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+           float alpha, const float* a, const float* b, float beta, float* c) {
+  const std::int64_t lda = (ta == Trans::kNo) ? k : m;
+  const std::int64_t ldb = (tb == Trans::kNo) ? n : k;
+  sgemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, n);
+}
+
+}  // namespace minsgd

@@ -1,0 +1,25 @@
+// sgemm: single-precision general matrix multiply.
+//
+// C = alpha * op(A) * op(B) + beta * C, row-major, with cache blocking and
+// an inner kernel the compiler can vectorize. This is the compute backbone:
+// Conv2d lowers to im2col + sgemm, Linear is a direct sgemm.
+#pragma once
+
+#include <cstdint>
+
+namespace minsgd {
+
+enum class Trans { kNo, kYes };
+
+/// Row-major sgemm. A is (M x K) if ta==kNo else (K x M); B is (K x N) if
+/// tb==kNo else (N x K); C is always (M x N) with leading dimension N.
+/// lda/ldb are the leading dimensions of A/B as stored.
+void sgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+           float alpha, const float* a, std::int64_t lda, const float* b,
+           std::int64_t ldb, float beta, float* c, std::int64_t ldc);
+
+/// Convenience overload with packed leading dimensions.
+void sgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+           float alpha, const float* a, const float* b, float beta, float* c);
+
+}  // namespace minsgd

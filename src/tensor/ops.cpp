@@ -1,0 +1,99 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <stdexcept>
+
+namespace minsgd {
+namespace {
+void check_same_size(std::size_t a, std::size_t b, const char* what) {
+  if (a != b) throw std::invalid_argument(std::string(what) + ": size mismatch");
+}
+}  // namespace
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  check_same_size(x.size(), y.size(), "axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(float alpha, std::span<float> x) {
+  for (auto& v : x) v *= alpha;
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  check_same_size(x.size(), y.size(), "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+double l2_norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * static_cast<double>(v);
+  return std::sqrt(acc);
+}
+
+double sum(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += v;
+  return acc;
+}
+
+float max_value(std::span<const float> x) {
+  if (x.empty()) throw std::invalid_argument("max_value: empty span");
+  return *std::max_element(x.begin(), x.end());
+}
+
+void copy(std::span<const float> x, std::span<float> y) {
+  check_same_size(x.size(), y.size(), "copy");
+  std::memcpy(y.data(), x.data(), x.size() * sizeof(float));
+}
+
+void add(std::span<const float> x, std::span<const float> y,
+         std::span<float> z) {
+  check_same_size(x.size(), y.size(), "add");
+  check_same_size(x.size(), z.size(), "add");
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] + y[i];
+}
+
+void hadamard(std::span<const float> x, std::span<const float> y,
+              std::span<float> z) {
+  check_same_size(x.size(), y.size(), "hadamard");
+  check_same_size(x.size(), z.size(), "hadamard");
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] * y[i];
+}
+
+void relu_inplace(std::span<float> x) {
+  for (auto& v : x) v = v > 0.0f ? v : 0.0f;
+}
+
+void softmax_rows(std::span<float> x, std::int64_t rows, std::int64_t cols) {
+  if (static_cast<std::int64_t>(x.size()) != rows * cols) {
+    throw std::invalid_argument("softmax_rows: size mismatch");
+  }
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* row = x.data() + r * cols;
+    float m = row[0];
+    for (std::int64_t c = 1; c < cols; ++c) m = std::max(m, row[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      row[c] = std::exp(row[c] - m);
+      denom += row[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) row[c] *= inv;
+  }
+}
+
+bool all_finite(std::span<const float> x) {
+  for (float v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace minsgd

@@ -1,0 +1,51 @@
+// Elementwise / BLAS-1 style operations used across the stack.
+//
+// These operate on spans so they serve tensors, raw parameter buffers, and
+// communication staging areas alike. All are single-precision.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace minsgd {
+
+/// y += alpha * x  (sizes must match).
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha.
+void scale(float alpha, std::span<float> x);
+
+/// dot product.
+double dot(std::span<const float> x, std::span<const float> y);
+
+/// Euclidean norm, accumulated in double for stability.
+double l2_norm(std::span<const float> x);
+
+/// Sum of elements (double accumulator).
+double sum(std::span<const float> x);
+
+/// Max element; x must be non-empty.
+float max_value(std::span<const float> x);
+
+/// y = x (sizes must match).
+void copy(std::span<const float> x, std::span<float> y);
+
+/// z = x + y elementwise.
+void add(std::span<const float> x, std::span<const float> y,
+         std::span<float> z);
+
+/// z = x * y elementwise (Hadamard).
+void hadamard(std::span<const float> x, std::span<const float> y,
+              std::span<float> z);
+
+/// In-place ReLU.
+void relu_inplace(std::span<float> x);
+
+/// Numerically stable in-place softmax over each row of an (rows x cols)
+/// row-major matrix.
+void softmax_rows(std::span<float> x, std::int64_t rows, std::int64_t cols);
+
+/// True iff every element is finite.
+bool all_finite(std::span<const float> x);
+
+}  // namespace minsgd

@@ -1,0 +1,51 @@
+// Rng: deterministic pseudo-random generation for weights and data.
+//
+// A splitmix64/xoshiro256** generator. Determinism across platforms matters
+// here: the sequential-consistency tests compare a data-parallel run against
+// a single-process run bit-for-bit, which requires identical random streams.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace minsgd {
+
+/// xoshiro256** seeded via splitmix64. Cheap, reproducible, good quality.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+
+  /// Normal with given mean / stddev.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Fills `out` with N(mean, stddev) samples.
+  void fill_normal(std::span<float> out, float mean, float stddev);
+
+  /// Fills `out` with U[lo, hi) samples.
+  void fill_uniform(std::span<float> out, float lo, float hi);
+
+  /// Derives an independent stream (for per-worker/per-shard RNGs).
+  Rng split(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace minsgd

@@ -1,0 +1,78 @@
+// Shape: a small fixed-capacity dimension vector for dense tensors.
+//
+// minsgd tensors are dense, row-major (outermost dimension first), and at
+// most rank 4 (NCHW activations). Shape is a value type with cheap copies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace minsgd {
+
+/// Dense tensor shape, rank 0..4, row-major semantics.
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Shape() = default;
+
+  Shape(std::initializer_list<std::int64_t> dims) {
+    if (dims.size() > kMaxRank) {
+      throw std::invalid_argument("Shape: rank > 4 not supported");
+    }
+    rank_ = dims.size();
+    std::size_t i = 0;
+    for (std::int64_t d : dims) {
+      if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+      dims_[i++] = d;
+    }
+  }
+
+  std::size_t rank() const { return rank_; }
+
+  std::int64_t operator[](std::size_t i) const {
+    if (i >= rank_) throw std::out_of_range("Shape: dim index out of range");
+    return dims_[i];
+  }
+
+  /// Total element count; 1 for rank-0 (scalar) shapes.
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  bool operator==(const Shape& o) const {
+    if (rank_ != o.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (dims_[i] != o.dims_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string str() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    s += "]";
+    return s;
+  }
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Shape& s) {
+  return os << s.str();
+}
+
+}  // namespace minsgd

@@ -1,0 +1,46 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace minsgd {
+
+Tensor::Tensor(Shape shape)
+    : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float value)
+    : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), value) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(shape), data_(std::move(data)) {
+  if (static_cast<std::int64_t>(data_.size()) != shape_.numel()) {
+    throw std::invalid_argument("Tensor: data size does not match shape " +
+                                shape_.str());
+  }
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.numel() != shape_.numel()) {
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch " +
+                                shape_.str() + " -> " + new_shape.str());
+  }
+  Tensor t;
+  t.shape_ = new_shape;
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::resize(Shape shape) {
+  // Compare against the actual storage size: a default-constructed tensor
+  // has a rank-0 shape whose numel() is 1 but holds no data.
+  if (static_cast<std::size_t>(shape.numel()) != data_.size()) {
+    data_.assign(static_cast<std::size_t>(shape.numel()), 0.0f);
+  }
+  shape_ = shape;
+}
+
+}  // namespace minsgd

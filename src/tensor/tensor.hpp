@@ -1,0 +1,79 @@
+// Tensor: dense float32 storage with row-major layout.
+//
+// The minimal tensor a DNN training stack needs: owning, contiguous,
+// value-semantic (copies copy data), with convenience indexing for the
+// layouts used by layers (NCHW activations, OI/OIHW weights).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace minsgd {
+
+/// Dense row-major float tensor. Rank <= 4. Copy copies the data.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates zero-initialized storage for `shape`.
+  explicit Tensor(Shape shape);
+
+  /// Allocates and fills with `value`.
+  Tensor(Shape shape, float value);
+
+  /// Builds from explicit data (size must match shape.numel()).
+  Tensor(Shape shape, std::vector<float> data);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// 2-D indexing (rows, cols) for matrices.
+  float& at(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  float at(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  /// 4-D NCHW indexing.
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+  float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+  }
+
+  /// Sets every element to `value`.
+  void fill(float value);
+
+  /// Sets every element to zero.
+  void zero() { fill(0.0f); }
+
+  /// Reinterprets the same data under a new shape (numel must match).
+  Tensor reshaped(Shape new_shape) const;
+
+  /// Resizes to `shape`, zero-filling, only reallocating when numel changes.
+  void resize(Shape shape);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace minsgd

@@ -1,0 +1,59 @@
+// ThreadPool / parallel_for: intra-op parallelism for kernels.
+//
+// A fixed-size pool with a blocking task queue plus a fork-join
+// parallel_for that chunks an index range across workers. On a 1-core
+// machine this degenerates to serial execution with negligible overhead;
+// kernels are written against parallel_for so they scale when cores exist.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace minsgd {
+
+/// Fixed-size worker pool. Tasks are void() callables.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end), chunked over the pool.
+/// `grain` is the minimum chunk size; small ranges run inline.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn,
+                  std::int64_t grain = 1024);
+
+}  // namespace minsgd

@@ -1,0 +1,97 @@
+#include "train/async_trainer.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "comm/param_server.hpp"
+#include "data/loader.hpp"
+#include "nn/loss.hpp"
+
+namespace minsgd::train {
+
+AsyncResult train_async_param_server(
+    const std::function<std::unique_ptr<nn::Network>()>& model_factory,
+    const optim::LrSchedule& schedule, const data::SyntheticImageNet& dataset,
+    const TrainOptions& options, int workers) {
+  if (workers <= 0) {
+    throw std::invalid_argument("train_async_param_server: workers <= 0");
+  }
+  if (options.global_batch % workers != 0) {
+    throw std::invalid_argument(
+        "train_async_param_server: global_batch % workers != 0");
+  }
+
+  // Server starts from the same deterministic initialization the sync
+  // trainers use.
+  auto init_net = model_factory();
+  Rng init_rng(options.init_seed);
+  init_net->init(init_rng);
+  comm::ParameterServer server(init_net->flatten_params());
+  server.set_workers(workers);
+
+  std::atomic<bool> abort{false};
+  std::atomic<double> last_loss{0.0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      auto net = model_factory();
+      Rng worker_init(options.init_seed);
+      net->init(worker_init);  // allocate param storage; overwritten by pull
+      std::vector<float> weights(
+          static_cast<std::size_t>(net->num_params()));
+      server.pull(w, weights);
+      net->unflatten_params(weights);
+
+      data::ShardedLoader loader(dataset, options.global_batch, w, workers,
+                                 options.augment);
+      nn::SoftmaxCrossEntropy loss;
+      Tensor logits, dlogits, dx;
+      const std::int64_t iters = loader.iterations_per_epoch();
+      double first_loss = -1.0;
+
+      for (std::int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+        for (std::int64_t it = 0; it < iters; ++it) {
+          if (abort.load(std::memory_order_relaxed)) return;
+          const auto batch = loader.load_train(epoch, it);
+          net->zero_grad();
+          net->forward(batch.x, logits, /*training=*/true);
+          const auto lres =
+              loss.forward_backward(logits, batch.labels, &dlogits);
+          net->backward(batch.x, logits, dlogits, dx);
+          const double lr = schedule.lr(server.updates_applied());
+          auto grad = net->flatten_grads();
+          server.push_pull(w, grad, lr, weights);
+          net->unflatten_params(weights);
+          last_loss.store(lres.loss, std::memory_order_relaxed);
+          if (first_loss < 0) first_loss = lres.loss;
+          if (options.detect_divergence &&
+              (!std::isfinite(lres.loss) ||
+               lres.loss > options.divergence_factor * first_loss)) {
+            abort.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  AsyncResult res;
+  res.diverged = abort.load();
+  res.updates_applied = server.updates_applied();
+  res.max_staleness = server.max_staleness();
+  res.final_train_loss = last_loss.load();
+  // Evaluate the server's final weights.
+  std::vector<float> weights(static_cast<std::size_t>(init_net->num_params()));
+  server.pull(0, weights);
+  init_net->unflatten_params(weights);
+  res.final_test_acc = evaluate(*init_net, dataset);
+  return res;
+}
+
+}  // namespace minsgd::train

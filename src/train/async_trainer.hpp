@@ -1,0 +1,36 @@
+// Asynchronous parameter-server trainer (the Downpour-style baseline).
+//
+// Each worker loops independently: pull weights, compute a gradient on its
+// own shard, push it; the server applies updates first-come-first-served.
+// No barriers, no allreduce — and no sequential consistency: the result
+// depends on interleaving, and stale gradients destabilize training at
+// scale, which is the paper's stated reason for preferring synchronous SGD.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "data/synthetic.hpp"
+#include "nn/network.hpp"
+#include "train/trainer.hpp"
+
+namespace minsgd::train {
+
+struct AsyncResult {
+  double final_test_acc = 0.0;
+  double final_train_loss = 0.0;
+  std::int64_t updates_applied = 0;
+  std::int64_t max_staleness = 0;
+  bool diverged = false;
+};
+
+/// Runs `workers` asynchronous workers for `options.epochs` epochs of the
+/// dataset (each worker covers 1/workers of each epoch). The server applies
+/// plain SGD with the schedule evaluated at its global update counter.
+AsyncResult train_async_param_server(
+    const std::function<std::unique_ptr<nn::Network>()>& model_factory,
+    const optim::LrSchedule& schedule, const data::SyntheticImageNet& dataset,
+    const TrainOptions& options, int workers);
+
+}  // namespace minsgd::train

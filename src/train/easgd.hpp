@@ -1,0 +1,48 @@
+// Elastic Averaging SGD (Zhang, Choromanska & LeCun 2015).
+//
+// The second asynchronous baseline the paper cites. Unlike the Downpour
+// parameter server (workers overwrite their weights with the server's on
+// every push), EASGD lets each worker explore its own trajectory and only
+// couples it to a shared "center" variable with an elastic force every
+// `communication_period` steps:
+//
+//     worker:  w_i <- w_i - alpha * (w_i - center)
+//     center:  c   <- c   + alpha * (w_i - center)
+//
+// The center accumulates a moving average of the workers; exploration vs.
+// consensus is tuned by alpha and the period.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "data/synthetic.hpp"
+#include "nn/network.hpp"
+#include "train/trainer.hpp"
+
+namespace minsgd::train {
+
+struct EasgdConfig {
+  /// Elastic coefficient (the paper's alpha = beta / p convention).
+  double alpha = 0.5;
+  /// Local SGD steps between elastic synchronizations (tau).
+  std::int64_t communication_period = 4;
+};
+
+struct EasgdResult {
+  double center_test_acc = 0.0;   // accuracy of the center variable
+  double final_train_loss = 0.0;  // last worker loss observed
+  std::int64_t elastic_updates = 0;
+  bool diverged = false;
+};
+
+/// Runs `workers` asynchronous EASGD workers for `options.epochs` epochs
+/// (each worker covers its 1/workers shard per epoch). Plain SGD locally
+/// with the schedule evaluated at the worker's own step counter.
+EasgdResult train_easgd(
+    const std::function<std::unique_ptr<nn::Network>()>& model_factory,
+    const optim::LrSchedule& schedule, const data::SyntheticImageNet& dataset,
+    const TrainOptions& options, int workers, EasgdConfig config = {});
+
+}  // namespace minsgd::train

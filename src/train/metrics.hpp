@@ -1,0 +1,46 @@
+// Evaluation and per-epoch bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "nn/network.hpp"
+
+namespace minsgd::train {
+
+/// One epoch's record; `lr` is the learning rate at the epoch's first
+/// iteration.
+struct EpochRecord {
+  std::int64_t epoch = 0;
+  double lr = 0.0;
+  double train_loss = 0.0;
+  double train_acc = 0.0;
+  double test_acc = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochRecord> epochs;
+  bool diverged = false;
+  std::int64_t iterations_run = 0;
+  double best_test_acc = 0.0;
+  double final_test_acc = 0.0;
+};
+
+/// Top-1 accuracy of `net` on the dataset's test split (eval mode).
+double evaluate(nn::Network& net, const data::SyntheticImageNet& dataset,
+                std::int64_t eval_batch = 256);
+
+/// Top-k hits over a batch of logits: a sample counts if its label is among
+/// the k largest logits. k = 1 reproduces the loss head's `correct`.
+std::int64_t top_k_correct(const Tensor& logits,
+                           std::span<const std::int32_t> labels,
+                           std::int64_t k);
+
+/// Top-k accuracy on the test split.
+double evaluate_top_k(nn::Network& net,
+                      const data::SyntheticImageNet& dataset, std::int64_t k,
+                      std::int64_t eval_batch = 256);
+
+}  // namespace minsgd::train

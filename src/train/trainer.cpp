@@ -1,0 +1,251 @@
+#include "train/trainer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+
+#include "comm/compress.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace minsgd::train {
+namespace {
+
+void maybe_print(const TrainOptions& opt, const EpochRecord& rec) {
+  if (!opt.verbose) return;
+  std::printf("epoch %3lld  lr %.5f  loss %.4f  train_acc %.4f  test_acc %.4f\n",
+              static_cast<long long>(rec.epoch), rec.lr, rec.train_loss,
+              rec.train_acc, rec.test_acc);
+  std::fflush(stdout);
+}
+
+void finalize(TrainResult& res) {
+  for (const auto& e : res.epochs) {
+    if (e.test_acc > res.best_test_acc) res.best_test_acc = e.test_acc;
+  }
+  if (!res.epochs.empty()) res.final_test_acc = res.epochs.back().test_acc;
+}
+
+}  // namespace
+
+TrainResult train_single(nn::Network& net, optim::Optimizer& opt,
+                         const optim::LrSchedule& schedule,
+                         const data::SyntheticImageNet& dataset,
+                         const TrainOptions& options) {
+  if (options.accumulation_steps < 1) {
+    throw std::invalid_argument("train_single: accumulation_steps < 1");
+  }
+  Rng init_rng(options.init_seed);
+  net.init(init_rng);
+  data::ShardedLoader loader(dataset, options.global_batch, 0, 1,
+                             options.augment);
+  nn::SoftmaxCrossEntropy loss;
+  auto params = net.params();
+
+  TrainResult res;
+  const std::int64_t accum = options.accumulation_steps;
+  const std::int64_t iters = loader.iterations_per_epoch() / accum;
+  if (iters == 0) {
+    throw std::invalid_argument(
+        "train_single: accumulation_steps exceeds iterations per epoch");
+  }
+  Tensor logits, dlogits, dx;
+  double first_loss = -1.0;
+  std::int64_t global_iter = 0;
+  const float inv_accum = 1.0f / static_cast<float>(accum);
+
+  for (std::int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    std::int64_t epoch_correct = 0;
+    const double epoch_lr = schedule.lr(global_iter);
+    for (std::int64_t it = 0; it < iters; ++it, ++global_iter) {
+      net.zero_grad();
+      double step_loss = 0.0;
+      for (std::int64_t micro = 0; micro < accum; ++micro) {
+        const auto batch = loader.load_train(epoch, it * accum + micro);
+        net.forward(batch.x, logits, /*training=*/true);
+        const auto lres =
+            loss.forward_backward(logits, batch.labels, &dlogits);
+        net.backward(batch.x, logits, dlogits, dx);
+        step_loss += lres.loss;
+        epoch_correct += lres.correct;
+      }
+      step_loss *= inv_accum;
+      if (accum > 1) {
+        // Average the accumulated micro-batch gradients so the update is
+        // the mean over the effective batch.
+        for (auto& p : params) scale(inv_accum, p.grad->span());
+      }
+      opt.step(params, schedule.lr(global_iter));
+      epoch_loss += step_loss;
+      ++res.iterations_run;
+      if (first_loss < 0) first_loss = step_loss;
+      if (options.detect_divergence &&
+          (!std::isfinite(step_loss) ||
+           step_loss > options.divergence_factor * first_loss)) {
+        res.diverged = true;
+        EpochRecord rec{epoch, epoch_lr, step_loss,
+                        0.0, evaluate(net, dataset)};
+        res.epochs.push_back(rec);
+        maybe_print(options, rec);
+        finalize(res);
+        return res;
+      }
+    }
+    EpochRecord rec;
+    rec.epoch = epoch;
+    rec.lr = epoch_lr;
+    rec.train_loss = epoch_loss / static_cast<double>(iters);
+    rec.train_acc =
+        static_cast<double>(epoch_correct) /
+        static_cast<double>(iters * accum * options.global_batch);
+    const bool eval_now = (epoch % options.eval_every == 0) ||
+                          (epoch + 1 == options.epochs);
+    rec.test_acc = eval_now ? evaluate(net, dataset) : 0.0;
+    res.epochs.push_back(rec);
+    maybe_print(options, rec);
+  }
+  finalize(res);
+  return res;
+}
+
+DistResult train_sync_data_parallel(
+    const std::function<std::unique_ptr<nn::Network>()>& model_factory,
+    const std::function<std::unique_ptr<optim::Optimizer>()>& opt_factory,
+    const optim::LrSchedule& schedule, const data::SyntheticImageNet& dataset,
+    const TrainOptions& options, int world, comm::AllreduceAlgo algo) {
+  if (world <= 0) {
+    throw std::invalid_argument("train_sync_data_parallel: world <= 0");
+  }
+  if (options.global_batch % world != 0) {
+    throw std::invalid_argument(
+        "train_sync_data_parallel: global_batch % world != 0");
+  }
+  comm::SimCluster cluster(world);
+  DistResult out;
+  std::mutex result_mu;
+
+  cluster.run([&](comm::Communicator& comm) {
+    // Every rank builds an identical replica (same init seed).
+    auto net = model_factory();
+    Rng init_rng(options.init_seed);
+    net->init(init_rng);
+    auto opt = opt_factory();
+    auto params = net->params();
+
+    data::ShardedLoader loader(dataset, options.global_batch, comm.rank(),
+                               world, options.augment);
+    nn::SoftmaxCrossEntropy loss;
+    const std::int64_t iters = loader.iterations_per_epoch();
+    Tensor logits, dlogits, dx;
+    const float inv_world = 1.0f / static_cast<float>(world);
+    std::unique_ptr<comm::OneBitCompressor> compressor;
+    if (options.compress_one_bit) {
+      compressor = std::make_unique<comm::OneBitCompressor>(
+          static_cast<std::size_t>(net->num_params()));
+    }
+
+    TrainResult res;
+    double first_loss = -1.0;
+    std::int64_t global_iter = 0;
+    bool stop = false;
+
+    for (std::int64_t epoch = 0; epoch < options.epochs && !stop; ++epoch) {
+      double epoch_loss = 0.0;
+      std::int64_t epoch_correct = 0;
+      const double epoch_lr = schedule.lr(global_iter);
+      for (std::int64_t it = 0; it < iters && !stop; ++it, ++global_iter) {
+        const auto batch = loader.load_train(epoch, it);
+        net->zero_grad();
+        net->forward(batch.x, logits, /*training=*/true);
+        const auto lres =
+            loss.forward_backward(logits, batch.labels, &dlogits);
+        net->backward(batch.x, logits, dlogits, dx);
+
+        // Sum gradients across ranks, then average: each local gradient is
+        // the mean over the local shard, so the global-batch mean is the
+        // rank-sum divided by world.
+        auto flat = net->flatten_grads();
+        if (compressor) {
+          // 1-bit SGD: compress locally (error feedback), allgather the
+          // payloads, reconstruct and sum every rank's contribution.
+          const auto payload = compressor->compress(flat);
+          std::vector<float> all(payload.size() *
+                                 static_cast<std::size_t>(world));
+          comm.allgather(payload, all);
+          std::fill(flat.begin(), flat.end(), 0.0f);
+          for (int r = 0; r < world; ++r) {
+            comm::OneBitCompressor::decompress_add(
+                std::span<const float>(all).subspan(
+                    static_cast<std::size_t>(r) * payload.size(),
+                    payload.size()),
+                flat);
+          }
+        } else if (options.bucket_bytes > 0) {
+          const auto bucket =
+              static_cast<std::size_t>(options.bucket_bytes / 4);
+          if (bucket == 0) {
+            throw std::invalid_argument(
+                "train_sync_data_parallel: bucket_bytes < 4");
+          }
+          std::span<float> rest(flat);
+          while (!rest.empty()) {
+            const auto n = std::min(bucket, rest.size());
+            comm.allreduce_sum(rest.subspan(0, n), algo);
+            rest = rest.subspan(n);
+          }
+        } else {
+          comm.allreduce_sum(flat, algo);
+        }
+        scale(inv_world, flat);
+        net->unflatten_grads(flat);
+        opt->step(params, schedule.lr(global_iter));
+
+        // Aggregate the loss/accuracy scalars for reporting.
+        float stats[2] = {static_cast<float>(lres.loss),
+                          static_cast<float>(lres.correct)};
+        comm.allreduce_sum(std::span<float>(stats, 2), algo);
+        const double mean_loss = stats[0] / world;
+        epoch_loss += mean_loss;
+        epoch_correct += static_cast<std::int64_t>(stats[1]);
+
+        if (first_loss < 0) first_loss = mean_loss;
+        if (options.detect_divergence &&
+            (!std::isfinite(mean_loss) ||
+             mean_loss > options.divergence_factor * first_loss)) {
+          res.diverged = true;
+          stop = true;  // all ranks see the same scalars, so all stop
+        }
+        ++res.iterations_run;
+      }
+      EpochRecord rec;
+      rec.epoch = epoch;
+      rec.lr = epoch_lr;
+      rec.train_loss = epoch_loss / static_cast<double>(iters);
+      rec.train_acc =
+          static_cast<double>(epoch_correct) /
+          static_cast<double>(iters * options.global_batch);
+      if (comm.rank() == 0) {
+        const bool eval_now = (epoch % options.eval_every == 0) ||
+                              (epoch + 1 == options.epochs) || stop;
+        rec.test_acc = eval_now ? evaluate(*net, dataset) : 0.0;
+        maybe_print(options, rec);
+      }
+      res.epochs.push_back(rec);
+      comm.barrier();  // keep epochs aligned (rank 0 evaluates)
+    }
+
+    if (comm.rank() == 0) {
+      finalize(res);
+      std::lock_guard lk(result_mu);
+      out.result = std::move(res);
+      out.iterations = global_iter;
+    }
+  });
+
+  out.traffic = cluster.total_traffic();
+  return out;
+}
+
+}  // namespace minsgd::train

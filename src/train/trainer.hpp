@@ -1,0 +1,88 @@
+// Training loops: single-process and synchronous data-parallel.
+//
+// train_single is the sequential reference. train_sync_data_parallel runs P
+// replicas on a SimCluster, allreduces gradient sums each iteration, and
+// applies identical optimizer steps on every rank — the paper's Figure 2(a)
+// structure with the master replaced by an allreduce. The two produce the
+// same weights for the same global batch when the model has no per-replica
+// stochastic state (no dropout, no per-replica BN batches); that is the
+// "sequential consistency" property the paper leans on, and it is asserted
+// by the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "comm/cluster.hpp"
+#include "data/loader.hpp"
+#include "data/synthetic.hpp"
+#include "nn/network.hpp"
+#include "optim/optimizer.hpp"
+#include "optim/schedule.hpp"
+#include "train/metrics.hpp"
+
+namespace minsgd::train {
+
+struct TrainOptions {
+  std::int64_t global_batch = 64;
+  std::int64_t epochs = 5;
+  std::optional<data::AugmentConfig> augment;  // weak augmentation if set
+  std::uint64_t init_seed = 7;
+  /// Evaluate on the test split every `eval_every` epochs (and at the end).
+  std::int64_t eval_every = 1;
+  /// Abort when the train loss goes non-finite or explodes beyond
+  /// `divergence_factor` x the initial loss (mirrors the paper's 0.001
+  /// accuracy rows for diverged LR settings in Table 5).
+  bool detect_divergence = true;
+  double divergence_factor = 10.0;
+  /// Print one line per epoch to stdout.
+  bool verbose = false;
+  /// Gradient bucketing for the distributed trainer: the flat gradient is
+  /// allreduced in buckets of at most this many bytes (0 = one bucket).
+  /// This is the structure that lets real systems overlap communication
+  /// with the tail of the backward pass (Das et al. 2016, Goyal et al.
+  /// 2017); here it trades per-iteration message count against pipeline
+  /// granularity, observable through the traffic meter.
+  std::int64_t bucket_bytes = 0;
+  /// 1-bit SGD gradient compression with error feedback (Seide et al.
+  /// 2014), the bandwidth-side baseline the paper contrasts with its
+  /// latency-side approach. Each rank quantizes its local gradient to sign
+  /// bits + two scales, payloads are exchanged with an allgather, and every
+  /// rank reconstructs and averages — ~32x less gradient traffic, at the
+  /// cost of quantization noise (and no sequential consistency).
+  bool compress_one_bit = false;
+  /// Gradient accumulation for the single-process trainer: each optimizer
+  /// step averages the gradients of this many consecutive `global_batch`
+  /// micro-batches, emulating an effective batch of
+  /// global_batch * accumulation_steps without the memory. Equivalent to
+  /// training at the large batch directly for deterministic models (the
+  /// epoch permutation makes consecutive micro-batches exactly the large
+  /// batch's shards).
+  std::int64_t accumulation_steps = 1;
+};
+
+/// Sequential reference trainer.
+TrainResult train_single(nn::Network& net, optim::Optimizer& opt,
+                         const optim::LrSchedule& schedule,
+                         const data::SyntheticImageNet& dataset,
+                         const TrainOptions& options);
+
+struct DistResult {
+  TrainResult result;           // metrics from rank 0's replica
+  comm::TrafficStats traffic;   // total wire traffic of the run
+  std::int64_t iterations = 0;  // global iterations executed
+};
+
+/// Synchronous data-parallel trainer over `world` simulated ranks.
+/// `model_factory` / `opt_factory` build one replica per rank; replicas are
+/// initialized identically from options.init_seed.
+DistResult train_sync_data_parallel(
+    const std::function<std::unique_ptr<nn::Network>()>& model_factory,
+    const std::function<std::unique_ptr<optim::Optimizer>()>& opt_factory,
+    const optim::LrSchedule& schedule, const data::SyntheticImageNet& dataset,
+    const TrainOptions& options, int world,
+    comm::AllreduceAlgo algo = comm::AllreduceAlgo::kRing);
+
+}  // namespace minsgd::train

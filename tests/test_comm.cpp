@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "tensor/rng.hpp"
+
+namespace minsgd {
+namespace {
+
+using comm::AllreduceAlgo;
+using comm::Communicator;
+using comm::SimCluster;
+
+TEST(SimCluster, RejectsNonPositiveWorld) {
+  EXPECT_THROW(SimCluster(0), std::invalid_argument);
+  EXPECT_THROW(SimCluster(-3), std::invalid_argument);
+}
+
+TEST(SimCluster, RunsEveryRank) {
+  SimCluster cluster(5);
+  std::vector<int> seen(5, 0);
+  std::mutex mu;
+  cluster.run([&](Communicator& comm) {
+    std::lock_guard lk(mu);
+    seen[static_cast<std::size_t>(comm.rank())] = 1;
+    EXPECT_EQ(comm.world(), 5);
+  });
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0), 5);
+}
+
+TEST(SimCluster, PropagatesRankExceptions) {
+  SimCluster cluster(3);
+  EXPECT_THROW(cluster.run([](Communicator& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("boom");
+  }),
+               std::runtime_error);
+}
+
+TEST(PointToPoint, SendRecvDeliversPayload) {
+  SimCluster cluster(2);
+  cluster.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> msg{1.5f, -2.5f};
+      comm.send(1, 7, msg);
+    } else {
+      const auto got = comm.recv(0, 7);
+      ASSERT_EQ(got.size(), 2u);
+      EXPECT_EQ(got[0], 1.5f);
+      EXPECT_EQ(got[1], -2.5f);
+    }
+  });
+}
+
+TEST(PointToPoint, TagsDisambiguate) {
+  SimCluster cluster(2);
+  cluster.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<float>{1.0f});
+      comm.send(1, 2, std::vector<float>{2.0f});
+    } else {
+      // Receive in reverse tag order.
+      EXPECT_EQ(comm.recv(0, 2)[0], 2.0f);
+      EXPECT_EQ(comm.recv(0, 1)[0], 1.0f);
+    }
+  });
+}
+
+TEST(PointToPoint, FifoWithinChannel) {
+  SimCluster cluster(2);
+  cluster.run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) {
+        comm.send(1, 0, std::vector<float>{static_cast<float>(i)});
+      }
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(comm.recv(0, 0)[0], static_cast<float>(i));
+      }
+    }
+  });
+}
+
+TEST(PointToPoint, SelfSendThrows) {
+  SimCluster cluster(2);
+  EXPECT_THROW(cluster.run([](Communicator& comm) {
+    comm.send(comm.rank(), 0, std::vector<float>{1.0f});
+  }),
+               std::invalid_argument);
+}
+
+TEST(Barrier, AllRanksPass) {
+  SimCluster cluster(8);
+  std::atomic<int> before{0}, after{0};
+  cluster.run([&](Communicator& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(before.load(), 8);  // nobody passes until everyone arrives
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), 8);
+}
+
+// ---------------- broadcast / reduce ----------------
+
+class BroadcastWorlds : public ::testing::TestWithParam<int> {};
+
+TEST_P(BroadcastWorlds, EveryRankGetsRootData) {
+  const int world = GetParam();
+  SimCluster cluster(world);
+  for (int root = 0; root < std::min(world, 3); ++root) {
+    cluster.run([&](Communicator& comm) {
+      std::vector<float> data(17, comm.rank() == root ? 42.0f : -1.0f);
+      comm.broadcast(data, root);
+      for (float v : data) EXPECT_EQ(v, 42.0f);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, BroadcastWorlds,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+class ReduceWorlds : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReduceWorlds, RootHoldsSum) {
+  const int world = GetParam();
+  SimCluster cluster(world);
+  cluster.run([&](Communicator& comm) {
+    std::vector<float> data(5, static_cast<float>(comm.rank() + 1));
+    comm.reduce_sum(data, 0);
+    if (comm.rank() == 0) {
+      const float expect = static_cast<float>(world * (world + 1) / 2);
+      for (float v : data) EXPECT_EQ(v, expect);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, ReduceWorlds,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 9, 16));
+
+// ---------------- allreduce (all algorithms x world sizes) ----------------
+
+class AllreduceMatrix
+    : public ::testing::TestWithParam<std::tuple<AllreduceAlgo, int, int>> {};
+
+TEST_P(AllreduceMatrix, MatchesSequentialSum) {
+  const auto [algo, world, n] = GetParam();
+  SimCluster cluster(world);
+  // Expected: elementwise sum of every rank's deterministic vector.
+  std::vector<std::vector<float>> inputs(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    Rng rng(static_cast<std::uint64_t>(r) * 77 + 1);
+    inputs[static_cast<std::size_t>(r)].resize(static_cast<std::size_t>(n));
+    rng.fill_uniform(inputs[static_cast<std::size_t>(r)], -1.0f, 1.0f);
+  }
+  std::vector<float> expected(static_cast<std::size_t>(n), 0.0f);
+  for (const auto& in : inputs) {
+    for (std::size_t i = 0; i < expected.size(); ++i) expected[i] += in[i];
+  }
+  cluster.run([&](Communicator& comm) {
+    auto data = inputs[static_cast<std::size_t>(comm.rank())];
+    comm.allreduce_sum(data, algo);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(data[i], expected[i], 1e-4)
+          << comm::to_string(algo) << " world=" << world << " i=" << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoWorldSize, AllreduceMatrix,
+    ::testing::Combine(
+        ::testing::Values(AllreduceAlgo::kStar, AllreduceAlgo::kRing,
+                          AllreduceAlgo::kTree,
+                          AllreduceAlgo::kRecursiveHalving),
+        ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17),
+        ::testing::Values(1, 5, 64, 1000)));
+
+TEST(Allreduce, RepeatedCollectivesStayConsistent) {
+  SimCluster cluster(4);
+  cluster.run([](Communicator& comm) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<float> data(8, 1.0f);
+      comm.allreduce_sum(data, AllreduceAlgo::kRing);
+      for (float v : data) ASSERT_EQ(v, 4.0f);
+      std::vector<float> d2(3, static_cast<float>(comm.rank()));
+      comm.allreduce_sum(d2, AllreduceAlgo::kTree);
+      for (float v : d2) ASSERT_EQ(v, 6.0f);
+    }
+  });
+}
+
+TEST(Allgather, CollectsInRankOrder) {
+  const int world = 5;
+  SimCluster cluster(world);
+  cluster.run([&](Communicator& comm) {
+    std::vector<float> local{static_cast<float>(comm.rank() * 10),
+                             static_cast<float>(comm.rank() * 10 + 1)};
+    std::vector<float> out(2 * world);
+    comm.allgather(local, out);
+    for (int r = 0; r < world; ++r) {
+      EXPECT_EQ(out[static_cast<std::size_t>(2 * r)], r * 10.0f);
+      EXPECT_EQ(out[static_cast<std::size_t>(2 * r + 1)], r * 10.0f + 1.0f);
+    }
+  });
+}
+
+TEST(Allgather, RejectsWrongOutputSize) {
+  SimCluster cluster(2);
+  EXPECT_THROW(cluster.run([](Communicator& comm) {
+    std::vector<float> local(3), out(5);
+    comm.allgather(local, out);
+  }),
+               std::invalid_argument);
+}
+
+// ---------------- traffic metering ----------------
+
+TEST(Traffic, StarCountsTwoPMinusTwoMessages) {
+  const int world = 6;
+  SimCluster cluster(world);
+  cluster.run([](Communicator& comm) {
+    std::vector<float> data(10, 1.0f);
+    comm.allreduce_sum(data, AllreduceAlgo::kStar);
+  });
+  EXPECT_EQ(cluster.total_traffic().messages, 2 * (world - 1));
+  EXPECT_EQ(cluster.total_traffic().bytes, 2 * (world - 1) * 10 * 4);
+}
+
+TEST(Traffic, RingCountsTwoPMinusOneRounds) {
+  const int world = 4;
+  const int n = 100;
+  SimCluster cluster(world);
+  cluster.run([](Communicator& comm) {
+    std::vector<float> data(n, 1.0f);
+    comm.allreduce_sum(data, AllreduceAlgo::kRing);
+  });
+  // Each rank sends 2*(P-1) chunk messages of ~n/P floats.
+  EXPECT_EQ(cluster.total_traffic().messages, world * 2 * (world - 1));
+  EXPECT_EQ(cluster.total_traffic().bytes, 2 * (world - 1) * n * 4);
+}
+
+TEST(Traffic, RingMovesLessDataPerNodeThanStarAtScale) {
+  // The bandwidth argument: ring per-node bytes ~ 2*V, star root ~ 2*(P-1)*V.
+  const int world = 8;
+  const int n = 256;
+  SimCluster ring_cluster(world);
+  ring_cluster.run([](Communicator& comm) {
+    std::vector<float> d(n, 1.0f);
+    comm.allreduce_sum(d, AllreduceAlgo::kRing);
+  });
+  SimCluster star_cluster(world);
+  star_cluster.run([](Communicator& comm) {
+    std::vector<float> d(n, 1.0f);
+    comm.allreduce_sum(d, AllreduceAlgo::kStar);
+  });
+  // Star root receives and sends P-1 full vectors; find the max per-rank
+  // byte count and compare.
+  std::int64_t star_max = 0, ring_max = 0;
+  for (int r = 0; r < world; ++r) {
+    star_max = std::max(star_max, star_cluster.rank_traffic(r).bytes);
+    ring_max = std::max(ring_max, ring_cluster.rank_traffic(r).bytes);
+  }
+  EXPECT_GT(star_max, 2 * ring_max);
+}
+
+TEST(Traffic, ResetClears) {
+  SimCluster cluster(2);
+  cluster.run([](Communicator& comm) {
+    if (comm.rank() == 0) comm.send(1, 0, std::vector<float>{1.0f});
+    else comm.recv(0, 0);
+  });
+  EXPECT_GT(cluster.total_traffic().messages, 0);
+  cluster.reset_traffic();
+  EXPECT_EQ(cluster.total_traffic().messages, 0);
+  EXPECT_EQ(cluster.total_traffic().bytes, 0);
+}
+
+TEST(Traffic, BarrierIsFree) {
+  SimCluster cluster(4);
+  cluster.run([](Communicator& comm) { comm.barrier(); });
+  EXPECT_EQ(cluster.total_traffic().messages, 0);
+}
+
+}  // namespace
+}  // namespace minsgd

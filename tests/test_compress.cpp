@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/compress.hpp"
+#include "data/synthetic.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/network.hpp"
+#include "nn/pool.hpp"
+#include "optim/lars.hpp"
+#include "optim/schedule.hpp"
+#include "optim/sgd.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/rng.hpp"
+#include "train/trainer.hpp"
+
+namespace minsgd {
+namespace {
+
+using comm::OneBitCompressor;
+
+TEST(OneBit, PayloadSizeFormula) {
+  EXPECT_EQ(OneBitCompressor::payload_floats(1), 3u);
+  EXPECT_EQ(OneBitCompressor::payload_floats(32), 3u);
+  EXPECT_EQ(OneBitCompressor::payload_floats(33), 4u);
+  EXPECT_EQ(OneBitCompressor::payload_floats(1000), 2u + 32u);
+}
+
+TEST(OneBit, CompressionRatioIsAbout32x) {
+  const std::size_t n = 1 << 20;
+  const double ratio =
+      static_cast<double>(n) /
+      static_cast<double>(OneBitCompressor::payload_floats(n));
+  EXPECT_GT(ratio, 31.0);
+  EXPECT_LT(ratio, 33.0);
+}
+
+TEST(OneBit, SignsSurviveRoundTrip) {
+  OneBitCompressor c(8);
+  std::vector<float> g{1.0f, -2.0f, 3.0f, -4.0f, 0.5f, -0.5f, 2.0f, -1.0f};
+  const auto payload = c.compress(g);
+  std::vector<float> out(8, 0.0f);
+  OneBitCompressor::decompress_add(payload, out);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i] > 0, g[i] > 0) << "i=" << i;
+  }
+}
+
+TEST(OneBit, ScalesAreConditionalMeans) {
+  OneBitCompressor c(4);
+  std::vector<float> g{2.0f, 4.0f, -1.0f, -3.0f};
+  const auto payload = c.compress(g);
+  EXPECT_FLOAT_EQ(payload[0], 3.0f);  // mean of {2, 4}
+  EXPECT_FLOAT_EQ(payload[1], 2.0f);  // mean of |{-1, -3}|
+}
+
+TEST(OneBit, ErrorFeedbackCarriesResidual) {
+  OneBitCompressor c(2);
+  std::vector<float> g{1.0f, 3.0f};  // both positive -> scale 2, errors -1,+1
+  c.compress(g);
+  EXPECT_FLOAT_EQ(c.residual()[0], -1.0f);
+  EXPECT_FLOAT_EQ(c.residual()[1], 1.0f);
+  // Next round with zero gradient: the residual alone drives quantization.
+  std::vector<float> zero{0.0f, 0.0f};
+  const auto payload = c.compress(zero);
+  std::vector<float> out(2, 0.0f);
+  OneBitCompressor::decompress_add(payload, out);
+  EXPECT_LT(out[0], 0.0f);  // the -1 residual shows up
+}
+
+TEST(OneBit, ErrorFeedbackMeansNoSystematicLoss) {
+  // Over many rounds, sum(decompressed) must track sum(inputs): the error
+  // feedback prevents the quantizer from losing gradient mass.
+  OneBitCompressor c(64);
+  Rng rng(3);
+  std::vector<float> truth_sum(64, 0.0f), recon_sum(64, 0.0f);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<float> g(64);
+    rng.fill_normal(g, 0.05f, 1.0f);
+    axpy(1.0f, g, truth_sum);
+    const auto payload = c.compress(g);
+    OneBitCompressor::decompress_add(payload, recon_sum);
+  }
+  // recon_sum = truth_sum - final residual, so they differ by at most the
+  // residual, which stays bounded (does not grow with rounds).
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(recon_sum[i], truth_sum[i] - c.residual()[i], 1e-3);
+  }
+  EXPECT_LT(l2_norm(c.residual()) / std::sqrt(64.0), 4.0);
+}
+
+TEST(OneBit, RejectsSizeMismatch) {
+  OneBitCompressor c(4);
+  std::vector<float> wrong(5);
+  EXPECT_THROW(c.compress(wrong), std::invalid_argument);
+  std::vector<float> out(4), bad_payload(2);
+  EXPECT_THROW(OneBitCompressor::decompress_add(bad_payload, out),
+               std::invalid_argument);
+  EXPECT_THROW(OneBitCompressor(0), std::invalid_argument);
+}
+
+// ---------------- trainer integration ----------------
+
+std::unique_ptr<nn::Network> small_model() {
+  auto net = std::make_unique<nn::Network>("c");
+  net->emplace<nn::Conv2d>(3, 8, 3, 1, 1);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::MaxPool2d>(2, 2);
+  net->emplace<nn::Flatten>();
+  net->emplace<nn::Linear>(8 * 6 * 6, 4);
+  return net;
+}
+
+data::SynthConfig small_data() {
+  data::SynthConfig c;
+  c.classes = 4;
+  c.resolution = 12;
+  c.train_size = 256;
+  c.test_size = 128;
+  c.noise = 0.4f;
+  c.seed = 5;
+  return c;
+}
+
+TEST(OneBitTraining, CompressedRunStillLearns) {
+  data::SyntheticImageNet ds(small_data());
+  train::TrainOptions options;
+  options.global_batch = 32;
+  options.epochs = 4;
+  options.compress_one_bit = true;
+  optim::ConstantLr lr(0.02);
+  const auto res = train::train_sync_data_parallel(
+      small_model, [] { return std::make_unique<optim::Sgd>(); }, lr, ds,
+      options, 4);
+  EXPECT_FALSE(res.result.diverged);
+  EXPECT_GT(res.result.final_test_acc, 0.5);
+}
+
+TEST(OneBitTraining, MovesFarFewerGradientBytes) {
+  data::SyntheticImageNet ds(small_data());
+  train::TrainOptions options;
+  options.global_batch = 64;
+  options.epochs = 1;
+  optim::ConstantLr lr(0.01);
+  auto run = [&](bool compress) {
+    options.compress_one_bit = compress;
+    return train::train_sync_data_parallel(
+        small_model, [] { return std::make_unique<optim::Sgd>(); }, lr, ds,
+        options, 4);
+  };
+  const auto dense = run(false);
+  const auto compressed = run(true);
+  // Ring allreduce moves ~2x the gradient; compressed allgather moves
+  // (P-1) payloads of size |W|/32 per rank. Either way the compressed run
+  // must move at least ~5x fewer bytes at world 4.
+  EXPECT_LT(compressed.traffic.bytes * 5, dense.traffic.bytes);
+}
+
+// ---------------- gradient bucketing ----------------
+
+TEST(Bucketing, EquivalentToSingleAllreduce) {
+  data::SyntheticImageNet ds(small_data());
+  train::TrainOptions options;
+  options.global_batch = 32;
+  options.epochs = 2;
+  optim::ConstantLr lr(0.02);
+  auto run = [&](std::int64_t bucket_bytes) {
+    options.bucket_bytes = bucket_bytes;
+    return train::train_sync_data_parallel(
+        small_model,
+        [] {
+          return std::make_unique<optim::Sgd>(
+              optim::SgdConfig{.momentum = 0.9, .weight_decay = 0.0005});
+        },
+        lr, ds, options, 4, comm::AllreduceAlgo::kTree);
+  };
+  const auto whole = run(0);
+  const auto bucketed = run(1024);
+  ASSERT_EQ(whole.result.epochs.size(), bucketed.result.epochs.size());
+  for (std::size_t e = 0; e < whole.result.epochs.size(); ++e) {
+    EXPECT_NEAR(whole.result.epochs[e].train_loss,
+                bucketed.result.epochs[e].train_loss, 1e-5);
+  }
+  // More buckets -> more messages for the same bytes.
+  EXPECT_GT(bucketed.traffic.messages, whole.traffic.messages);
+  EXPECT_EQ(bucketed.traffic.bytes, whole.traffic.bytes);
+}
+
+TEST(Bucketing, RejectsSubFloatBuckets) {
+  data::SyntheticImageNet ds(small_data());
+  train::TrainOptions options;
+  options.global_batch = 32;
+  options.epochs = 1;
+  options.bucket_bytes = 2;
+  optim::ConstantLr lr(0.02);
+  EXPECT_THROW(train::train_sync_data_parallel(
+                   small_model, [] { return std::make_unique<optim::Sgd>(); },
+                   lr, ds, options, 2),
+               std::invalid_argument);
+}
+
+// ---------------- LARC clipping ----------------
+
+TEST(LarcClip, CapsLocalMultiplierAtOne) {
+  Tensor w({2}, std::vector<float>{30.0f, 40.0f});  // ||w|| = 50
+  Tensor g({2}, std::vector<float>{0.006f, 0.008f});  // ||g|| = 0.01
+  std::vector<nn::ParamRef> p{{"a", &w, &g, true}};
+  optim::Lars unclipped({.trust_coeff = 0.1, .momentum = 0.0,
+                         .weight_decay = 0.0, .eps = 0.0});
+  unclipped.step(p, 1.0);
+  EXPECT_GT(unclipped.last_local_lrs()[0], 100.0);  // 0.1 * 50/0.01 = 500
+
+  Tensor w2({2}, std::vector<float>{30.0f, 40.0f});
+  Tensor g2({2}, std::vector<float>{0.006f, 0.008f});
+  std::vector<nn::ParamRef> p2{{"a", &w2, &g2, true}};
+  optim::Lars clipped({.trust_coeff = 0.1, .momentum = 0.0,
+                       .weight_decay = 0.0, .eps = 0.0,
+                       .adapt_non_decay_params = false, .clip = true});
+  clipped.step(p2, 1.0);
+  EXPECT_DOUBLE_EQ(clipped.last_local_lrs()[0], 1.0);
+}
+
+TEST(LarcClip, LeavesSmallMultipliersAlone) {
+  Tensor w({2}, std::vector<float>{3.0f, 4.0f});
+  Tensor g({2}, std::vector<float>{30.0f, 40.0f});
+  std::vector<nn::ParamRef> p{{"a", &w, &g, true}};
+  optim::Lars clipped({.trust_coeff = 0.1, .momentum = 0.0,
+                       .weight_decay = 0.0, .eps = 0.0,
+                       .adapt_non_decay_params = false, .clip = true});
+  clipped.step(p, 1.0);
+  EXPECT_NEAR(clipped.last_local_lrs()[0], 0.01, 1e-9);  // 0.1 * 5/50
+}
+
+}  // namespace
+}  // namespace minsgd

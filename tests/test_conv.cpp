@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "grad_check.hpp"
+#include "nn/conv.hpp"
+
+namespace minsgd {
+namespace {
+
+using nn::Conv2d;
+
+TEST(Conv2d, OutputShapeNoPad) {
+  Conv2d c(3, 8, 3);
+  EXPECT_EQ(c.output_shape({2, 3, 8, 8}), Shape({2, 8, 6, 6}));
+}
+
+TEST(Conv2d, OutputShapeWithPadAndStride) {
+  Conv2d c(3, 16, 3, 2, 1);
+  EXPECT_EQ(c.output_shape({4, 3, 32, 32}), Shape({4, 16, 16, 16}));
+}
+
+TEST(Conv2d, AlexNetConv1Geometry) {
+  Conv2d c(3, 96, 11, 4, 0);
+  EXPECT_EQ(c.output_shape({1, 3, 227, 227}), Shape({1, 96, 55, 55}));
+}
+
+TEST(Conv2d, RejectsWrongChannelCount) {
+  Conv2d c(3, 8, 3);
+  EXPECT_THROW(c.output_shape({1, 4, 8, 8}), std::invalid_argument);
+}
+
+TEST(Conv2d, RejectsTooSmallInput) {
+  Conv2d c(3, 8, 5);
+  EXPECT_THROW(c.output_shape({1, 3, 4, 4}), std::invalid_argument);
+}
+
+TEST(Conv2d, RejectsBadConfig) {
+  EXPECT_THROW(Conv2d(0, 8, 3), std::invalid_argument);
+  EXPECT_THROW(Conv2d(3, 8, 0), std::invalid_argument);
+  EXPECT_THROW(Conv2d(3, 8, 3, 0), std::invalid_argument);
+  EXPECT_THROW(Conv2d(3, 8, 3, 1, -1), std::invalid_argument);
+  EXPECT_THROW(Conv2d(3, 8, 3, 1, 0, true, 2),  // 3 % 2 != 0
+               std::invalid_argument);
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Conv2d c(1, 1, 1, 1, 0, /*bias=*/false);
+  c.weight().fill(1.0f);
+  Tensor x({1, 1, 3, 3}, std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  Tensor y;
+  c.forward(x, y, false);
+  for (std::int64_t i = 0; i < 9; ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, KnownSmallConvolution) {
+  // 2x2 input, 2x2 kernel of ones, no pad: output = sum of all inputs.
+  Conv2d c(1, 1, 2, 1, 0, /*bias=*/false);
+  c.weight().fill(1.0f);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor y;
+  c.forward(x, y, false);
+  ASSERT_EQ(y.numel(), 1);
+  EXPECT_EQ(y[0], 10.0f);
+}
+
+TEST(Conv2d, BiasAddsPerChannel) {
+  Conv2d c(1, 2, 1, 1, 0, /*bias=*/true);
+  c.weight().zero();
+  c.bias()[0] = 1.5f;
+  c.bias()[1] = -2.0f;
+  Tensor x({1, 1, 2, 2}, 3.0f);
+  Tensor y;
+  c.forward(x, y, false);
+  EXPECT_EQ(y.at(0, 0, 0, 0), 1.5f);
+  EXPECT_EQ(y.at(0, 1, 1, 1), -2.0f);
+}
+
+TEST(Conv2d, GroupsPartitionChannels) {
+  // 2 groups: output channel 0 must not depend on input channel 1.
+  Conv2d c(2, 2, 1, 1, 0, /*bias=*/false, /*groups=*/2);
+  c.weight().fill(1.0f);
+  Tensor x({1, 2, 1, 1}, std::vector<float>{5.0f, 7.0f});
+  Tensor y;
+  c.forward(x, y, false);
+  EXPECT_EQ(y[0], 5.0f);
+  EXPECT_EQ(y[1], 7.0f);
+}
+
+TEST(Conv2d, GroupedParamCountHalved) {
+  Conv2d full(96, 256, 5, 1, 2, true, 1);
+  Conv2d grouped(96, 256, 5, 1, 2, true, 2);
+  auto count = [](Conv2d& c) {
+    std::int64_t n = 0;
+    for (auto& p : c.params()) n += p.value->numel();
+    return n;
+  };
+  EXPECT_EQ(count(full) - 256, 2 * (count(grouped) - 256));
+}
+
+TEST(Conv2d, FlopsMatchFormula) {
+  Conv2d c(3, 8, 3, 1, 1);
+  // out 8x8: 2 * 8 * 3 * 9 * 64
+  EXPECT_EQ(c.flops({1, 3, 8, 8}), 2 * 8 * 3 * 3 * 3 * 8 * 8);
+}
+
+TEST(Conv2d, GradCheckBasic) {
+  Conv2d c(2, 3, 3, 1, 1);
+  testing::check_gradients(c, {2, 2, 5, 5});
+}
+
+TEST(Conv2d, GradCheckStridedNoBias) {
+  Conv2d c(3, 4, 3, 2, 1, /*bias=*/false);
+  testing::check_gradients(c, {2, 3, 7, 7});
+}
+
+TEST(Conv2d, GradCheckGrouped) {
+  Conv2d c(4, 4, 3, 1, 1, /*bias=*/true, /*groups=*/2);
+  testing::check_gradients(c, {1, 4, 5, 5});
+}
+
+TEST(Conv2d, GradCheck1x1) {
+  Conv2d c(4, 6, 1, 1, 0);
+  testing::check_gradients(c, {2, 4, 4, 4});
+}
+
+// Exhaustive configuration grid: every (kernel, stride, pad, groups, bias)
+// combination must pass the finite-difference check.
+struct ConvGridCase {
+  std::int64_t kernel, stride, pad, groups;
+  bool bias;
+};
+
+class ConvGradGrid : public ::testing::TestWithParam<ConvGridCase> {};
+
+TEST_P(ConvGradGrid, GradCheck) {
+  const auto& p = GetParam();
+  Conv2d c(4, 4, p.kernel, p.stride, p.pad, p.bias, p.groups);
+  testing::check_gradients(c, {1, 4, 6, 6},
+                           /*seed=*/static_cast<std::uint64_t>(
+                               p.kernel * 1000 + p.stride * 100 +
+                               p.pad * 10 + p.groups));
+}
+
+std::vector<ConvGridCase> conv_grid() {
+  std::vector<ConvGridCase> cases;
+  for (std::int64_t k : {1, 2, 3}) {
+    for (std::int64_t s : {1, 2}) {
+      for (std::int64_t pad : {0, 1}) {
+        for (std::int64_t g : {1, 2, 4}) {
+          for (bool bias : {false, true}) {
+            cases.push_back({k, s, pad, g, bias});
+          }
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ConvGradGrid, ::testing::ValuesIn(conv_grid()));
+
+TEST(Conv2d, GradientsAccumulateAcrossBackwardCalls) {
+  Conv2d c(1, 1, 1, 1, 0, /*bias=*/false);
+  Rng rng(5);
+  c.init(rng);
+  Tensor x({1, 1, 2, 2}, 1.0f), y, dy({1, 1, 2, 2}, 1.0f), dx;
+  c.forward(x, y, true);
+  for (auto& p : c.params()) p.grad->zero();
+  c.backward(x, y, dy, dx);
+  const float once = c.params()[0].grad->operator[](0);
+  c.backward(x, y, dy, dx);
+  EXPECT_FLOAT_EQ(c.params()[0].grad->operator[](0), 2.0f * once);
+}
+
+}  // namespace
+}  // namespace minsgd

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/csv.hpp"
+
+namespace minsgd {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(::testing::TempDir() + "/" + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  TempFile f("csv_basic.csv");
+  {
+    core::CsvWriter csv(f.path, {"a", "b", "c"});
+    csv.row(1, 2.5, "x");
+    csv.row(-3, 0.0, "y z");
+  }
+  EXPECT_EQ(read_all(f.path), "a,b,c\n1,2.5,x\n-3,0,y z\n");
+}
+
+TEST(CsvWriter, RejectsColumnCountMismatch) {
+  TempFile f("csv_mismatch.csv");
+  core::CsvWriter csv(f.path, {"a", "b"});
+  EXPECT_THROW(csv.row(1), std::invalid_argument);
+  EXPECT_THROW(csv.row(1, 2, 3), std::invalid_argument);
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(core::CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(CsvWriter, SingleColumn) {
+  TempFile f("csv_single.csv");
+  {
+    core::CsvWriter csv(f.path, {"only"});
+    csv.row(42);
+  }
+  EXPECT_EQ(read_all(f.path), "only\n42\n");
+}
+
+}  // namespace
+}  // namespace minsgd

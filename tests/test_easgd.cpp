@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "optim/schedule.hpp"
+#include "train/easgd.hpp"
+
+namespace minsgd {
+namespace {
+
+data::SynthConfig data_cfg() {
+  data::SynthConfig c;
+  c.classes = 4;
+  c.resolution = 12;
+  c.train_size = 256;
+  c.test_size = 128;
+  c.noise = 0.4f;
+  c.seed = 5;
+  return c;
+}
+
+std::unique_ptr<nn::Network> det_model() {
+  auto net = std::make_unique<nn::Network>("det");
+  net->emplace<nn::Conv2d>(3, 8, 3, 1, 1);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::MaxPool2d>(2, 2);
+  net->emplace<nn::Flatten>();
+  net->emplace<nn::Linear>(8 * 36, 4);
+  return net;
+}
+
+TEST(Easgd, CenterLearnsTheTask) {
+  data::SyntheticImageNet ds(data_cfg());
+  train::TrainOptions options;
+  options.global_batch = 32;
+  options.epochs = 6;
+  optim::ConstantLr lr(0.02);
+  const auto res = train::train_easgd(det_model, lr, ds, options, 4);
+  EXPECT_FALSE(res.diverged);
+  EXPECT_GT(res.center_test_acc, 0.5);  // chance is 0.25
+}
+
+TEST(Easgd, ElasticUpdatesMatchPeriod) {
+  data::SyntheticImageNet ds(data_cfg());
+  train::TrainOptions options;
+  options.global_batch = 32;
+  options.epochs = 2;
+  optim::ConstantLr lr(0.01);
+  train::EasgdConfig cfg;
+  cfg.communication_period = 4;
+  const auto res = train::train_easgd(det_model, lr, ds, options, 2, cfg);
+  // Each of the 2 workers runs 2 epochs x 8 iterations = 16 steps, syncing
+  // every 4 steps: 4 syncs each, 8 total.
+  EXPECT_EQ(res.elastic_updates, 8);
+}
+
+TEST(Easgd, SingleWorkerPeriodOneTracksSgdClosely) {
+  // With one worker and tau = 1, the center is an elastic moving average
+  // of a plain SGD trajectory: it must reach a similar accuracy.
+  data::SyntheticImageNet ds(data_cfg());
+  train::TrainOptions options;
+  options.global_batch = 32;
+  options.epochs = 6;
+  optim::ConstantLr lr(0.02);
+  train::EasgdConfig cfg;
+  cfg.communication_period = 1;
+  cfg.alpha = 0.5;
+  const auto res = train::train_easgd(det_model, lr, ds, options, 1, cfg);
+  EXPECT_GT(res.center_test_acc, 0.5);
+}
+
+TEST(Easgd, RejectsBadConfig) {
+  data::SyntheticImageNet ds(data_cfg());
+  train::TrainOptions options;
+  options.global_batch = 32;
+  optim::ConstantLr lr(0.01);
+  EXPECT_THROW(train::train_easgd(det_model, lr, ds, options, 0),
+               std::invalid_argument);
+  EXPECT_THROW(train::train_easgd(det_model, lr, ds, options, 3),
+               std::invalid_argument);  // 32 % 3 != 0
+  train::EasgdConfig bad;
+  bad.alpha = 1.5;
+  EXPECT_THROW(train::train_easgd(det_model, lr, ds, options, 2, bad),
+               std::invalid_argument);
+  bad = {};
+  bad.communication_period = 0;
+  EXPECT_THROW(train::train_easgd(det_model, lr, ds, options, 2, bad),
+               std::invalid_argument);
+}
+
+TEST(Easgd, DivergenceDetected) {
+  data::SyntheticImageNet ds(data_cfg());
+  train::TrainOptions options;
+  options.global_batch = 32;
+  options.epochs = 3;
+  optim::ConstantLr lr(500.0);
+  const auto res = train::train_easgd(det_model, lr, ds, options, 2);
+  EXPECT_TRUE(res.diverged);
+}
+
+}  // namespace
+}  // namespace minsgd

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "tensor/rng.hpp"
+
+namespace minsgd {
+namespace {
+
+// Naive reference: C = alpha*op(A)*op(B) + beta*C, packed row-major.
+void ref_gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
+              std::int64_t k, float alpha, const std::vector<float>& a,
+              const std::vector<float>& b, float beta, std::vector<float>& c) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta == Trans::kNo
+                             ? a[static_cast<std::size_t>(i * k + p)]
+                             : a[static_cast<std::size_t>(p * m + i)];
+        const float bv = tb == Trans::kNo
+                             ? b[static_cast<std::size_t>(p * n + j)]
+                             : b[static_cast<std::size_t>(j * k + p)];
+        acc += static_cast<double>(av) * bv;
+      }
+      auto& cv = c[static_cast<std::size_t>(i * n + j)];
+      cv = alpha * static_cast<float>(acc) + beta * cv;
+    }
+  }
+}
+
+struct GemmCase {
+  std::int64_t m, n, k;
+  Trans ta, tb;
+  float alpha, beta;
+};
+
+class GemmVsReference : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmVsReference, Matches) {
+  const auto& p = GetParam();
+  Rng rng(static_cast<std::uint64_t>(p.m * 131 + p.n * 17 + p.k));
+  std::vector<float> a(static_cast<std::size_t>(p.m * p.k));
+  std::vector<float> b(static_cast<std::size_t>(p.k * p.n));
+  std::vector<float> c(static_cast<std::size_t>(p.m * p.n));
+  rng.fill_normal(a, 0.0f, 1.0f);
+  rng.fill_normal(b, 0.0f, 1.0f);
+  rng.fill_normal(c, 0.0f, 1.0f);
+  std::vector<float> c_ref = c;
+
+  sgemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a.data(), b.data(), p.beta,
+        c.data());
+  ref_gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a, b, p.beta, c_ref);
+
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], c_ref[i], 1e-3 * (1.0 + std::abs(c_ref[i])))
+        << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmVsReference,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{3, 5, 7, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{3, 5, 7, Trans::kYes, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{3, 5, 7, Trans::kNo, Trans::kYes, 1.0f, 0.0f},
+        GemmCase{3, 5, 7, Trans::kYes, Trans::kYes, 1.0f, 0.0f},
+        GemmCase{16, 16, 16, Trans::kNo, Trans::kNo, 2.0f, 0.5f},
+        GemmCase{64, 64, 64, Trans::kNo, Trans::kNo, 1.0f, 1.0f},
+        GemmCase{65, 33, 257, Trans::kNo, Trans::kNo, 1.0f, 0.0f},  // off-block
+        GemmCase{128, 513, 300, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{100, 1, 50, Trans::kNo, Trans::kNo, 1.0f, 0.0f},
+        GemmCase{1, 100, 50, Trans::kYes, Trans::kYes, -1.0f, 2.0f},
+        GemmCase{70, 40, 1, Trans::kNo, Trans::kNo, 1.0f, 0.0f}));
+
+TEST(Gemm, ZeroAlphaOnlyScalesC) {
+  std::vector<float> a{1, 2, 3, 4}, b{5, 6, 7, 8}, c{1, 1, 1, 1};
+  sgemm(Trans::kNo, Trans::kNo, 2, 2, 2, 0.0f, a.data(), b.data(), 3.0f,
+        c.data());
+  for (float v : c) EXPECT_EQ(v, 3.0f);
+}
+
+TEST(Gemm, BetaZeroIgnoresGarbageC) {
+  std::vector<float> a{1, 0, 0, 1}, b{1, 2, 3, 4};
+  std::vector<float> c{std::numeric_limits<float>::quiet_NaN(), 0, 0, 0};
+  sgemm(Trans::kNo, Trans::kNo, 2, 2, 2, 1.0f, a.data(), b.data(), 0.0f,
+        c.data());
+  EXPECT_EQ(c[0], 1.0f);
+  EXPECT_EQ(c[1], 2.0f);
+  EXPECT_EQ(c[2], 3.0f);
+  EXPECT_EQ(c[3], 4.0f);
+}
+
+TEST(Gemm, EmptyDimsNoOp) {
+  std::vector<float> c{7.0f};
+  sgemm(Trans::kNo, Trans::kNo, 0, 0, 0, 1.0f, nullptr, nullptr, 0.0f,
+        c.data());
+  EXPECT_EQ(c[0], 7.0f);
+}
+
+TEST(Gemm, NegativeDimsThrow) {
+  EXPECT_THROW(sgemm(Trans::kNo, Trans::kNo, -1, 2, 2, 1.0f, nullptr, nullptr,
+                     0.0f, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Gemm, StridedLeadingDimensions) {
+  // A is a 2x2 view inside a 2x4 buffer (lda=4); B packed; C has ldc=3.
+  std::vector<float> a{1, 2, 9, 9, 3, 4, 9, 9};
+  std::vector<float> b{1, 0, 0, 1};
+  std::vector<float> c(6, 0.0f);
+  sgemm(Trans::kNo, Trans::kNo, 2, 2, 2, 1.0f, a.data(), 4, b.data(), 2, 0.0f,
+        c.data(), 3);
+  EXPECT_EQ(c[0], 1.0f);
+  EXPECT_EQ(c[1], 2.0f);
+  EXPECT_EQ(c[3], 3.0f);
+  EXPECT_EQ(c[4], 4.0f);
+}
+
+}  // namespace
+}  // namespace minsgd

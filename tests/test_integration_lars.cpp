@@ -1,0 +1,92 @@
+// The headline integration test: on a fixed synthetic task, large-batch
+// training with linear scaling + warmup loses accuracy (or diverges), while
+// LARS + warmup stays within epsilon of the small-batch baseline in the same
+// number of epochs. This is Figure 1 / Table 7's qualitative claim.
+#include <gtest/gtest.h>
+
+#include "core/proxy.hpp"
+#include "core/recipe.hpp"
+
+namespace minsgd {
+namespace {
+
+using core::LrRule;
+
+struct Outcome {
+  double acc = 0.0;
+  bool diverged = false;
+};
+
+Outcome run(const core::ProxyScale& proxy, const data::SyntheticImageNet& ds,
+            std::int64_t batch, LrRule rule) {
+  auto rc = proxy.recipe(batch, rule);
+  const auto res = core::run_recipe(proxy.alexnet_factory(), rc, ds);
+  return {res.best_test_acc, res.diverged};
+}
+
+class LarsHeadline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    proxy_ = new core::ProxyScale(core::micro_proxy());
+    ds_ = new data::SyntheticImageNet(proxy_->dataset);
+    baseline_ = new Outcome(
+        run(*proxy_, *ds_, proxy_->base_batch, LrRule::kLinearWarmup));
+  }
+  static void TearDownTestSuite() {
+    delete baseline_;
+    delete ds_;
+    delete proxy_;
+    baseline_ = nullptr;
+    ds_ = nullptr;
+    proxy_ = nullptr;
+  }
+
+  static core::ProxyScale* proxy_;
+  static data::SyntheticImageNet* ds_;
+  static Outcome* baseline_;
+};
+
+core::ProxyScale* LarsHeadline::proxy_ = nullptr;
+data::SyntheticImageNet* LarsHeadline::ds_ = nullptr;
+Outcome* LarsHeadline::baseline_ = nullptr;
+
+TEST_F(LarsHeadline, BaselineLearnsTheTask) {
+  EXPECT_FALSE(baseline_->diverged);
+  EXPECT_GT(baseline_->acc, 0.5);  // chance is 1/8
+}
+
+TEST_F(LarsHeadline, LinearScalingDegradesAtExtremeBatch) {
+  // 16x the base batch: the scaled LR (16 * base) is beyond what the loss
+  // surface tolerates without trust-ratio damping.
+  const auto extreme =
+      run(*proxy_, *ds_, proxy_->base_batch * 16, LrRule::kLinearWarmup);
+  EXPECT_TRUE(extreme.diverged || extreme.acc < baseline_->acc - 0.10)
+      << "linear scaling acc " << extreme.acc << " vs baseline "
+      << baseline_->acc;
+}
+
+TEST_F(LarsHeadline, LarsHoldsAccuracyAtExtremeBatch) {
+  const auto lars = run(*proxy_, *ds_, proxy_->base_batch * 16, LrRule::kLars);
+  EXPECT_FALSE(lars.diverged);
+  EXPECT_GT(lars.acc, baseline_->acc - 0.08)
+      << "LARS acc " << lars.acc << " vs baseline " << baseline_->acc;
+}
+
+TEST_F(LarsHeadline, LarsBeatsLinearScalingAtExtremeBatch) {
+  const auto linear =
+      run(*proxy_, *ds_, proxy_->base_batch * 16, LrRule::kLinearWarmup);
+  const auto lars = run(*proxy_, *ds_, proxy_->base_batch * 16, LrRule::kLars);
+  const double linear_acc = linear.diverged ? 1.0 / 8 : linear.acc;
+  EXPECT_GT(lars.acc, linear_acc + 0.05);
+}
+
+TEST_F(LarsHeadline, ModerateBatchIsFineEitherWay) {
+  // Table 4's regime: up to ~4x scaling, plain linear scaling still works.
+  const auto linear =
+      run(*proxy_, *ds_, proxy_->base_batch * 4, LrRule::kLinearWarmup);
+  EXPECT_FALSE(linear.diverged);
+  EXPECT_GT(linear.acc, baseline_->acc - 0.12);
+}
+
+}  // namespace
+}  // namespace minsgd

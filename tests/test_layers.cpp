@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "grad_check.hpp"
+#include "nn/activation.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+
+namespace minsgd {
+namespace {
+
+// ---------------- ReLU ----------------
+
+TEST(ReLU, ForwardClampsNegatives) {
+  nn::ReLU r;
+  Tensor x({1, 4}, std::vector<float>{-2, -0.5f, 0, 3});
+  Tensor y;
+  r.forward(x, y, false);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 0.0f);
+  EXPECT_EQ(y[3], 3.0f);
+}
+
+TEST(ReLU, GradCheck) {
+  nn::ReLU r;
+  testing::check_gradients(r, {2, 3, 4, 4}, /*seed=*/123,
+                           {.step = 1e-3, .kink_skip = 1e-2});
+}
+
+TEST(ReLU, PreservesShape) {
+  nn::ReLU r;
+  EXPECT_EQ(r.output_shape({5, 7}), Shape({5, 7}));
+}
+
+// ---------------- Flatten ----------------
+
+TEST(Flatten, CollapsesTrailingDims) {
+  nn::Flatten f;
+  EXPECT_EQ(f.output_shape({4, 3, 2, 2}), Shape({4, 12}));
+}
+
+TEST(Flatten, RoundTripsGradient) {
+  nn::Flatten f;
+  testing::check_gradients(f, {2, 2, 3, 3});
+}
+
+TEST(Flatten, RejectsRank1) {
+  nn::Flatten f;
+  EXPECT_THROW(f.output_shape({4}), std::invalid_argument);
+}
+
+// ---------------- Linear ----------------
+
+TEST(Linear, ForwardMatchesManual) {
+  nn::Linear l(2, 3);
+  // W is (out x in) = [[1,2],[3,4],[5,6]], b = [0.5, -0.5, 0].
+  l.weight() = Tensor({3, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  l.bias() = Tensor({3}, std::vector<float>{0.5f, -0.5f, 0.0f});
+  Tensor x({1, 2}, std::vector<float>{10, 20});
+  Tensor y;
+  l.forward(x, y, false);
+  EXPECT_FLOAT_EQ(y[0], 50.5f);
+  EXPECT_FLOAT_EQ(y[1], 109.5f);
+  EXPECT_FLOAT_EQ(y[2], 170.0f);
+}
+
+TEST(Linear, GradCheck) {
+  nn::Linear l(5, 4);
+  testing::check_gradients(l, {3, 5});
+}
+
+TEST(Linear, GradCheckNoBias) {
+  nn::Linear l(4, 4, /*bias=*/false);
+  testing::check_gradients(l, {2, 4});
+  EXPECT_EQ(l.params().size(), 1u);
+}
+
+TEST(Linear, FlopsFormula) {
+  nn::Linear l(128, 64);
+  EXPECT_EQ(l.flops({1, 128}), 2 * 128 * 64);
+}
+
+TEST(Linear, RejectsBadInput) {
+  nn::Linear l(4, 2);
+  EXPECT_THROW(l.output_shape({2, 5}), std::invalid_argument);
+  EXPECT_THROW(l.output_shape({2, 4, 1, 1}), std::invalid_argument);
+}
+
+// ---------------- MaxPool ----------------
+
+TEST(MaxPool, ForwardPicksMaxima) {
+  nn::MaxPool2d p(2, 2);
+  Tensor x({1, 1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  Tensor y;
+  p.forward(x, y, false);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_EQ(y[0], 5.0f);
+  EXPECT_EQ(y[1], 7.0f);
+  EXPECT_EQ(y[2], 13.0f);
+  EXPECT_EQ(y[3], 15.0f);
+}
+
+TEST(MaxPool, AlexNetOverlappingPoolGeometry) {
+  nn::MaxPool2d p(3, 2);
+  EXPECT_EQ(p.output_shape({1, 96, 55, 55}), Shape({1, 96, 27, 27}));
+}
+
+TEST(MaxPool, BackwardRoutesToArgmaxOnly) {
+  nn::MaxPool2d p(2, 2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 9, 3, 4});
+  Tensor y, dy({1, 1, 1, 1}, std::vector<float>{2.0f}), dx;
+  p.forward(x, y, true);
+  p.backward(x, y, dy, dx);
+  EXPECT_EQ(dx[0], 0.0f);
+  EXPECT_EQ(dx[1], 2.0f);
+  EXPECT_EQ(dx[2], 0.0f);
+  EXPECT_EQ(dx[3], 0.0f);
+}
+
+TEST(MaxPool, GradCheck) {
+  // Distinct random values make the argmax stable under the FD step.
+  nn::MaxPool2d p(2, 2);
+  testing::check_gradients(p, {2, 2, 6, 6}, /*seed=*/321,
+                           {.step = 1e-4, .rel_tol = 2e-2, .abs_tol = 1e-4});
+}
+
+TEST(MaxPool, PaddedPoolIgnoresPadding) {
+  nn::MaxPool2d p(3, 2, 1);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{-1, -2, -3, -4});
+  Tensor y;
+  p.forward(x, y, false);
+  // With negative inputs, zero padding must NOT win (it is skipped, not 0).
+  EXPECT_EQ(y[0], -1.0f);
+}
+
+// ---------------- AvgPool ----------------
+
+TEST(AvgPool, ForwardAverages) {
+  nn::AvgPool2d p(2, 2);
+  Tensor x({1, 1, 2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor y;
+  p.forward(x, y, false);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(AvgPool, GradCheck) {
+  nn::AvgPool2d p(2, 2);
+  testing::check_gradients(p, {2, 3, 4, 4});
+}
+
+TEST(AvgPool, GradCheckOverlapping) {
+  nn::AvgPool2d p(3, 2, 1);
+  testing::check_gradients(p, {1, 2, 5, 5});
+}
+
+// ---------------- GlobalAvgPool ----------------
+
+TEST(GlobalAvgPool, ReducesToChannels) {
+  nn::GlobalAvgPool g;
+  Tensor x({2, 3, 4, 4}, 2.0f);
+  Tensor y;
+  g.forward(x, y, false);
+  EXPECT_EQ(y.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(y[0], 2.0f);
+}
+
+TEST(GlobalAvgPool, GradCheck) {
+  nn::GlobalAvgPool g;
+  testing::check_gradients(g, {2, 4, 3, 3});
+}
+
+// ---------------- Dropout ----------------
+
+TEST(Dropout, EvalModeIsIdentity) {
+  nn::Dropout d(0.5f);
+  Tensor x({1, 100}, 1.0f), y;
+  d.forward(x, y, /*training=*/false);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(y[i], 1.0f);
+}
+
+TEST(Dropout, TrainModeZeroesAboutPFraction) {
+  nn::Dropout d(0.5f, /*seed=*/42);
+  Tensor x({1, 10000}, 1.0f), y;
+  d.forward(x, y, /*training=*/true);
+  int zeros = 0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (y[i] == 0.0f) ++zeros;
+  }
+  EXPECT_NEAR(zeros, 5000, 200);
+}
+
+TEST(Dropout, SurvivorsScaledByInverseKeep) {
+  nn::Dropout d(0.75f, 1);
+  Tensor x({1, 1000}, 1.0f), y;
+  d.forward(x, y, true);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_TRUE(y[i] == 0.0f || y[i] == 4.0f);
+  }
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  nn::Dropout d(0.5f, 7);
+  Tensor x({1, 64}, 1.0f), y, dy({1, 64}, 1.0f), dx;
+  d.forward(x, y, true);
+  d.backward(x, y, dy, dx);
+  for (std::int64_t i = 0; i < 64; ++i) EXPECT_EQ(dx[i], y[i]);
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentityInTraining) {
+  nn::Dropout d(0.0f);
+  Tensor x({1, 8}, 3.0f), y;
+  d.forward(x, y, true);
+  for (std::int64_t i = 0; i < 8; ++i) EXPECT_EQ(y[i], 3.0f);
+}
+
+TEST(Dropout, RejectsInvalidP) {
+  EXPECT_THROW(nn::Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(nn::Dropout(1.0f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace minsgd

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grad_check.hpp"
+#include "nn/norm.hpp"
+
+namespace minsgd {
+namespace {
+
+TEST(BatchNorm, TrainForwardNormalizesPerChannel) {
+  nn::BatchNorm2d bn(2);
+  Rng rng(3);
+  Tensor x({4, 2, 3, 3});
+  rng.fill_normal(x.span(), 5.0f, 2.0f);
+  Tensor y;
+  bn.forward(x, y, /*training=*/true);
+  // Each channel of y should have ~zero mean and ~unit variance.
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    std::int64_t count = 0;
+    for (std::int64_t n = 0; n < 4; ++n) {
+      for (std::int64_t h = 0; h < 3; ++h) {
+        for (std::int64_t w = 0; w < 3; ++w) {
+          mean += y.at(n, c, h, w);
+          ++count;
+        }
+      }
+    }
+    mean /= count;
+    for (std::int64_t n = 0; n < 4; ++n) {
+      for (std::int64_t h = 0; h < 3; ++h) {
+        for (std::int64_t w = 0; w < 3; ++w) {
+          var += (y.at(n, c, h, w) - mean) * (y.at(n, c, h, w) - mean);
+        }
+      }
+    }
+    var /= count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, GammaBetaApplied) {
+  nn::BatchNorm2d bn(1);
+  auto params = bn.params();
+  params[0].value->fill(3.0f);   // gamma
+  params[1].value->fill(-1.0f);  // beta
+  Tensor x({2, 1, 2, 2});
+  Rng rng(5);
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+  Tensor y;
+  bn.forward(x, y, true);
+  double mean = 0.0;
+  for (std::int64_t i = 0; i < y.numel(); ++i) mean += y[i];
+  EXPECT_NEAR(mean / y.numel(), -1.0, 1e-4);  // beta shifts the mean
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  nn::BatchNorm2d bn(1, 1e-5f, /*momentum=*/0.0f);  // running = last batch
+  Rng rng(7);
+  Tensor x({8, 1, 4, 4});
+  rng.fill_normal(x.span(), 2.0f, 3.0f);
+  Tensor y;
+  bn.forward(x, y, /*training=*/true);
+  // Eval on the same data should now normalize with those captured stats.
+  Tensor y2;
+  bn.forward(x, y2, /*training=*/false);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y[i], y2[i], 2e-2);
+  }
+}
+
+TEST(BatchNorm, BackwardWithoutForwardThrows) {
+  nn::BatchNorm2d bn(1);
+  Tensor x({1, 1, 2, 2}), y({1, 1, 2, 2}), dy({1, 1, 2, 2}), dx;
+  EXPECT_THROW(bn.backward(x, y, dy, dx), std::logic_error);
+}
+
+TEST(BatchNorm, GradCheck) {
+  nn::BatchNorm2d bn(3);
+  testing::check_gradients(bn, {4, 3, 3, 3}, /*seed=*/11,
+                           {.step = 1e-3, .rel_tol = 3e-2, .abs_tol = 2e-4});
+}
+
+TEST(BatchNorm, NonDecayParams) {
+  nn::BatchNorm2d bn(4);
+  for (const auto& p : bn.params()) EXPECT_FALSE(p.decay);
+}
+
+TEST(BatchNorm, RejectsWrongChannels) {
+  nn::BatchNorm2d bn(3);
+  Tensor x({1, 4, 2, 2}), y;
+  EXPECT_THROW(bn.forward(x, y, true), std::invalid_argument);
+}
+
+TEST(BatchNorm, InitResetsState) {
+  nn::BatchNorm2d bn(2);
+  auto params = bn.params();
+  params[0].value->fill(9.0f);
+  Rng rng(1);
+  bn.init(rng);
+  EXPECT_EQ((*params[0].value)[0], 1.0f);
+  EXPECT_EQ((*params[1].value)[0], 0.0f);
+}
+
+// ---------------- LRN ----------------
+
+TEST(LRN, ForwardMatchesFormulaSingleChannelWindow) {
+  // With n=1 the window is just the element itself.
+  nn::LRN lrn(1, 2.0f, 0.75f, 1.0f);
+  Tensor x({1, 1, 1, 1}, std::vector<float>{2.0f});
+  Tensor y;
+  lrn.forward(x, y, false);
+  const float expected = 2.0f * std::pow(1.0f + 2.0f * 4.0f, -0.75f);
+  EXPECT_NEAR(y[0], expected, 1e-6);
+}
+
+TEST(LRN, WindowSpansNeighbouringChannels) {
+  nn::LRN lrn(3, 3.0f, 1.0f, 1.0f);  // alpha/n = 1, beta = 1
+  Tensor x({1, 3, 1, 1}, std::vector<float>{1, 2, 3});
+  Tensor y;
+  lrn.forward(x, y, false);
+  // channel 1 window = {1,2,3}: scale = 1 + (1+4+9) = 15.
+  EXPECT_NEAR(y.at(0, 1, 0, 0), 2.0f / 15.0f, 1e-6);
+  // channel 0 window = {1,2}: scale = 1 + 5 = 6.
+  EXPECT_NEAR(y.at(0, 0, 0, 0), 1.0f / 6.0f, 1e-6);
+}
+
+TEST(LRN, GradCheck) {
+  nn::LRN lrn(5, 1e-2f, 0.75f, 1.0f);
+  testing::check_gradients(lrn, {2, 6, 3, 3}, /*seed=*/13,
+                           {.step = 1e-3, .rel_tol = 3e-2, .abs_tol = 2e-4});
+}
+
+TEST(LRN, RejectsEvenWindow) {
+  EXPECT_THROW(nn::LRN(4), std::invalid_argument);
+  EXPECT_THROW(nn::LRN(0), std::invalid_argument);
+}
+
+TEST(LRN, HasNoParams) {
+  nn::LRN lrn;
+  EXPECT_TRUE(lrn.params().empty());
+}
+
+}  // namespace
+}  // namespace minsgd

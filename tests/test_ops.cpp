@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/ops.hpp"
+
+namespace minsgd {
+namespace {
+
+TEST(Ops, Axpy) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y{10, 20, 30};
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y[0], 12.0f);
+  EXPECT_EQ(y[2], 36.0f);
+}
+
+TEST(Ops, AxpySizeMismatchThrows) {
+  std::vector<float> x{1};
+  std::vector<float> y{1, 2};
+  EXPECT_THROW(axpy(1.0f, x, y), std::invalid_argument);
+}
+
+TEST(Ops, Scale) {
+  std::vector<float> x{1, -2, 3};
+  scale(-1.5f, x);
+  EXPECT_EQ(x[0], -1.5f);
+  EXPECT_EQ(x[1], 3.0f);
+}
+
+TEST(Ops, Dot) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+}
+
+TEST(Ops, L2Norm) {
+  std::vector<float> x{3, 4};
+  EXPECT_DOUBLE_EQ(l2_norm(x), 5.0);
+  EXPECT_DOUBLE_EQ(l2_norm(std::vector<float>{}), 0.0);
+}
+
+TEST(Ops, L2NormStableForLargeVectors) {
+  std::vector<float> x(1 << 20, 1e-3f);
+  EXPECT_NEAR(l2_norm(x), std::sqrt(1048576.0) * 1e-3, 1e-6);
+}
+
+TEST(Ops, Sum) {
+  std::vector<float> x{0.5f, 0.25f, -0.75f};
+  EXPECT_DOUBLE_EQ(sum(x), 0.0);
+}
+
+TEST(Ops, MaxValue) {
+  std::vector<float> x{-5, -1, -3};
+  EXPECT_EQ(max_value(x), -1.0f);
+  EXPECT_THROW(max_value(std::vector<float>{}), std::invalid_argument);
+}
+
+TEST(Ops, CopyAndAddAndHadamard) {
+  std::vector<float> x{1, 2}, y{3, 4}, z(2);
+  copy(x, z);
+  EXPECT_EQ(z[1], 2.0f);
+  add(x, y, z);
+  EXPECT_EQ(z[0], 4.0f);
+  hadamard(x, y, z);
+  EXPECT_EQ(z[1], 8.0f);
+}
+
+TEST(Ops, ReluInplace) {
+  std::vector<float> x{-1, 0, 2};
+  relu_inplace(x);
+  EXPECT_EQ(x[0], 0.0f);
+  EXPECT_EQ(x[1], 0.0f);
+  EXPECT_EQ(x[2], 2.0f);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  std::vector<float> x{1, 2, 3, -1, 0, 1};
+  softmax_rows(x, 2, 3);
+  EXPECT_NEAR(x[0] + x[1] + x[2], 1.0, 1e-6);
+  EXPECT_NEAR(x[3] + x[4] + x[5], 1.0, 1e-6);
+  EXPECT_GT(x[2], x[1]);
+}
+
+TEST(Ops, SoftmaxStableForHugeLogits) {
+  std::vector<float> x{1000.0f, 1001.0f};
+  softmax_rows(x, 1, 2);
+  EXPECT_TRUE(all_finite(x));
+  EXPECT_NEAR(x[0] + x[1], 1.0, 1e-6);
+}
+
+TEST(Ops, SoftmaxSizeMismatchThrows) {
+  std::vector<float> x{1, 2, 3};
+  EXPECT_THROW(softmax_rows(x, 2, 2), std::invalid_argument);
+}
+
+TEST(Ops, AllFinite) {
+  EXPECT_TRUE(all_finite(std::vector<float>{1, 2}));
+  EXPECT_FALSE(all_finite(
+      std::vector<float>{1, std::numeric_limits<float>::infinity()}));
+  EXPECT_FALSE(all_finite(
+      std::vector<float>{std::numeric_limits<float>::quiet_NaN()}));
+}
+
+}  // namespace
+}  // namespace minsgd

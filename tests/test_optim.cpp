@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.hpp"
+#include "optim/lars.hpp"
+#include "optim/schedule.hpp"
+#include "optim/sgd.hpp"
+#include "tensor/ops.hpp"
+
+namespace minsgd {
+namespace {
+
+// Builds a single-parameter "layer" for optimizer math tests.
+struct FakeParam {
+  Tensor w;
+  Tensor g;
+  std::vector<nn::ParamRef> refs;
+  explicit FakeParam(const std::vector<float>& wv,
+                     const std::vector<float>& gv, bool decay = true)
+      : w({static_cast<std::int64_t>(wv.size())}, wv),
+        g({static_cast<std::int64_t>(gv.size())}, gv) {
+    refs.push_back({"p", &w, &g, decay});
+  }
+};
+
+// ---------------- schedules ----------------
+
+TEST(Schedules, ConstantLr) {
+  optim::ConstantLr s(0.1);
+  EXPECT_DOUBLE_EQ(s.lr(0), 0.1);
+  EXPECT_DOUBLE_EQ(s.lr(1000000), 0.1);
+}
+
+TEST(Schedules, PolyPowerTwoMatchesPaperFormula) {
+  optim::PolyLr s(2.0, 100, 2.0);
+  EXPECT_DOUBLE_EQ(s.lr(0), 2.0);
+  EXPECT_NEAR(s.lr(50), 2.0 * 0.25, 1e-12);
+  EXPECT_NEAR(s.lr(90), 2.0 * 0.01, 1e-12);
+  EXPECT_DOUBLE_EQ(s.lr(100), 0.0);
+  EXPECT_DOUBLE_EQ(s.lr(150), 0.0);
+}
+
+TEST(Schedules, PolyPowerOneIsLinear) {
+  optim::PolyLr s(1.0, 10, 1.0);
+  EXPECT_NEAR(s.lr(5), 0.5, 1e-12);
+}
+
+TEST(Schedules, StepDecays) {
+  optim::StepLr s(1.0, 10, 0.1);
+  EXPECT_DOUBLE_EQ(s.lr(9), 1.0);
+  EXPECT_NEAR(s.lr(10), 0.1, 1e-12);
+  EXPECT_NEAR(s.lr(25), 0.01, 1e-12);
+}
+
+TEST(Schedules, WarmupRampsLinearlyToInner) {
+  auto inner = std::make_unique<optim::ConstantLr>(1.0);
+  optim::WarmupLr s(std::move(inner), 10, 0.0);
+  EXPECT_NEAR(s.lr(0), 0.1, 1e-12);
+  EXPECT_NEAR(s.lr(4), 0.5, 1e-12);
+  EXPECT_NEAR(s.lr(9), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.lr(10), 1.0);
+}
+
+TEST(Schedules, WarmupStartsFromStartLr) {
+  auto inner = std::make_unique<optim::ConstantLr>(2.0);
+  optim::WarmupLr s(std::move(inner), 4, 1.0);
+  EXPECT_NEAR(s.lr(0), 1.25, 1e-12);
+  EXPECT_NEAR(s.lr(3), 2.0, 1e-12);
+}
+
+TEST(Schedules, WarmupIsMonotoneDuringRamp) {
+  auto inner = std::make_unique<optim::PolyLr>(3.2, 1000, 2.0);
+  optim::WarmupLr s(std::move(inner), 50, 0.05);
+  for (int i = 1; i < 50; ++i) EXPECT_GE(s.lr(i), s.lr(i - 1));
+}
+
+TEST(Schedules, InvalidConfigsThrow) {
+  EXPECT_THROW(optim::ConstantLr(0.0), std::invalid_argument);
+  EXPECT_THROW(optim::PolyLr(1.0, 0), std::invalid_argument);
+  EXPECT_THROW(optim::PolyLr(1.0, 10, -1.0), std::invalid_argument);
+  EXPECT_THROW(optim::StepLr(1.0, 0), std::invalid_argument);
+  EXPECT_THROW(optim::WarmupLr(nullptr, 5), std::invalid_argument);
+}
+
+TEST(Schedules, LinearScalingRule) {
+  // Paper: B -> kB implies eta -> k*eta.
+  EXPECT_DOUBLE_EQ(optim::linear_scaled_lr(0.02, 512, 4096), 0.16);
+  EXPECT_DOUBLE_EQ(optim::linear_scaled_lr(0.1, 256, 256), 0.1);
+}
+
+TEST(Schedules, IterationsForEpochsMatchesTable2) {
+  // Table 2 rows: ImageNet n=1.28M, 100 epochs.
+  const std::int64_t n = 1'280'000;
+  EXPECT_EQ(optim::iterations_for_epochs(100, n, 512), 250'000);
+  EXPECT_EQ(optim::iterations_for_epochs(100, n, 1024), 125'000);
+  EXPECT_EQ(optim::iterations_for_epochs(100, n, 8192), 15'625);
+  EXPECT_EQ(optim::iterations_for_epochs(100, n, 1'280'000), 100);
+}
+
+TEST(Schedules, IterationsCeilOnNonDivisible) {
+  EXPECT_EQ(optim::iterations_for_epochs(1, 10, 3), 4);
+}
+
+// ---------------- SGD ----------------
+
+TEST(Sgd, PlainStepWithoutMomentum) {
+  FakeParam p({1.0f}, {0.5f});
+  optim::Sgd sgd({.momentum = 0.0, .weight_decay = 0.0});
+  sgd.step(p.refs, 0.1);
+  EXPECT_NEAR(p.w[0], 1.0f - 0.1f * 0.5f, 1e-7);
+}
+
+TEST(Sgd, WeightDecayAddsToGradient) {
+  FakeParam p({2.0f}, {0.0f});
+  optim::Sgd sgd({.momentum = 0.0, .weight_decay = 0.1});
+  sgd.step(p.refs, 1.0);
+  EXPECT_NEAR(p.w[0], 2.0f - 0.1f * 2.0f, 1e-7);
+}
+
+TEST(Sgd, NonDecayParamSkipsWeightDecay) {
+  FakeParam p({2.0f}, {0.0f}, /*decay=*/false);
+  optim::Sgd sgd({.momentum = 0.0, .weight_decay = 0.1});
+  sgd.step(p.refs, 1.0);
+  EXPECT_EQ(p.w[0], 2.0f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  FakeParam p({0.0f}, {1.0f});
+  optim::Sgd sgd({.momentum = 0.5, .weight_decay = 0.0});
+  sgd.step(p.refs, 1.0);   // v=1, w=-1
+  sgd.step(p.refs, 1.0);   // v=1.5, w=-2.5
+  EXPECT_NEAR(p.w[0], -2.5f, 1e-6);
+}
+
+TEST(Sgd, ResetClearsVelocity) {
+  FakeParam p({0.0f}, {1.0f});
+  optim::Sgd sgd({.momentum = 0.9, .weight_decay = 0.0});
+  sgd.step(p.refs, 1.0);
+  sgd.reset();
+  p.w[0] = 0.0f;
+  sgd.step(p.refs, 1.0);
+  EXPECT_NEAR(p.w[0], -1.0f, 1e-6);  // no leftover momentum
+}
+
+TEST(Sgd, RejectsBadConfig) {
+  EXPECT_THROW(optim::Sgd({.momentum = 1.0}), std::invalid_argument);
+  EXPECT_THROW(optim::Sgd({.momentum = -0.1}), std::invalid_argument);
+  EXPECT_THROW(optim::Sgd({.weight_decay = -1.0}), std::invalid_argument);
+}
+
+TEST(Sgd, RejectsChangedParamList) {
+  FakeParam p({1.0f}, {1.0f});
+  optim::Sgd sgd;
+  sgd.step(p.refs, 0.1);
+  FakeParam q({1.0f, 2.0f}, {1.0f, 1.0f});
+  std::vector<nn::ParamRef> two = {p.refs[0], q.refs[0]};
+  EXPECT_THROW(sgd.step(two, 0.1), std::invalid_argument);
+}
+
+// ---------------- LARS ----------------
+
+TEST(Lars, TrustRatioMatchesFormula) {
+  // w = [3, 4] (norm 5), g = [0.6, 0.8] (norm 1), wd = 0.
+  FakeParam p({3.0f, 4.0f}, {0.6f, 0.8f});
+  optim::Lars lars({.trust_coeff = 0.01,
+                    .momentum = 0.0,
+                    .weight_decay = 0.0,
+                    .eps = 0.0});
+  lars.step(p.refs, 1.0);
+  ASSERT_EQ(lars.last_local_lrs().size(), 1u);
+  EXPECT_NEAR(lars.last_local_lrs()[0], 0.01 * 5.0 / 1.0, 1e-6);
+  // Update = lr * local * g.
+  EXPECT_NEAR(p.w[0], 3.0f - 0.05f * 0.6f, 1e-6);
+}
+
+TEST(Lars, WeightDecayEntersDenominatorAndUpdate) {
+  FakeParam p({3.0f, 4.0f}, {0.6f, 0.8f});
+  const double wd = 0.1;
+  optim::Lars lars({.trust_coeff = 0.01,
+                    .momentum = 0.0,
+                    .weight_decay = wd,
+                    .eps = 0.0});
+  lars.step(p.refs, 1.0);
+  const double local = 0.01 * 5.0 / (1.0 + wd * 5.0);
+  EXPECT_NEAR(lars.last_local_lrs()[0], local, 1e-9);
+  EXPECT_NEAR(p.w[0], 3.0f - static_cast<float>(local * (0.6 + wd * 3.0)),
+              1e-6);
+}
+
+TEST(Lars, NonDecayParamFollowsGlobalLr) {
+  FakeParam p({2.0f}, {1.0f}, /*decay=*/false);
+  optim::Lars lars({.trust_coeff = 0.001, .momentum = 0.0});
+  lars.step(p.refs, 0.5);
+  EXPECT_NEAR(p.w[0], 2.0f - 0.5f, 1e-6);  // plain step, no trust scaling
+  EXPECT_DOUBLE_EQ(lars.last_local_lrs()[0], 0.0);
+}
+
+TEST(Lars, ZeroWeightNormFallsBackToGlobalLr) {
+  FakeParam p({0.0f}, {1.0f});
+  optim::Lars lars({.trust_coeff = 0.001, .momentum = 0.0,
+                    .weight_decay = 0.0});
+  lars.step(p.refs, 0.1);
+  EXPECT_NEAR(p.w[0], -0.1f, 1e-6);
+}
+
+TEST(Lars, DampsLayersWithLargeGradients) {
+  // Two layers, same weights, gradient 100x larger on the second: the
+  // second's effective step must be ~100x smaller relative to its gradient.
+  FakeParam a({1.0f}, {0.01f});
+  FakeParam b({1.0f}, {1.0f});
+  std::vector<nn::ParamRef> both = {a.refs[0], b.refs[0]};
+  optim::Lars lars({.trust_coeff = 0.1, .momentum = 0.0,
+                    .weight_decay = 0.0});
+  lars.step(both, 1.0);
+  const auto& locals = lars.last_local_lrs();
+  EXPECT_NEAR(locals[0] / locals[1], 100.0, 1.0);
+}
+
+TEST(Lars, MomentumOnScaledUpdate) {
+  FakeParam p({3.0f, 4.0f}, {0.6f, 0.8f});
+  optim::Lars lars({.trust_coeff = 0.01, .momentum = 0.5,
+                    .weight_decay = 0.0, .eps = 0.0});
+  lars.step(p.refs, 1.0);
+  const float w_after_1 = p.w[0];
+  lars.step(p.refs, 1.0);
+  // Second velocity includes half of the first: step grows.
+  EXPECT_LT(p.w[0], w_after_1);
+}
+
+TEST(Lars, RejectsBadConfig) {
+  EXPECT_THROW(optim::Lars({.trust_coeff = 0.0}), std::invalid_argument);
+  EXPECT_THROW(optim::Lars({.momentum = 1.5}), std::invalid_argument);
+  EXPECT_THROW(optim::Lars({.weight_decay = -0.1}), std::invalid_argument);
+}
+
+TEST(Lars, ResetClearsState) {
+  FakeParam p({1.0f}, {1.0f});
+  optim::Lars lars;
+  lars.step(p.refs, 0.1);
+  lars.reset();
+  EXPECT_TRUE(lars.last_local_lrs().empty());
+}
+
+}  // namespace
+}  // namespace minsgd

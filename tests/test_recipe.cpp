@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "core/proxy.hpp"
+#include "core/recipe.hpp"
+
+namespace minsgd {
+namespace {
+
+using core::LrRule;
+using core::RecipeConfig;
+
+data::SyntheticImageNet proxy_dataset() {
+  return data::SyntheticImageNet(core::micro_proxy().dataset);
+}
+
+TEST(Recipe, IterationBudgetFixedByEpochs) {
+  auto ds = proxy_dataset();
+  RecipeConfig rc = core::micro_proxy().recipe(64, LrRule::kLinearWarmup);
+  const auto r = core::make_recipe(rc, ds);
+  EXPECT_EQ(r.total_iterations, rc.epochs * 1024 / 64);
+}
+
+TEST(Recipe, LinearScalingSetsPeakLr) {
+  auto ds = proxy_dataset();
+  auto proxy = core::micro_proxy();
+  RecipeConfig rc = proxy.recipe(256, LrRule::kLinearWarmup);
+  const auto r = core::make_recipe(rc, ds);
+  EXPECT_DOUBLE_EQ(r.scaled_lr, proxy.base_lr * 256 / proxy.base_batch);
+}
+
+TEST(Recipe, BaselineHasNoWarmup) {
+  auto proxy = core::micro_proxy();
+  RecipeConfig rc = proxy.recipe(proxy.base_batch, LrRule::kLinearWarmup);
+  EXPECT_DOUBLE_EQ(rc.warmup_epochs, 0.0);
+  auto ds = proxy_dataset();
+  const auto r = core::make_recipe(rc, ds);
+  // First-iteration LR is already the (unscaled) base LR under poly decay.
+  EXPECT_NEAR(r.schedule->lr(0), proxy.base_lr, 1e-9);
+}
+
+TEST(Recipe, LargeBatchWarmsUp) {
+  auto proxy = core::micro_proxy();
+  auto ds = proxy_dataset();
+  RecipeConfig rc = proxy.recipe(256, LrRule::kLinearWarmup);
+  const auto r = core::make_recipe(rc, ds);
+  // During warmup the LR must sit well below the scaled peak and ramp up.
+  EXPECT_LT(r.schedule->lr(0), r.scaled_lr * 0.5);
+  const auto warmup_iters = static_cast<std::int64_t>(
+      rc.warmup_epochs * 1024 / 256);
+  EXPECT_GT(r.schedule->lr(warmup_iters), r.schedule->lr(0));
+}
+
+TEST(Recipe, PolyDecayReachesZero) {
+  auto proxy = core::micro_proxy();
+  auto ds = proxy_dataset();
+  const auto r = core::make_recipe(proxy.recipe(64, LrRule::kLars), ds);
+  EXPECT_DOUBLE_EQ(r.schedule->lr(r.total_iterations), 0.0);
+}
+
+TEST(Recipe, OptimizerFactoryMatchesRule) {
+  auto proxy = core::micro_proxy();
+  auto ds = proxy_dataset();
+  const auto sgd_recipe =
+      core::make_recipe(proxy.recipe(64, LrRule::kLinearWarmup), ds);
+  const auto lars_recipe =
+      core::make_recipe(proxy.recipe(64, LrRule::kLars), ds);
+  auto sgd_opt = sgd_recipe.optimizer_factory();
+  auto lars_opt = lars_recipe.optimizer_factory();
+  EXPECT_NE(dynamic_cast<optim::Sgd*>(sgd_opt.get()), nullptr);
+  EXPECT_NE(dynamic_cast<optim::Lars*>(lars_opt.get()), nullptr);
+}
+
+TEST(Recipe, ToStringNamesRules) {
+  EXPECT_STREQ(core::to_string(LrRule::kLars), "LARS+warmup");
+  EXPECT_STREQ(core::to_string(LrRule::kLinearWarmup),
+               "linear-scaling+warmup");
+}
+
+TEST(Recipe, RejectsBatchBelowBase) {
+  auto proxy = core::micro_proxy();
+  auto ds = proxy_dataset();
+  RecipeConfig rc = proxy.recipe(proxy.base_batch, LrRule::kLars);
+  rc.global_batch = proxy.base_batch / 2;
+  EXPECT_THROW(core::make_recipe(rc, ds), std::invalid_argument);
+}
+
+TEST(Recipe, RejectsWarmupLongerThanRun) {
+  auto proxy = core::micro_proxy();
+  auto ds = proxy_dataset();
+  RecipeConfig rc = proxy.recipe(256, LrRule::kLars);
+  rc.warmup_epochs = static_cast<double>(rc.epochs);
+  EXPECT_THROW(core::make_recipe(rc, ds), std::invalid_argument);
+}
+
+TEST(Recipe, RunRecipeTrainsEndToEnd) {
+  auto proxy = core::micro_proxy();
+  auto ds = proxy_dataset();
+  RecipeConfig rc = proxy.recipe(proxy.base_batch, LrRule::kLinearWarmup);
+  rc.epochs = 2;
+  const auto res = core::run_recipe(proxy.alexnet_factory(), rc, ds);
+  EXPECT_EQ(res.epochs.size(), 2u);
+  EXPECT_FALSE(res.diverged);
+}
+
+TEST(Recipe, DistributedRunProducesTraffic) {
+  auto proxy = core::micro_proxy();
+  auto ds = proxy_dataset();
+  RecipeConfig rc = proxy.recipe(64, LrRule::kLars);
+  rc.epochs = 1;
+  rc.warmup_epochs = 0.25;
+  const auto res =
+      core::run_recipe_distributed(proxy.alexnet_factory(), rc, ds, 4);
+  EXPECT_GT(res.traffic.messages, 0);
+  EXPECT_EQ(res.iterations, 1024 / 64);
+}
+
+TEST(Proxy, PresetsAreConsistent) {
+  const auto micro = core::micro_proxy();
+  const auto bench = core::bench_proxy();
+  EXPECT_LE(micro.dataset.train_size, bench.dataset.train_size);
+  EXPECT_EQ(micro.dataset.train_size % micro.base_batch, 0);
+  EXPECT_EQ(bench.dataset.train_size % bench.base_batch, 0);
+  // Factories build nets with the right output arity.
+  auto net = bench.alexnet_factory()();
+  EXPECT_EQ(net->output_shape({1, 3, bench.dataset.resolution,
+                               bench.dataset.resolution}),
+            Shape({1, bench.dataset.classes}));
+  auto rnet = bench.resnet_factory()();
+  EXPECT_EQ(rnet->output_shape({1, 3, bench.dataset.resolution,
+                                bench.dataset.resolution}),
+            Shape({1, bench.dataset.classes}));
+}
+
+}  // namespace
+}  // namespace minsgd

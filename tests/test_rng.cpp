@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace minsgd {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(11);
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += r.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatchStandard) {
+  Rng r(13);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng r(19);
+  std::vector<int> hist(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const auto v = r.uniform_int(7);
+    ASSERT_LT(v, 7u);
+    ++hist[static_cast<std::size_t>(v)];
+  }
+  for (int c : hist) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, UniformIntOneAlwaysZero) {
+  Rng r(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_int(1), 0u);
+}
+
+TEST(Rng, UniformIntZeroThrows) {
+  Rng r(23);
+  EXPECT_THROW(r.uniform_int(0), std::invalid_argument);
+}
+
+TEST(Rng, FillNormalFills) {
+  Rng r(29);
+  std::vector<float> v(1000);
+  r.fill_normal(v, 2.0f, 1.0f);
+  double acc = 0.0;
+  for (float x : v) acc += x;
+  EXPECT_NEAR(acc / 1000.0, 2.0, 0.15);
+}
+
+TEST(Rng, FillUniformFills) {
+  Rng r(31);
+  std::vector<float> v(1000);
+  r.fill_uniform(v, -1.0f, 1.0f);
+  for (float x : v) {
+    EXPECT_GE(x, -1.0f);
+    EXPECT_LT(x, 1.0f);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng base(77);
+  Rng s1 = base.split(1);
+  Rng s2 = base.split(2);
+  Rng s1_again = base.split(1);
+  EXPECT_EQ(s1.next_u64(), s1_again.next_u64());
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s1.next_u64() == s2.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+// Property sweep: every seed yields in-range uniform_int values for a range
+// of moduli (guards the rejection-sampling path).
+class RngModuloProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngModuloProperty, AllValuesBelowModulus) {
+  const std::uint64_t n = GetParam();
+  Rng r(n * 1234567 + 1);
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(r.uniform_int(n), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, RngModuloProperty,
+                         ::testing::Values(1, 2, 3, 5, 7, 16, 1000, 1 << 20,
+                                           (1ull << 63) + 3));
+
+}  // namespace
+}  // namespace minsgd

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "nn/models.hpp"
+#include "nn/serialize.hpp"
+
+namespace minsgd {
+namespace {
+
+std::unique_ptr<nn::Network> make_net() {
+  return nn::tiny_alexnet(4, 16, nn::AlexNetNorm::kBN, 4);
+}
+
+TEST(Serialize, RoundTripRestoresExactWeights) {
+  auto a = make_net();
+  Rng rng(9);
+  a->init(rng);
+  std::stringstream buf;
+  nn::save_checkpoint(*a, buf);
+
+  auto b = make_net();
+  Rng rng2(1234);  // different init, must be fully overwritten
+  b->init(rng2);
+  nn::load_checkpoint(*b, buf);
+  EXPECT_EQ(a->flatten_params(), b->flatten_params());
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ckpt.bin";
+  auto a = make_net();
+  Rng rng(3);
+  a->init(rng);
+  nn::save_checkpoint(*a, path);
+  auto b = make_net();
+  b->init(rng);
+  for (auto& p : b->params()) p.value->fill(0.0f);
+  nn::load_checkpoint(*b, path);
+  EXPECT_EQ(a->flatten_params(), b->flatten_params());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  auto net = make_net();
+  std::stringstream buf("not a checkpoint at all");
+  EXPECT_THROW(nn::load_checkpoint(*net, buf), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  auto net = make_net();
+  Rng rng(5);
+  net->init(rng);
+  std::stringstream buf;
+  nn::save_checkpoint(*net, buf);
+  const std::string full = buf.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(nn::load_checkpoint(*net, truncated), std::runtime_error);
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  auto a = make_net();
+  Rng rng(7);
+  a->init(rng);
+  std::stringstream buf;
+  nn::save_checkpoint(*a, buf);
+  auto other = nn::tiny_alexnet(8, 16, nn::AlexNetNorm::kBN, 4);  // 8 classes
+  other->init(rng);
+  EXPECT_THROW(nn::load_checkpoint(*other, buf), std::runtime_error);
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  auto net = make_net();
+  EXPECT_THROW(nn::load_checkpoint(*net, "/no/such/file.bin"),
+               std::runtime_error);
+}
+
+TEST(Serialize, CheckpointPreservesInference) {
+  auto a = make_net();
+  Rng rng(11);
+  a->init(rng);
+  Tensor x({2, 3, 16, 16});
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+  Tensor ya;
+  a->forward(x, ya, /*training=*/false);
+
+  std::stringstream buf;
+  nn::save_checkpoint(*a, buf);
+  auto b = make_net();
+  Rng rng2(99);
+  b->init(rng2);
+  nn::load_checkpoint(*b, buf);
+  Tensor yb;
+  b->forward(x, yb, /*training=*/false);
+  for (std::int64_t i = 0; i < ya.numel(); ++i) {
+    EXPECT_NEAR(ya[i], yb[i], 1e-5);
+  }
+}
+
+TEST(Serialize, BatchNormRunningStatsAreCheckpointed) {
+  // Train-mode forwards move the running statistics; a checkpoint must
+  // capture them or eval-mode inference changes after reload.
+  auto a = make_net();
+  Rng rng(21);
+  a->init(rng);
+  Tensor x({8, 3, 16, 16});
+  rng.fill_normal(x.span(), 2.0f, 3.0f);
+  Tensor y;
+  for (int i = 0; i < 5; ++i) a->forward(x, y, /*training=*/true);
+  Tensor eval_before;
+  a->forward(x, eval_before, /*training=*/false);
+
+  std::stringstream buf;
+  nn::save_checkpoint(*a, buf);
+  auto b = make_net();
+  Rng rng2(77);
+  b->init(rng2);
+  nn::load_checkpoint(*b, buf);
+  Tensor eval_after;
+  b->forward(x, eval_after, /*training=*/false);
+  for (std::int64_t i = 0; i < eval_before.numel(); ++i) {
+    ASSERT_NEAR(eval_before[i], eval_after[i], 1e-5);
+  }
+}
+
+TEST(Serialize, BuffersAreNamedAndAggregated) {
+  auto net = make_net();
+  const auto bufs = net->buffers();
+  ASSERT_FALSE(bufs.empty());
+  // Two buffers (mean, var) per BatchNorm layer; names carry the layer path.
+  EXPECT_NE(bufs[0].name.find("bn"), std::string::npos);
+  EXPECT_NE(bufs[0].name.find("running_mean"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace minsgd

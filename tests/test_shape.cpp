@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/shape.hpp"
+
+namespace minsgd {
+namespace {
+
+TEST(Shape, DefaultIsRankZeroScalar) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, RankAndDims) {
+  Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4u);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[3], 5);
+  EXPECT_EQ(s.numel(), 120);
+}
+
+TEST(Shape, Rank1) {
+  Shape s{7};
+  EXPECT_EQ(s.rank(), 1u);
+  EXPECT_EQ(s.numel(), 7);
+}
+
+TEST(Shape, ZeroDimGivesZeroNumel) {
+  Shape s{4, 0, 2};
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(Shape, EqualityRequiresSameRankAndDims) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+  EXPECT_NE(Shape({6}), Shape({2, 3}));
+}
+
+TEST(Shape, OutOfRangeIndexThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s[2], std::out_of_range);
+}
+
+TEST(Shape, NegativeDimThrows) {
+  EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(Shape, RankAboveFourThrows) {
+  EXPECT_THROW(Shape({1, 2, 3, 4, 5}), std::invalid_argument);
+}
+
+TEST(Shape, StrFormatsDims) {
+  EXPECT_EQ(Shape({2, 3}).str(), "[2, 3]");
+  EXPECT_EQ(Shape{}.str(), "[]");
+}
+
+}  // namespace
+}  // namespace minsgd

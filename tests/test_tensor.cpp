@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/tensor.hpp"
+
+namespace minsgd {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  ASSERT_EQ(t.numel(), 6);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, RowMajor2dIndexing) {
+  Tensor t({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 2), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+}
+
+TEST(Tensor, Nchw4dIndexing) {
+  Tensor t({2, 2, 2, 2});
+  t.at(1, 1, 1, 1) = 42.0f;
+  EXPECT_EQ(t[15], 42.0f);
+  t.at(0, 1, 0, 1) = 7.0f;
+  EXPECT_EQ(t[5], 7.0f);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a({2}, 1.0f);
+  Tensor b = a;
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 9.0f);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  Tensor a({2, 3}, std::vector<float>{0, 1, 2, 3, 4, 5});
+  Tensor b = a.reshaped({3, 2});
+  EXPECT_EQ(b.shape(), Shape({3, 2}));
+  EXPECT_EQ(b.at(2, 1), 5.0f);
+}
+
+TEST(Tensor, ReshapedRejectsNumelMismatch) {
+  Tensor a({2, 3});
+  EXPECT_THROW(a.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ResizeReallocatesOnlyOnNumelChange) {
+  Tensor a({2, 3}, 5.0f);
+  a.resize({3, 2});  // same numel: data kept
+  EXPECT_EQ(a[0], 5.0f);
+  a.resize({4, 4});  // different numel: zeroed
+  EXPECT_EQ(a.numel(), 16);
+  EXPECT_EQ(a[0], 0.0f);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor a({3}, 1.0f);
+  a.fill(2.0f);
+  EXPECT_EQ(a[2], 2.0f);
+  a.zero();
+  EXPECT_EQ(a[0], 0.0f);
+}
+
+TEST(Tensor, SpanViewsData) {
+  Tensor a({3}, 1.5f);
+  auto s = a.span();
+  s[1] = 3.0f;
+  EXPECT_EQ(a[1], 3.0f);
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+}
+
+}  // namespace
+}  // namespace minsgd

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "tensor/threadpool.hpp"
+
+namespace minsgd {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ParallelFor, CoversEntireRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, 1000,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) {
+                   hits[static_cast<std::size_t>(i)].fetch_add(1);
+                 }
+               },
+               /*grain=*/16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoOp) {
+  bool called = false;
+  parallel_for(5, 5, [&](std::int64_t, std::int64_t) { called = true; });
+  parallel_for(5, 3, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(10, 20,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+               },
+               /*grain=*/2);
+  EXPECT_EQ(sum.load(), 145);  // 10+..+19
+}
+
+TEST(ParallelFor, SmallRangeRunsInline) {
+  // grain larger than range: single chunk, same thread semantics.
+  std::vector<int> hits(8, 0);
+  parallel_for(0, 8,
+               [&](std::int64_t lo, std::int64_t hi) {
+                 for (std::int64_t i = lo; i < hi; ++i) ++hits[i];
+               },
+               /*grain=*/1024);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 8);
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock) {
+  std::atomic<int> count{0};
+  parallel_for(0, 4, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      parallel_for(0, 4, [&](std::int64_t l2, std::int64_t h2) {
+        count.fetch_add(static_cast<int>(h2 - l2));
+      });
+    }
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+}  // namespace
+}  // namespace minsgd
