@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_recipe.dir/bench_ablation_recipe.cpp.o"
+  "CMakeFiles/bench_ablation_recipe.dir/bench_ablation_recipe.cpp.o.d"
+  "bench_ablation_recipe"
+  "bench_ablation_recipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_recipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

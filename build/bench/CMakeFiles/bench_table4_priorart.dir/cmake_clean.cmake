@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_priorart.dir/bench_table4_priorart.cpp.o"
+  "CMakeFiles/bench_table4_priorart.dir/bench_table4_priorart.cpp.o.d"
+  "bench_table4_priorart"
+  "bench_table4_priorart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_priorart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_alexnet_lars.dir/bench_table7_alexnet_lars.cpp.o"
+  "CMakeFiles/bench_table7_alexnet_lars.dir/bench_table7_alexnet_lars.cpp.o.d"
+  "bench_table7_alexnet_lars"
+  "bench_table7_alexnet_lars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_alexnet_lars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

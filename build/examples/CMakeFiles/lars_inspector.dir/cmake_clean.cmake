@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lars_inspector.dir/lars_inspector.cpp.o"
+  "CMakeFiles/lars_inspector.dir/lars_inspector.cpp.o.d"
+  "lars_inspector"
+  "lars_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lars_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

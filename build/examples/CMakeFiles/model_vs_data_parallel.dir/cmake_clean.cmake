@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_vs_data_parallel.dir/model_vs_data_parallel.cpp.o"
+  "CMakeFiles/model_vs_data_parallel.dir/model_vs_data_parallel.cpp.o.d"
+  "model_vs_data_parallel"
+  "model_vs_data_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_vs_data_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/cluster.cpp" "src/comm/CMakeFiles/minsgd_comm.dir/cluster.cpp.o" "gcc" "src/comm/CMakeFiles/minsgd_comm.dir/cluster.cpp.o.d"
+  "/root/repo/src/comm/communicator.cpp" "src/comm/CMakeFiles/minsgd_comm.dir/communicator.cpp.o" "gcc" "src/comm/CMakeFiles/minsgd_comm.dir/communicator.cpp.o.d"
+  "/root/repo/src/comm/compress.cpp" "src/comm/CMakeFiles/minsgd_comm.dir/compress.cpp.o" "gcc" "src/comm/CMakeFiles/minsgd_comm.dir/compress.cpp.o.d"
+  "/root/repo/src/comm/model_parallel.cpp" "src/comm/CMakeFiles/minsgd_comm.dir/model_parallel.cpp.o" "gcc" "src/comm/CMakeFiles/minsgd_comm.dir/model_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/minsgd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/minsgd_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minsgd_comm.dir/cluster.cpp.o"
+  "CMakeFiles/minsgd_comm.dir/cluster.cpp.o.d"
+  "CMakeFiles/minsgd_comm.dir/communicator.cpp.o"
+  "CMakeFiles/minsgd_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/minsgd_comm.dir/compress.cpp.o"
+  "CMakeFiles/minsgd_comm.dir/compress.cpp.o.d"
+  "CMakeFiles/minsgd_comm.dir/model_parallel.cpp.o"
+  "CMakeFiles/minsgd_comm.dir/model_parallel.cpp.o.d"
+  "libminsgd_comm.a"
+  "libminsgd_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minsgd_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libminsgd_comm.a"
+)

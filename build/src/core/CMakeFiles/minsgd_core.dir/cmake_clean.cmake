@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minsgd_core.dir/proxy.cpp.o"
+  "CMakeFiles/minsgd_core.dir/proxy.cpp.o.d"
+  "CMakeFiles/minsgd_core.dir/recipe.cpp.o"
+  "CMakeFiles/minsgd_core.dir/recipe.cpp.o.d"
+  "libminsgd_core.a"
+  "libminsgd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minsgd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

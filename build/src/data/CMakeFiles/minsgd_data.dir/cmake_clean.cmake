@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minsgd_data.dir/augment.cpp.o"
+  "CMakeFiles/minsgd_data.dir/augment.cpp.o.d"
+  "CMakeFiles/minsgd_data.dir/loader.cpp.o"
+  "CMakeFiles/minsgd_data.dir/loader.cpp.o.d"
+  "CMakeFiles/minsgd_data.dir/synthetic.cpp.o"
+  "CMakeFiles/minsgd_data.dir/synthetic.cpp.o.d"
+  "libminsgd_data.a"
+  "libminsgd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minsgd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/minsgd_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/minsgd_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/analysis.cpp" "src/nn/CMakeFiles/minsgd_nn.dir/analysis.cpp.o" "gcc" "src/nn/CMakeFiles/minsgd_nn.dir/analysis.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/minsgd_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/minsgd_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/minsgd_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/minsgd_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/minsgd_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/minsgd_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/minsgd_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/minsgd_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/minsgd_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/minsgd_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/minsgd_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/minsgd_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/minsgd_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/minsgd_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/minsgd_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/minsgd_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/minsgd_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/minsgd_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/nn/CMakeFiles/minsgd_nn.dir/residual.cpp.o" "gcc" "src/nn/CMakeFiles/minsgd_nn.dir/residual.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/minsgd_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/minsgd_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/minsgd_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minsgd_nn.dir/activation.cpp.o"
+  "CMakeFiles/minsgd_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/minsgd_nn.dir/analysis.cpp.o"
+  "CMakeFiles/minsgd_nn.dir/analysis.cpp.o.d"
+  "CMakeFiles/minsgd_nn.dir/conv.cpp.o"
+  "CMakeFiles/minsgd_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/minsgd_nn.dir/dropout.cpp.o"
+  "CMakeFiles/minsgd_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/minsgd_nn.dir/init.cpp.o"
+  "CMakeFiles/minsgd_nn.dir/init.cpp.o.d"
+  "CMakeFiles/minsgd_nn.dir/linear.cpp.o"
+  "CMakeFiles/minsgd_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/minsgd_nn.dir/loss.cpp.o"
+  "CMakeFiles/minsgd_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/minsgd_nn.dir/models.cpp.o"
+  "CMakeFiles/minsgd_nn.dir/models.cpp.o.d"
+  "CMakeFiles/minsgd_nn.dir/network.cpp.o"
+  "CMakeFiles/minsgd_nn.dir/network.cpp.o.d"
+  "CMakeFiles/minsgd_nn.dir/norm.cpp.o"
+  "CMakeFiles/minsgd_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/minsgd_nn.dir/pool.cpp.o"
+  "CMakeFiles/minsgd_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/minsgd_nn.dir/residual.cpp.o"
+  "CMakeFiles/minsgd_nn.dir/residual.cpp.o.d"
+  "CMakeFiles/minsgd_nn.dir/serialize.cpp.o"
+  "CMakeFiles/minsgd_nn.dir/serialize.cpp.o.d"
+  "libminsgd_nn.a"
+  "libminsgd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minsgd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minsgd_optim.dir/lars.cpp.o"
+  "CMakeFiles/minsgd_optim.dir/lars.cpp.o.d"
+  "CMakeFiles/minsgd_optim.dir/optimizer.cpp.o"
+  "CMakeFiles/minsgd_optim.dir/optimizer.cpp.o.d"
+  "CMakeFiles/minsgd_optim.dir/schedule.cpp.o"
+  "CMakeFiles/minsgd_optim.dir/schedule.cpp.o.d"
+  "CMakeFiles/minsgd_optim.dir/sgd.cpp.o"
+  "CMakeFiles/minsgd_optim.dir/sgd.cpp.o.d"
+  "libminsgd_optim.a"
+  "libminsgd_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minsgd_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minsgd_perf.dir/cost_model.cpp.o"
+  "CMakeFiles/minsgd_perf.dir/cost_model.cpp.o.d"
+  "CMakeFiles/minsgd_perf.dir/energy.cpp.o"
+  "CMakeFiles/minsgd_perf.dir/energy.cpp.o.d"
+  "CMakeFiles/minsgd_perf.dir/specs.cpp.o"
+  "CMakeFiles/minsgd_perf.dir/specs.cpp.o.d"
+  "libminsgd_perf.a"
+  "libminsgd_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minsgd_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

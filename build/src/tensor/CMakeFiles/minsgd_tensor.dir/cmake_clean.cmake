@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minsgd_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/minsgd_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/minsgd_tensor.dir/ops.cpp.o"
+  "CMakeFiles/minsgd_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/minsgd_tensor.dir/rng.cpp.o"
+  "CMakeFiles/minsgd_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/minsgd_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/minsgd_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/minsgd_tensor.dir/threadpool.cpp.o"
+  "CMakeFiles/minsgd_tensor.dir/threadpool.cpp.o.d"
+  "libminsgd_tensor.a"
+  "libminsgd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minsgd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

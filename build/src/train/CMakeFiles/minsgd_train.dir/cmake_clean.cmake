@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minsgd_train.dir/async_trainer.cpp.o"
+  "CMakeFiles/minsgd_train.dir/async_trainer.cpp.o.d"
+  "CMakeFiles/minsgd_train.dir/easgd.cpp.o"
+  "CMakeFiles/minsgd_train.dir/easgd.cpp.o.d"
+  "CMakeFiles/minsgd_train.dir/metrics.cpp.o"
+  "CMakeFiles/minsgd_train.dir/metrics.cpp.o.d"
+  "CMakeFiles/minsgd_train.dir/trainer.cpp.o"
+  "CMakeFiles/minsgd_train.dir/trainer.cpp.o.d"
+  "libminsgd_train.a"
+  "libminsgd_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minsgd_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_easgd.dir/test_easgd.cpp.o"
+  "CMakeFiles/test_easgd.dir/test_easgd.cpp.o.d"
+  "test_easgd"
+  "test_easgd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_easgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_lars.dir/test_integration_lars.cpp.o"
+  "CMakeFiles/test_integration_lars.dir/test_integration_lars.cpp.o.d"
+  "test_integration_lars"
+  "test_integration_lars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_lars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_parallel.dir/test_model_parallel.cpp.o"
+  "CMakeFiles/test_model_parallel.dir/test_model_parallel.cpp.o.d"
+  "test_model_parallel"
+  "test_model_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_norm.dir/test_norm.cpp.o"
+  "CMakeFiles/test_norm.dir/test_norm.cpp.o.d"
+  "test_norm"
+  "test_norm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_norm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
