@@ -238,18 +238,17 @@ bench/CMakeFiles/bench_fig8_9_10_comm_scaling.dir/bench_fig8_9_10_comm_scaling.c
  /root/repo/src/train/async_trainer.hpp /root/repo/src/nn/network.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/train/trainer.hpp /root/repo/src/comm/cluster.hpp \
- /usr/include/c++/12/barrier /usr/include/c++/12/bits/std_thread.h \
- /root/repo/src/comm/communicator.hpp /root/repo/src/comm/mailbox.hpp \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/comm/communicator.hpp /root/repo/src/comm/fault.hpp \
+ /root/repo/src/comm/mailbox.hpp /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/comm/traffic.hpp \
- /root/repo/src/data/loader.hpp /root/repo/src/data/augment.hpp \
- /root/repo/src/train/metrics.hpp /root/repo/src/nn/models.hpp \
- /root/repo/src/nn/analysis.hpp
+ /root/repo/src/comm/traffic.hpp /root/repo/src/data/loader.hpp \
+ /root/repo/src/data/augment.hpp /root/repo/src/train/metrics.hpp \
+ /root/repo/src/nn/models.hpp /root/repo/src/nn/analysis.hpp

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/comm/cluster.cpp" "src/comm/CMakeFiles/minsgd_comm.dir/cluster.cpp.o" "gcc" "src/comm/CMakeFiles/minsgd_comm.dir/cluster.cpp.o.d"
   "/root/repo/src/comm/communicator.cpp" "src/comm/CMakeFiles/minsgd_comm.dir/communicator.cpp.o" "gcc" "src/comm/CMakeFiles/minsgd_comm.dir/communicator.cpp.o.d"
   "/root/repo/src/comm/compress.cpp" "src/comm/CMakeFiles/minsgd_comm.dir/compress.cpp.o" "gcc" "src/comm/CMakeFiles/minsgd_comm.dir/compress.cpp.o.d"
+  "/root/repo/src/comm/fault.cpp" "src/comm/CMakeFiles/minsgd_comm.dir/fault.cpp.o" "gcc" "src/comm/CMakeFiles/minsgd_comm.dir/fault.cpp.o.d"
   "/root/repo/src/comm/model_parallel.cpp" "src/comm/CMakeFiles/minsgd_comm.dir/model_parallel.cpp.o" "gcc" "src/comm/CMakeFiles/minsgd_comm.dir/model_parallel.cpp.o.d"
   )
 

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/minsgd_comm.dir/communicator.cpp.o.d"
   "CMakeFiles/minsgd_comm.dir/compress.cpp.o"
   "CMakeFiles/minsgd_comm.dir/compress.cpp.o.d"
+  "CMakeFiles/minsgd_comm.dir/fault.cpp.o"
+  "CMakeFiles/minsgd_comm.dir/fault.cpp.o.d"
   "CMakeFiles/minsgd_comm.dir/model_parallel.cpp.o"
   "CMakeFiles/minsgd_comm.dir/model_parallel.cpp.o.d"
   "libminsgd_comm.a"

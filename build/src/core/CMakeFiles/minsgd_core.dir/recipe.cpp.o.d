@@ -218,24 +218,27 @@ src/core/CMakeFiles/minsgd_core.dir/recipe.cpp.o: \
  /root/repo/src/optim/sgd.hpp /root/repo/src/train/async_trainer.hpp \
  /root/repo/src/nn/network.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/train/trainer.hpp \
- /root/repo/src/comm/cluster.hpp /usr/include/c++/12/barrier \
- /usr/include/c++/12/bits/std_thread.h \
- /root/repo/src/comm/communicator.hpp /root/repo/src/comm/mailbox.hpp \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /root/repo/src/comm/cluster.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/comm/communicator.hpp /root/repo/src/comm/fault.hpp \
+ /root/repo/src/comm/mailbox.hpp /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/comm/traffic.hpp \
- /root/repo/src/data/loader.hpp /root/repo/src/data/augment.hpp \
- /root/repo/src/train/metrics.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/comm/traffic.hpp /root/repo/src/data/loader.hpp \
+ /root/repo/src/data/augment.hpp /root/repo/src/train/metrics.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

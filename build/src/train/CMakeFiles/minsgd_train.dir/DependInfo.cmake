@@ -9,7 +9,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/train/async_trainer.cpp" "src/train/CMakeFiles/minsgd_train.dir/async_trainer.cpp.o" "gcc" "src/train/CMakeFiles/minsgd_train.dir/async_trainer.cpp.o.d"
+  "/root/repo/src/train/checkpoint.cpp" "src/train/CMakeFiles/minsgd_train.dir/checkpoint.cpp.o" "gcc" "src/train/CMakeFiles/minsgd_train.dir/checkpoint.cpp.o.d"
   "/root/repo/src/train/easgd.cpp" "src/train/CMakeFiles/minsgd_train.dir/easgd.cpp.o" "gcc" "src/train/CMakeFiles/minsgd_train.dir/easgd.cpp.o.d"
+  "/root/repo/src/train/fault_tolerant.cpp" "src/train/CMakeFiles/minsgd_train.dir/fault_tolerant.cpp.o" "gcc" "src/train/CMakeFiles/minsgd_train.dir/fault_tolerant.cpp.o.d"
   "/root/repo/src/train/metrics.cpp" "src/train/CMakeFiles/minsgd_train.dir/metrics.cpp.o" "gcc" "src/train/CMakeFiles/minsgd_train.dir/metrics.cpp.o.d"
   "/root/repo/src/train/trainer.cpp" "src/train/CMakeFiles/minsgd_train.dir/trainer.cpp.o" "gcc" "src/train/CMakeFiles/minsgd_train.dir/trainer.cpp.o.d"
   )

@@ -1,8 +1,12 @@
 file(REMOVE_RECURSE
   "CMakeFiles/minsgd_train.dir/async_trainer.cpp.o"
   "CMakeFiles/minsgd_train.dir/async_trainer.cpp.o.d"
+  "CMakeFiles/minsgd_train.dir/checkpoint.cpp.o"
+  "CMakeFiles/minsgd_train.dir/checkpoint.cpp.o.d"
   "CMakeFiles/minsgd_train.dir/easgd.cpp.o"
   "CMakeFiles/minsgd_train.dir/easgd.cpp.o.d"
+  "CMakeFiles/minsgd_train.dir/fault_tolerant.cpp.o"
+  "CMakeFiles/minsgd_train.dir/fault_tolerant.cpp.o.d"
   "CMakeFiles/minsgd_train.dir/metrics.cpp.o"
   "CMakeFiles/minsgd_train.dir/metrics.cpp.o.d"
   "CMakeFiles/minsgd_train.dir/trainer.cpp.o"

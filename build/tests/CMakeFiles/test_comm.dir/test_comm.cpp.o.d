@@ -295,17 +295,17 @@ tests/CMakeFiles/test_comm.dir/test_comm.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/comm/cluster.hpp /usr/include/c++/12/barrier \
- /usr/include/c++/12/bits/std_thread.h \
- /root/repo/src/comm/communicator.hpp /usr/include/c++/12/span \
- /root/repo/src/comm/mailbox.hpp /usr/include/c++/12/condition_variable \
+ /root/repo/src/comm/cluster.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/comm/communicator.hpp /usr/include/c++/12/span \
+ /root/repo/src/comm/fault.hpp /root/repo/src/comm/mailbox.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/comm/traffic.hpp \
- /root/repo/src/tensor/rng.hpp
+ /root/repo/src/tensor/rng.hpp /root/repo/src/comm/traffic.hpp

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fault.cpp" "tests/CMakeFiles/test_fault.dir/test_fault.cpp.o" "gcc" "tests/CMakeFiles/test_fault.dir/test_fault.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/minsgd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/minsgd_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/minsgd_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/minsgd_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/minsgd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/minsgd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/minsgd_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/minsgd_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

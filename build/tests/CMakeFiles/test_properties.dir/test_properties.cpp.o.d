@@ -293,22 +293,22 @@ tests/CMakeFiles/test_properties.dir/test_properties.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/comm/cluster.hpp /usr/include/c++/12/barrier \
- /usr/include/c++/12/bits/std_thread.h \
- /root/repo/src/comm/communicator.hpp /usr/include/c++/12/span \
- /root/repo/src/comm/mailbox.hpp /usr/include/c++/12/condition_variable \
+ /root/repo/src/comm/cluster.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/comm/communicator.hpp /usr/include/c++/12/span \
+ /root/repo/src/comm/fault.hpp /root/repo/src/comm/mailbox.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /root/repo/src/comm/traffic.hpp \
- /root/repo/src/data/synthetic.hpp /root/repo/src/tensor/rng.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
- /root/repo/src/nn/conv.hpp /root/repo/src/nn/layer.hpp \
- /root/repo/src/nn/loss.hpp /root/repo/src/optim/lars.hpp \
- /root/repo/src/optim/optimizer.hpp /root/repo/src/optim/schedule.hpp \
- /root/repo/src/tensor/ops.hpp
+ /root/repo/src/tensor/rng.hpp /root/repo/src/comm/traffic.hpp \
+ /root/repo/src/data/synthetic.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/tensor/shape.hpp /root/repo/src/nn/conv.hpp \
+ /root/repo/src/nn/layer.hpp /root/repo/src/nn/loss.hpp \
+ /root/repo/src/optim/lars.hpp /root/repo/src/optim/optimizer.hpp \
+ /root/repo/src/optim/schedule.hpp /root/repo/src/tensor/ops.hpp

@@ -293,7 +293,12 @@ tests/CMakeFiles/test_serialize.dir/test_serialize.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/nn/models.hpp /root/repo/src/nn/network.hpp \
- /root/repo/src/nn/layer.hpp /root/repo/src/tensor/rng.hpp \
- /usr/include/c++/12/span /root/repo/src/tensor/shape.hpp \
- /root/repo/src/tensor/tensor.hpp /root/repo/src/nn/serialize.hpp
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/nn/models.hpp \
+ /root/repo/src/nn/network.hpp /root/repo/src/nn/layer.hpp \
+ /root/repo/src/tensor/rng.hpp /usr/include/c++/12/span \
+ /root/repo/src/tensor/shape.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/nn/serialize.hpp /root/repo/src/optim/sgd.hpp \
+ /root/repo/src/optim/optimizer.hpp /root/repo/src/train/checkpoint.hpp

@@ -1,0 +1,111 @@
+// Fault tolerance: crash a rank mid-epoch, recover from the checkpoint,
+// and measure what stragglers cost synchronous SGD.
+//
+//   $ ./fault_tolerance
+//
+// At the paper's scale (1024-2048 KNL nodes, up to 45-hour runs) node
+// failure is an expectation, not an edge case. This example exercises the
+// fault-injection layer on three scenarios:
+//
+//   1. baseline     - fault-free run, for reference weights and timing;
+//   2. crash        - rank 1 is killed mid-epoch by the injector; the
+//                     driver catches the failure, rebuilds the cluster, and
+//                     resumes every rank from the last checkpoint. Final
+//                     weights are verified bit-identical to the baseline;
+//   3. stragglers   - random send delays (no data loss). Synchronous SGD
+//                     runs at the speed of the slowest rank, so a small
+//                     per-message delay inflates wall time while leaving
+//                     the result untouched.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "comm/fault.hpp"
+#include "core/proxy.hpp"
+#include "optim/sgd.hpp"
+#include "train/fault_tolerant.hpp"
+
+using namespace minsgd;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+train::FaultTolerantResult run_scenario(
+    const char* name, const core::ProxyScale& proxy,
+    const data::SyntheticImageNet& ds,
+    std::shared_ptr<comm::FaultInjector> injector, double* elapsed) {
+  const int world = 4;
+  train::FaultTolerantOptions options;
+  options.train.global_batch = proxy.base_batch;
+  options.train.epochs = 3;
+  options.train.eval_every = 8;  // weights + timing are the point here
+  options.checkpoint_every = 4;
+  options.checkpoint_path = std::string("ft_demo_") + name + ".ckpt";
+  options.recv_timeout = std::chrono::milliseconds(10000);
+
+  optim::ConstantLr lr(proxy.base_lr);
+  auto opt_factory = [] {
+    return std::make_unique<optim::Sgd>(
+        optim::SgdConfig{.momentum = 0.9, .weight_decay = 0.0005});
+  };
+  const auto t0 = Clock::now();
+  auto out = train::train_sync_fault_tolerant(proxy.alexnet_factory(),
+                                              opt_factory, lr, ds, options,
+                                              world, std::move(injector));
+  *elapsed = seconds_since(t0);
+  std::printf(
+      "%-10s  %5.2fs  iters %3lld  restarts %d  checkpoints %lld  "
+      "dropped %lld delayed %lld crashes %lld\n",
+      name, *elapsed, static_cast<long long>(out.iterations), out.restarts,
+      static_cast<long long>(out.checkpoints_written),
+      static_cast<long long>(out.faults.dropped),
+      static_cast<long long>(out.faults.delayed),
+      static_cast<long long>(out.faults.crashes));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  auto proxy = core::micro_proxy();
+  data::SyntheticImageNet ds(proxy.dataset);
+  std::printf("fault tolerance demo: world=4, %lld-image proxy dataset\n\n",
+              static_cast<long long>(proxy.dataset.train_size));
+  std::printf("%-10s  %6s  %s\n", "scenario", "time", "stats");
+
+  // 1. Fault-free baseline.
+  double t_base = 0.0;
+  const auto baseline = run_scenario("baseline", proxy, ds, nullptr, &t_base);
+
+  // 2. Kill rank 1 mid-epoch; recover from the checkpoint.
+  comm::FaultPlan crash;
+  crash.crash_rank = 1;
+  crash.crash_at_send = 120;  // a few iterations in: mid-epoch, post-ckpt
+  double t_crash = 0.0;
+  const auto recovered = run_scenario(
+      "crash", proxy, ds, std::make_shared<comm::FaultInjector>(crash, 4),
+      &t_crash);
+  const bool exact = recovered.final_weights == baseline.final_weights;
+  std::printf("            -> recovered weights %s the baseline's\n",
+              exact ? "bit-identical to" : "DIFFER from");
+
+  // 3. Stragglers: 2%% of sends stalled for 3 ms each.
+  comm::FaultPlan slow;
+  slow.delay_prob = 0.02;
+  slow.delay = std::chrono::milliseconds(3);
+  double t_slow = 0.0;
+  const auto straggled = run_scenario(
+      "straggler", proxy, ds, std::make_shared<comm::FaultInjector>(slow, 4),
+      &t_slow);
+  const bool same = straggled.final_weights == baseline.final_weights;
+  std::printf(
+      "            -> %.1fx slower than baseline, weights %s\n",
+      t_base > 0 ? t_slow / t_base : 0.0,
+      same ? "unchanged (sync SGD waits, it does not drift)" : "CHANGED");
+
+  return (exact && same && recovered.restarts >= 1) ? 0 : 1;
+}

@@ -1,17 +1,132 @@
 #include "comm/cluster.hpp"
 
 #include <exception>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
 namespace minsgd::comm {
 
 namespace {
+
 int checked_world(int world) {
   if (world <= 0) throw std::invalid_argument("SimCluster: world <= 0");
   return world;
 }
+
+struct RankError {
+  int rank = -1;
+  std::exception_ptr error;
+  std::string what;
+  bool is_abort_victim = false;  // ClusterAborted: a casualty, not a cause
+};
+
+std::string describe(const std::exception_ptr& e, bool* is_abort_victim) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const ClusterAborted& ex) {
+    *is_abort_victim = true;
+    return ex.what();
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+/// Rethrows with every rank's error in the message but the dynamic type of
+/// the first root cause (so callers' catch clauses keep working: a rank
+/// that threw invalid_argument still surfaces as invalid_argument).
+[[noreturn]] void rethrow_aggregated(const std::vector<RankError>& errors) {
+  const RankError* first_cause = nullptr;
+  std::ostringstream os;
+  int causes = 0;
+  for (const auto& e : errors) {
+    if (!e.is_abort_victim) {
+      if (!first_cause) first_cause = &e;
+      ++causes;
+    }
+  }
+  // Pure-victim case (abort without a recorded cause, e.g. external abort):
+  // fall back to the first error.
+  if (!first_cause) first_cause = &errors.front();
+
+  if (errors.size() == 1) std::rethrow_exception(errors.front().error);
+
+  os << errors.size() << " rank(s) failed (" << causes << " root cause(s))";
+  for (const auto& e : errors) {
+    os << "; [rank " << e.rank << (e.is_abort_victim ? ", aborted" : "")
+       << "] " << e.what;
+  }
+  const std::string msg = os.str();
+  try {
+    std::rethrow_exception(first_cause->error);
+  } catch (const RankFailure& ex) {
+    throw RankFailure(ex.rank(), msg);
+  } catch (const CommTimeout& ex) {
+    throw CommTimeout(ex.rank(), ex.peer(), ex.tag(), ex.pending(), msg);
+  } catch (const ClusterAborted&) {
+    throw ClusterAborted(msg);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument(msg);
+  } catch (const std::domain_error&) {
+    throw std::domain_error(msg);
+  } catch (const std::length_error&) {
+    throw std::length_error(msg);
+  } catch (const std::out_of_range&) {
+    throw std::out_of_range(msg);
+  } catch (const std::logic_error&) {
+    throw std::logic_error(msg);
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error(msg);
+  } catch (...) {
+    throw std::runtime_error(msg);
+  }
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// AbortableBarrier
+
+AbortableBarrier::AbortableBarrier(int parties) : parties_(parties) {
+  if (parties <= 0) {
+    throw std::invalid_argument("AbortableBarrier: parties <= 0");
+  }
+}
+
+void AbortableBarrier::arrive_and_wait() {
+  std::unique_lock lk(mu_);
+  if (aborted_) throw ClusterAborted("barrier: cluster aborted");
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  const std::uint64_t gen = generation_;
+  cv_.wait(lk, [&] { return generation_ != gen || aborted_; });
+  if (generation_ == gen && aborted_) {
+    throw ClusterAborted("barrier: cluster aborted");
+  }
+}
+
+void AbortableBarrier::abort() {
+  {
+    std::lock_guard lk(mu_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+void AbortableBarrier::reset() {
+  std::lock_guard lk(mu_);
+  aborted_ = false;
+  waiting_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// SimCluster
 
 SimCluster::SimCluster(int world)
     : world_(checked_world(world)),
@@ -23,7 +138,59 @@ SimCluster::SimCluster(int world)
   }
 }
 
+void SimCluster::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  injector_ = std::move(injector);
+  if (injector_ && !timeout_configured_) recv_timeout_ = kFaultRecvTimeout;
+}
+
+FaultStats SimCluster::rank_faults(int rank) const {
+  if (rank < 0 || rank >= world_) {
+    throw std::invalid_argument("SimCluster::rank_faults: rank out of range");
+  }
+  return injector_ ? injector_->rank_stats(rank) : FaultStats{};
+}
+
+FaultStats SimCluster::total_faults() const {
+  return injector_ ? injector_->total() : FaultStats{};
+}
+
+void SimCluster::set_recv_timeout(std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0 && timeout != kNoTimeout) {
+    throw std::invalid_argument("SimCluster::set_recv_timeout: timeout <= 0");
+  }
+  recv_timeout_ = timeout;
+  timeout_configured_ = true;
+}
+
+void SimCluster::abort(const std::string& reason) {
+  bool expected = false;
+  if (aborted_.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    {
+      std::lock_guard lk(abort_mu_);
+      abort_reason_ = reason;
+    }
+    for (auto& mb : mailboxes_) mb->abort();
+    barrier_.abort();
+  }
+}
+
+std::string SimCluster::abort_reason() const {
+  std::lock_guard lk(abort_mu_);
+  return abort_reason_;
+}
+
 void SimCluster::run(const std::function<void(Communicator&)>& fn) {
+  // A fresh run must not see leftovers of an aborted predecessor: stale
+  // undelivered messages would match the new run's collective tags.
+  for (auto& mb : mailboxes_) mb->clear();
+  barrier_.reset();
+  aborted_.store(false, std::memory_order_release);
+  {
+    std::lock_guard lk(abort_mu_);
+    abort_reason_.clear();
+  }
+
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world_));
   threads.reserve(static_cast<std::size_t>(world_));
@@ -32,15 +199,28 @@ void SimCluster::run(const std::function<void(Communicator&)>& fn) {
       try {
         Communicator comm(*this, r);
         fn(comm);
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        abort("aborted by rank " + std::to_string(r) + ": " + e.what());
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        abort("aborted by rank " + std::to_string(r) + ": unknown exception");
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+
+  std::vector<RankError> failed;
+  for (int r = 0; r < world_; ++r) {
+    auto& e = errors[static_cast<std::size_t>(r)];
+    if (!e) continue;
+    RankError re;
+    re.rank = r;
+    re.error = e;
+    re.what = describe(e, &re.is_abort_victim);
+    failed.push_back(std::move(re));
   }
+  if (!failed.empty()) rethrow_aggregated(failed);
 }
 
 }  // namespace minsgd::comm

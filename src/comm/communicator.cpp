@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "comm/cluster.hpp"
+#include "comm/fault.hpp"
 #include "tensor/ops.hpp"
 
 namespace minsgd::comm {
@@ -35,17 +36,50 @@ void Communicator::send(int dst, std::int64_t tag,
   if (dst == rank_) {
     throw std::invalid_argument("Communicator::send: self-send not allowed");
   }
+  if (cluster_.aborted()) {
+    throw ClusterAborted("Communicator::send: " + cluster_.abort_reason());
+  }
+  Message msg{rank_, tag, std::vector<float>(data.begin(), data.end())};
+  auto* injector = cluster_.fault_injector();
+  SendAction action = SendAction::kDeliver;
+  if (injector) {
+    // May throw RankFailure (injected crash), sleep (straggler stall), or
+    // corrupt the payload in place.
+    action = injector->on_send(rank_, dst, tag, msg.payload);
+  }
+  // Dropped and duplicated messages still went on the wire: the meter
+  // counts what the sender emitted, not what arrived.
   cluster_.meter().record_send(static_cast<std::size_t>(rank_),
                                static_cast<std::int64_t>(data.size()) * 4);
-  cluster_.mailbox(dst).deliver(
-      Message{rank_, tag, std::vector<float>(data.begin(), data.end())});
+  if (action == SendAction::kDrop) return;
+  if (action == SendAction::kDeliverTwice) {
+    cluster_.meter().record_send(static_cast<std::size_t>(rank_),
+                                 static_cast<std::int64_t>(data.size()) * 4);
+    cluster_.mailbox(dst).deliver(msg);
+  }
+  cluster_.mailbox(dst).deliver(std::move(msg));
 }
 
 std::vector<float> Communicator::recv(int src, std::int64_t tag) {
+  return recv_for(src, tag, cluster_.recv_timeout());
+}
+
+std::vector<float> Communicator::recv_for(int src, std::int64_t tag,
+                                          std::chrono::milliseconds timeout) {
   if (src < 0 || src >= world()) {
     throw std::invalid_argument("Communicator::recv: bad source");
   }
-  return cluster_.mailbox(rank_).take(src, tag).payload;
+  Mailbox& mb = cluster_.mailbox(rank_);
+  Message msg;
+  switch (mb.take_for(src, tag, timeout, msg)) {
+    case Mailbox::TakeStatus::kOk:
+      return std::move(msg.payload);
+    case Mailbox::TakeStatus::kTimeout:
+      throw CommTimeout(rank_, src, tag, timeout, mb.snapshot());
+    case Mailbox::TakeStatus::kAborted:
+      throw ClusterAborted("Communicator::recv: " + cluster_.abort_reason());
+  }
+  throw std::logic_error("Communicator::recv: unreachable");
 }
 
 void Communicator::barrier() { cluster_.barrier_sync().arrive_and_wait(); }

@@ -11,6 +11,7 @@
 // sequence of collective operations.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -37,10 +38,20 @@ class Communicator {
 
   // -- point to point ----------------------------------------------------
   /// Buffered, non-blocking send (never deadlocks on unmatched recv order).
+  /// Subject to the cluster's fault injector, if any: the message may be
+  /// dropped, delayed, duplicated, or corrupted, and an injected crash
+  /// surfaces here as RankFailure. Throws ClusterAborted once the cluster
+  /// has aborted.
   void send(int dst, std::int64_t tag, std::span<const float> data);
 
-  /// Blocks until the matching message arrives.
+  /// Blocks until the matching message arrives, the cluster's recv deadline
+  /// expires (throws CommTimeout with a queue snapshot), or the cluster
+  /// aborts (throws ClusterAborted).
   std::vector<float> recv(int src, std::int64_t tag);
+
+  /// recv with an explicit deadline overriding the cluster default.
+  std::vector<float> recv_for(int src, std::int64_t tag,
+                              std::chrono::milliseconds timeout);
 
   // -- collectives ---------------------------------------------------------
   /// Synchronizes all ranks.

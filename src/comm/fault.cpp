@@ -1,0 +1,146 @@
+#include "comm/fault.hpp"
+
+#include <bit>
+#include <sstream>
+#include <thread>
+
+namespace minsgd::comm {
+namespace {
+
+std::string format_timeout(int rank, int peer, std::int64_t tag,
+                           std::chrono::milliseconds deadline,
+                           const std::vector<PendingMessage>& pending) {
+  std::ostringstream os;
+  os << "CommTimeout: rank " << rank << " waited " << deadline.count()
+     << " ms for (src " << peer << ", tag " << tag << "); queue holds "
+     << pending.size() << " unmatched message(s)";
+  const std::size_t shown = pending.size() < 8 ? pending.size() : 8;
+  for (std::size_t i = 0; i < shown; ++i) {
+    os << (i == 0 ? ": " : ", ") << "(src " << pending[i].src << ", tag "
+       << pending[i].tag << ", " << pending[i].numel << " floats)";
+  }
+  if (shown < pending.size()) os << ", ...";
+  return os.str();
+}
+
+void validate(const FaultPlan& plan, int world) {
+  auto check_prob = [](double p, const char* name) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument(std::string("FaultPlan: ") + name +
+                                  " outside [0, 1]");
+    }
+  };
+  check_prob(plan.drop_prob, "drop_prob");
+  check_prob(plan.delay_prob, "delay_prob");
+  check_prob(plan.duplicate_prob, "duplicate_prob");
+  check_prob(plan.corrupt_prob, "corrupt_prob");
+  if (plan.crash_rank >= world) {
+    throw std::invalid_argument("FaultPlan: crash_rank out of range");
+  }
+  if (plan.delay.count() < 0) {
+    throw std::invalid_argument("FaultPlan: negative delay");
+  }
+  if (plan.crash_at_send < 0) {
+    throw std::invalid_argument("FaultPlan: crash_at_send < 0");
+  }
+}
+
+}  // namespace
+
+CommTimeout::CommTimeout(int rank, int peer, std::int64_t tag,
+                         std::chrono::milliseconds deadline,
+                         std::vector<PendingMessage> pending)
+    : FaultError(format_timeout(rank, peer, tag, deadline, pending)),
+      rank_(rank),
+      peer_(peer),
+      tag_(tag),
+      pending_(std::move(pending)) {}
+
+CommTimeout::CommTimeout(int rank, int peer, std::int64_t tag,
+                         std::vector<PendingMessage> pending,
+                         const std::string& what)
+    : FaultError(what),
+      rank_(rank),
+      peer_(peer),
+      tag_(tag),
+      pending_(std::move(pending)) {}
+
+FaultInjector::FaultInjector(FaultPlan plan, int world) : plan_(plan) {
+  if (world <= 0) throw std::invalid_argument("FaultInjector: world <= 0");
+  validate(plan_, world);
+  streams_.reserve(static_cast<std::size_t>(world));
+  const Rng root(plan_.seed);
+  for (int r = 0; r < world; ++r) {
+    streams_.push_back(root.split(static_cast<std::uint64_t>(r)));
+  }
+  stats_.resize(static_cast<std::size_t>(world));
+}
+
+SendAction FaultInjector::on_send(int src, int dst, std::int64_t tag,
+                                  std::vector<float>& payload) {
+  (void)dst;
+  (void)tag;
+  std::chrono::milliseconds sleep_for{0};
+  SendAction action = SendAction::kDeliver;
+  {
+    std::lock_guard lk(mu_);
+    auto& st = stats_[static_cast<std::size_t>(src)];
+    auto& rng = streams_[static_cast<std::size_t>(src)];
+    const std::int64_t count = st.sends_seen++;
+
+    if (src == plan_.crash_rank && !crash_fired_ &&
+        count >= plan_.crash_at_send) {
+      crash_fired_ = true;
+      ++st.crashes;
+      throw RankFailure(src, "RankFailure: rank " + std::to_string(src) +
+                                 " crashed (injected at send #" +
+                                 std::to_string(count) + ")");
+    }
+    // Draw each stream exactly when its fault is armed, so a plan's action
+    // sequence is a pure function of (seed, rank, send index).
+    if (plan_.drop_prob > 0.0 && rng.uniform() < plan_.drop_prob) {
+      ++st.dropped;
+      return SendAction::kDrop;
+    }
+    if (plan_.corrupt_prob > 0.0 && rng.uniform() < plan_.corrupt_prob &&
+        !payload.empty()) {
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(payload.size())));
+      // Flip the sign bit: a single-bit wire error that survives any
+      // magnitude-based sanity check.
+      payload[i] = std::bit_cast<float>(std::bit_cast<std::uint32_t>(
+                                            payload[i]) ^
+                                        0x80000000u);
+      ++st.corrupted;
+    }
+    if (plan_.delay_prob > 0.0 && rng.uniform() < plan_.delay_prob) {
+      ++st.delayed;
+      sleep_for = plan_.delay;
+    }
+    if (plan_.duplicate_prob > 0.0 && rng.uniform() < plan_.duplicate_prob) {
+      ++st.duplicated;
+      action = SendAction::kDeliverTwice;
+    }
+  }
+  if (sleep_for.count() > 0) std::this_thread::sleep_for(sleep_for);
+  return action;
+}
+
+FaultStats FaultInjector::rank_stats(int rank) const {
+  std::lock_guard lk(mu_);
+  return stats_.at(static_cast<std::size_t>(rank));
+}
+
+FaultStats FaultInjector::total() const {
+  std::lock_guard lk(mu_);
+  FaultStats t;
+  for (const auto& s : stats_) t += s;
+  return t;
+}
+
+bool FaultInjector::crash_pending() const {
+  std::lock_guard lk(mu_);
+  return plan_.crash_rank >= 0 && !crash_fired_;
+}
+
+}  // namespace minsgd::comm

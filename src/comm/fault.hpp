@@ -1,0 +1,147 @@
+// Fault model: deterministic fault injection for the simulated cluster.
+//
+// The paper's runs are bulk-synchronous across up to 2048 nodes, where a
+// single dropped message, straggler, or dead rank stalls every iteration.
+// This header supplies (a) the error taxonomy surviving ranks observe —
+// RankFailure, CommTimeout, ClusterAborted, all rooted at FaultError so
+// recovery code can catch the family — and (b) a seedable FaultInjector
+// hooked into Communicator::send that can drop, delay, duplicate, or
+// bit-corrupt messages and crash a chosen rank at a chosen send count.
+// Injection is deterministic per source rank (each rank draws from its own
+// stream, and a rank's sends are ordered), so failure scenarios replay
+// exactly regardless of thread interleaving.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+#include "tensor/rng.hpp"
+
+namespace minsgd::comm {
+
+/// Root of the fault taxonomy: everything a rank can observe when the
+/// cluster misbehaves. Recovery drivers catch this (and only this) —
+/// logic errors like bad arguments must not be retried.
+class FaultError : public std::runtime_error {
+ public:
+  explicit FaultError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A rank died (injected crash or modeled node failure).
+class RankFailure final : public FaultError {
+ public:
+  RankFailure(int rank, const std::string& what)
+      : FaultError(what), rank_(rank) {}
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// A recv deadline expired. Carries (rank, peer, tag) and a snapshot of the
+/// waiting rank's queue so a mismatched-tag deadlock is diagnosable from the
+/// error alone.
+class CommTimeout final : public FaultError {
+ public:
+  CommTimeout(int rank, int peer, std::int64_t tag,
+              std::chrono::milliseconds deadline,
+              std::vector<PendingMessage> pending);
+  /// Same fields, caller-supplied message (used when aggregating rank
+  /// errors without losing the timeout's structured data).
+  CommTimeout(int rank, int peer, std::int64_t tag,
+              std::vector<PendingMessage> pending, const std::string& what);
+  int rank() const { return rank_; }
+  int peer() const { return peer_; }
+  std::int64_t tag() const { return tag_; }
+  const std::vector<PendingMessage>& pending() const { return pending_; }
+
+ private:
+  int rank_, peer_;
+  std::int64_t tag_;
+  std::vector<PendingMessage> pending_;
+};
+
+/// Cooperative unwind: another rank failed and the cluster told everyone
+/// blocked in transport or barrier to abandon the run.
+class ClusterAborted final : public FaultError {
+ public:
+  explicit ClusterAborted(const std::string& what) : FaultError(what) {}
+};
+
+/// What the injector decides about one send.
+enum class SendAction {
+  kDeliver,       // pass through (possibly delayed / corrupted)
+  kDrop,          // message lost on the wire
+  kDeliverTwice,  // duplicated by the network
+};
+
+/// Declarative fault scenario. Probabilities are per message; the crash is a
+/// one-shot event keyed to a source rank's cumulative send count.
+struct FaultPlan {
+  std::uint64_t seed = 0x5eedf417ull;
+  double drop_prob = 0.0;
+  double delay_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double corrupt_prob = 0.0;
+  /// Straggler stall applied to a delayed message (sender-side, modeling a
+  /// slow NIC/node; the sender blocks, so the stall propagates like a real
+  /// straggler in a bulk-synchronous step).
+  std::chrono::milliseconds delay{10};
+  /// Rank to crash (-1 = never) once its send count reaches crash_at_send.
+  int crash_rank = -1;
+  std::int64_t crash_at_send = 0;
+};
+
+/// Per-rank fault bookkeeping, the failure-side sibling of TrafficStats.
+struct FaultStats {
+  std::int64_t sends_seen = 0;
+  std::int64_t dropped = 0;
+  std::int64_t delayed = 0;
+  std::int64_t duplicated = 0;
+  std::int64_t corrupted = 0;
+  std::int64_t crashes = 0;
+
+  FaultStats& operator+=(const FaultStats& o) {
+    sends_seen += o.sends_seen;
+    dropped += o.dropped;
+    delayed += o.delayed;
+    duplicated += o.duplicated;
+    corrupted += o.corrupted;
+    crashes += o.crashes;
+    return *this;
+  }
+};
+
+/// Applies a FaultPlan to the send path. Thread-safe; deliberately shared
+/// across SimCluster lifetimes (via shared_ptr) so a checkpoint-restarted
+/// run sees the crash already consumed — the failed node was "replaced".
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, int world);
+
+  /// Consulted by Communicator::send. May throw RankFailure (the injected
+  /// crash), sleep (straggler delay), or mutate `payload` (bit corruption).
+  SendAction on_send(int src, int dst, std::int64_t tag,
+                     std::vector<float>& payload);
+
+  FaultStats rank_stats(int rank) const;
+  FaultStats total() const;
+  const FaultPlan& plan() const { return plan_; }
+  /// True until the scheduled crash has fired (or if none is scheduled,
+  /// always false).
+  bool crash_pending() const;
+
+ private:
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::vector<Rng> streams_;       // one stream per source rank
+  std::vector<FaultStats> stats_;  // one record per source rank
+  bool crash_fired_ = false;
+};
+
+}  // namespace minsgd::comm

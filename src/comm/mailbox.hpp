@@ -1,14 +1,20 @@
 // Mailbox: the per-rank message queue behind the simulated transport.
 //
-// Messages are float payloads tagged with (source, tag). recv() blocks until
-// a matching message arrives; matching is FIFO within a (source, tag) pair,
-// which is exactly MPI's non-overtaking guarantee for a single channel.
+// Messages are float payloads tagged with (source, tag). take_for() blocks
+// until a matching message arrives, the deadline expires, or the mailbox is
+// aborted; matching is FIFO within a (source, tag) pair, which is exactly
+// MPI's non-overtaking guarantee for a single channel. Abort is the
+// cooperative-unwind hook: when a rank dies mid-collective, SimCluster
+// aborts every mailbox so peers blocked here wake with kAborted instead of
+// hanging forever.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <stdexcept>
 #include <vector>
 
 namespace minsgd::comm {
@@ -19,8 +25,24 @@ struct Message {
   std::vector<float> payload;
 };
 
+/// One queued-but-unreceived message, as reported by snapshot(). Payloads
+/// are summarized by element count: the diagnostic question is "which
+/// (src, tag) is sitting here unmatched", not the data itself.
+struct PendingMessage {
+  int src = -1;
+  std::int64_t tag = 0;
+  std::size_t numel = 0;
+};
+
 class Mailbox {
  public:
+  /// Outcome of a bounded take.
+  enum class TakeStatus { kOk, kTimeout, kAborted };
+
+  /// Sentinel for "no deadline".
+  static constexpr std::chrono::milliseconds kNoTimeout =
+      std::chrono::milliseconds::max();
+
   void deliver(Message msg) {
     {
       std::lock_guard lk(mu_);
@@ -29,20 +51,76 @@ class Mailbox {
     cv_.notify_all();
   }
 
-  /// Blocks until a message from `src` with `tag` is available, removes and
-  /// returns it. Earlier matching messages are returned first.
-  Message take(int src, std::int64_t tag) {
+  /// Waits until a message from `src` with `tag` is available (earlier
+  /// matching messages first), the `timeout` expires, or abort() is called.
+  /// On kOk the message is removed into `out`; otherwise `out` is untouched.
+  TakeStatus take_for(int src, std::int64_t tag,
+                      std::chrono::milliseconds timeout, Message& out) {
     std::unique_lock lk(mu_);
+    const bool bounded = timeout != kNoTimeout;
+    const auto deadline = bounded
+                              ? std::chrono::steady_clock::now() + timeout
+                              : std::chrono::steady_clock::time_point::max();
     for (;;) {
-      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-        if (it->src == src && it->tag == tag) {
-          Message m = std::move(*it);
-          queue_.erase(it);
-          return m;
-        }
+      if (auto it = find_match(src, tag); it != queue_.end()) {
+        out = std::move(*it);
+        queue_.erase(it);
+        return TakeStatus::kOk;
       }
-      cv_.wait(lk);
+      if (aborted_) return TakeStatus::kAborted;
+      if (bounded) {
+        if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+          if (auto it = find_match(src, tag); it != queue_.end()) {
+            out = std::move(*it);
+            queue_.erase(it);
+            return TakeStatus::kOk;
+          }
+          return aborted_ ? TakeStatus::kAborted : TakeStatus::kTimeout;
+        }
+      } else {
+        cv_.wait(lk);
+      }
     }
+  }
+
+  /// Unbounded take; kept for callers that want the pre-timeout contract.
+  /// Throws std::runtime_error if the mailbox is aborted while waiting.
+  Message take(int src, std::int64_t tag) {
+    Message m;
+    if (take_for(src, tag, kNoTimeout, m) == TakeStatus::kAborted) {
+      throw std::runtime_error("Mailbox::take: aborted");
+    }
+    return m;
+  }
+
+  /// Wakes every waiter with kAborted; subsequent takes fail fast until
+  /// clear() resets the mailbox for the next run.
+  void abort() {
+    {
+      std::lock_guard lk(mu_);
+      aborted_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Drops all queued messages and clears the abort flag. SimCluster calls
+  /// this between runs so stale undelivered messages from an aborted run
+  /// cannot poison the next run's tag matching.
+  void clear() {
+    std::lock_guard lk(mu_);
+    queue_.clear();
+    aborted_ = false;
+  }
+
+  /// Copy of the queue's (src, tag, numel) triples, for timeout diagnosis.
+  std::vector<PendingMessage> snapshot() const {
+    std::lock_guard lk(mu_);
+    std::vector<PendingMessage> out;
+    out.reserve(queue_.size());
+    for (const auto& m : queue_) {
+      out.push_back({m.src, m.tag, m.payload.size()});
+    }
+    return out;
   }
 
   bool empty() const {
@@ -51,9 +129,17 @@ class Mailbox {
   }
 
  private:
+  std::deque<Message>::iterator find_match(int src, std::int64_t tag) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->src == src && it->tag == tag) return it;
+    }
+    return queue_.end();
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
+  bool aborted_ = false;
 };
 
 }  // namespace minsgd::comm

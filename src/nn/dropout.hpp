@@ -20,6 +20,8 @@ class Dropout final : public Layer {
   /// Reseeds the mask stream (used to keep data-parallel replicas identical).
   void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
 
+  std::vector<Rng*> rng_streams() override { return {&rng_}; }
+
  private:
   float p_;
   Rng rng_;

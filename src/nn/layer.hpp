@@ -65,6 +65,12 @@ class Layer {
   /// Non-learnable persistent state (empty for most layers).
   virtual std::vector<BufferRef> buffers() { return {}; }
 
+  /// Internal random streams (dropout mask generators). Weight-only
+  /// checkpoints ignore these, but bit-exact resume must restore them: a
+  /// dropout stream restarted from its seed diverges from the uninterrupted
+  /// run at the first training forward.
+  virtual std::vector<Rng*> rng_streams() { return {}; }
+
   /// Initializes parameters (no-op for stateless layers).
   virtual void init(Rng& /*rng*/) {}
 

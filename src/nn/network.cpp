@@ -73,6 +73,15 @@ std::vector<BufferRef> Network::buffers() {
   return all;
 }
 
+std::vector<Rng*> Network::rng_streams() {
+  std::vector<Rng*> all;
+  for (auto& l : layers_) {
+    auto s = l->rng_streams();
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  return all;
+}
+
 void Network::init(Rng& rng) {
   for (auto& l : layers_) l->init(rng);
 }

@@ -41,6 +41,7 @@ class Network final : public Layer {
                 Tensor& dx) override;
   std::vector<ParamRef> params() override;
   std::vector<BufferRef> buffers() override;
+  std::vector<Rng*> rng_streams() override;
   void init(Rng& rng) override;
   std::int64_t flops(const Shape& input) const override;
 

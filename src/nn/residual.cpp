@@ -81,6 +81,15 @@ std::vector<BufferRef> ResidualBlock::buffers() {
   return all;
 }
 
+std::vector<Rng*> ResidualBlock::rng_streams() {
+  std::vector<Rng*> all = branch_->rng_streams();
+  if (shortcut_) {
+    auto ss = shortcut_->rng_streams();
+    all.insert(all.end(), ss.begin(), ss.end());
+  }
+  return all;
+}
+
 void ResidualBlock::init(Rng& rng) {
   branch_->init(rng);
   if (shortcut_) shortcut_->init(rng);

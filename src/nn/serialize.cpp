@@ -12,7 +12,6 @@ namespace minsgd::nn {
 namespace {
 
 constexpr char kMagic[4] = {'M', 'S', 'G', 'D'};
-constexpr std::uint32_t kVersion = 2;
 
 void write_u32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -38,20 +37,26 @@ std::uint64_t read_u64(std::istream& in) {
 
 }  // namespace
 
-void save_checkpoint(Network& net, std::ostream& out) {
-  // Learnable parameters plus persistent buffers (batch-norm running
-  // statistics): inference is wrong without the latter.
+void save_checkpoint(Network& net, std::ostream& out, std::uint32_t version) {
+  if (version != 1 && version != kCheckpointVersion) {
+    throw std::invalid_argument("checkpoint: cannot write version " +
+                                std::to_string(version));
+  }
+  // Learnable parameters plus (v2) persistent buffers such as batch-norm
+  // running statistics: inference is wrong without the latter.
   struct Entry {
     std::string name;
     const Tensor* value;
   };
   std::vector<Entry> entries;
   for (const auto& p : net.params()) entries.push_back({p.name, p.value});
-  for (const auto& b : net.buffers()) {
-    entries.push_back({"buffer." + b.name, b.value});
+  if (version >= 2) {
+    for (const auto& b : net.buffers()) {
+      entries.push_back({"buffer." + b.name, b.value});
+    }
   }
   out.write(kMagic, sizeof(kMagic));
-  write_u32(out, kVersion);
+  write_u32(out, version);
   write_u64(out, entries.size());
   for (const auto& e : entries) {
     write_u64(out, e.name.size());
@@ -70,7 +75,7 @@ void load_checkpoint(Network& net, std::istream& in) {
     throw std::runtime_error("checkpoint: bad magic");
   }
   const auto version = read_u32(in);
-  if (version != kVersion) {
+  if (version != 1 && version != kCheckpointVersion) {
     throw std::runtime_error("checkpoint: unsupported version " +
                              std::to_string(version));
   }
@@ -78,7 +83,11 @@ void load_checkpoint(Network& net, std::istream& in) {
   auto bufs = net.buffers();
   std::map<std::string, Tensor*> by_name;
   for (auto& p : params) by_name[p.name] = p.value;
-  for (auto& b : bufs) by_name["buffer." + b.name] = b.value;
+  // Legacy v1 files predate buffer persistence: only weights are matched,
+  // and the network's buffers are left untouched.
+  if (version >= 2) {
+    for (auto& b : bufs) by_name["buffer." + b.name] = b.value;
+  }
 
   const auto count = read_u64(in);
   if (count != by_name.size()) {

@@ -3,11 +3,17 @@
 // Format (little-endian, versioned):
 //   magic "MSGD"  u32 version  u64 param_count
 //   per parameter: u64 name_len, name bytes, u64 numel, float data[numel]
-// Loading matches parameters by name and shape, so a checkpoint survives
-// refactors that keep the architecture identical, and fails loudly on any
-// mismatch rather than silently mis-assigning weights.
+// Version 1 is the legacy weight-only layout (learnable parameters, no
+// persistent buffers); version 2 adds the buffers (batch-norm running
+// statistics) under "buffer."-prefixed names. Loading matches entries by
+// name and element count, so a checkpoint survives refactors that keep the
+// architecture identical, and fails loudly on any mismatch rather than
+// silently mis-assigning weights. The trainer-level checkpoint that also
+// carries optimizer/schedule/RNG state lives in src/train/checkpoint.hpp
+// and embeds this model section.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -15,16 +21,25 @@
 
 namespace minsgd::nn {
 
-/// Writes every parameter of `net` to `path`. Throws std::runtime_error on
-/// I/O failure.
+/// Current model-section version (weights + persistent buffers).
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+
+/// Writes every parameter (and, for version 2, every persistent buffer) of
+/// `net` to `path`. Throws std::runtime_error on I/O failure and
+/// std::invalid_argument on an unknown version.
 void save_checkpoint(Network& net, const std::string& path);
 
-/// Loads parameters into `net`. Every parameter in the file must exist in
-/// the network with the same element count, and vice versa.
+/// Loads parameters into `net`. Accepts version 2 (weights + buffers; every
+/// entry must exist in the network with the same element count, and vice
+/// versa) and legacy version 1 files (weights only; buffers are left as
+/// they are).
 void load_checkpoint(Network& net, const std::string& path);
 
 /// Stream versions (unit-testable without touching the filesystem).
-void save_checkpoint(Network& net, std::ostream& out);
+/// `version` selects the on-disk layout: kCheckpointVersion (default) or 1
+/// for a legacy weight-only file.
+void save_checkpoint(Network& net, std::ostream& out,
+                     std::uint32_t version = kCheckpointVersion);
 void load_checkpoint(Network& net, std::istream& in);
 
 }  // namespace minsgd::nn

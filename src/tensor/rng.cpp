@@ -78,6 +78,20 @@ void Rng::fill_uniform(std::span<float> out, float lo, float hi) {
   for (auto& v : out) v = static_cast<float>(uniform(lo, hi));
 }
 
+RngState Rng::state() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.cached_normal = cached_normal_;
+  st.has_cached = has_cached_;
+  return st;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_ = state.has_cached;
+}
+
 Rng Rng::split(std::uint64_t stream_id) const {
   // Hash the current state with the stream id so streams are decorrelated.
   std::uint64_t x = s_[0] ^ (stream_id * 0x9e3779b97f4a7c15ull + 0x85ebca6bull);

@@ -10,6 +10,15 @@
 
 namespace minsgd {
 
+/// The full generator state: xoshiro words plus the Box-Muller carry.
+/// Capturing the carry matters for exact-resume checkpoints — dropping a
+/// cached normal would shift every subsequent draw by one sample.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  double cached_normal = 0.0;
+  bool has_cached = false;
+};
+
 /// xoshiro256** seeded via splitmix64. Cheap, reproducible, good quality.
 class Rng {
  public:
@@ -41,6 +50,11 @@ class Rng {
 
   /// Derives an independent stream (for per-worker/per-shard RNGs).
   Rng split(std::uint64_t stream_id) const;
+
+  /// Snapshot / restore of the exact generator position, so a resumed
+  /// training run continues the same random sequence bit-for-bit.
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

@@ -1,0 +1,165 @@
+#include "train/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+namespace minsgd::train {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'S', 'G', 'T'};
+constexpr char kFooter[4] = {'T', 'G', 'S', 'M'};
+constexpr char kModelMagic[4] = {'M', 'S', 'G', 'D'};  // nn::serialize's
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T read_pod(std::istream& in, const char* what) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) {
+    throw std::runtime_error(std::string("train checkpoint: truncated (") +
+                             what + ")");
+  }
+  return v;
+}
+
+void write_rng_state(std::ostream& out, const RngState& st) {
+  for (std::uint64_t s : st.s) write_pod(out, s);
+  write_pod(out, st.cached_normal);
+  write_pod(out, static_cast<std::uint8_t>(st.has_cached ? 1 : 0));
+}
+
+RngState read_rng_state(std::istream& in, const char* what) {
+  RngState st;
+  for (auto& s : st.s) s = read_pod<std::uint64_t>(in, what);
+  st.cached_normal = read_pod<double>(in, what);
+  st.has_cached = read_pod<std::uint8_t>(in, what) != 0;
+  return st;
+}
+
+}  // namespace
+
+void save_train_checkpoint(std::ostream& out, nn::Network& net,
+                           const optim::Optimizer& opt,
+                           const TrainCheckpoint& meta) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kTrainCheckpointVersion);
+  write_pod(out, meta.epoch);
+  write_pod(out, meta.iter);
+  write_pod(out, meta.global_iter);
+  write_pod(out, meta.world);
+  write_pod(out, meta.global_batch);
+  write_rng_state(out, meta.rng);
+  // Layer-internal streams (dropout mask generators): without them a resumed
+  // run draws different masks than the uninterrupted one from the first
+  // training forward on.
+  const auto streams = net.rng_streams();
+  write_pod(out, static_cast<std::uint64_t>(streams.size()));
+  for (const Rng* r : streams) write_rng_state(out, r->state());
+  nn::save_checkpoint(net, out);
+  opt.save_state(out);
+  out.write(kFooter, sizeof(kFooter));
+  if (!out) throw std::runtime_error("train checkpoint: write failed");
+}
+
+void load_train_checkpoint(std::istream& in, nn::Network& net,
+                           optim::Optimizer& opt, TrainCheckpoint& meta,
+                           std::int64_t expect_world,
+                           std::int64_t expect_global_batch) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in) throw std::runtime_error("train checkpoint: truncated (magic)");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    if (std::memcmp(magic, kModelMagic, sizeof(kModelMagic)) == 0) {
+      throw std::runtime_error(
+          "train checkpoint: file is a weight-only model checkpoint "
+          "(\"MSGD\"); it has no optimizer/schedule/RNG state and cannot "
+          "resume a run exactly — load it with nn::load_checkpoint instead");
+    }
+    throw std::runtime_error("train checkpoint: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in, "version");
+  if (version != kTrainCheckpointVersion) {
+    throw std::runtime_error("train checkpoint: unsupported version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kTrainCheckpointVersion) + ")");
+  }
+  TrainCheckpoint m;
+  m.epoch = read_pod<std::int64_t>(in, "epoch");
+  m.iter = read_pod<std::int64_t>(in, "iter");
+  m.global_iter = read_pod<std::int64_t>(in, "global_iter");
+  m.world = read_pod<std::int64_t>(in, "world");
+  m.global_batch = read_pod<std::int64_t>(in, "global_batch");
+  m.rng = read_rng_state(in, "rng");
+  const auto n_streams = read_pod<std::uint64_t>(in, "rng stream count");
+  const auto streams = net.rng_streams();
+  if (n_streams != streams.size()) {
+    throw std::runtime_error(
+        "train checkpoint: model has " + std::to_string(streams.size()) +
+        " internal RNG stream(s) but the file holds " +
+        std::to_string(n_streams) + "; architecture mismatch");
+  }
+  for (Rng* r : streams) r->set_state(read_rng_state(in, "layer rng"));
+  if (expect_world > 0 && m.world != expect_world) {
+    throw std::runtime_error(
+        "train checkpoint: world mismatch (file " + std::to_string(m.world) +
+        ", run " + std::to_string(expect_world) +
+        "); sharding and gradient scaling depend on world, resume with the "
+        "same cluster size");
+  }
+  if (expect_global_batch > 0 && m.global_batch != expect_global_batch) {
+    throw std::runtime_error("train checkpoint: global batch mismatch (file " +
+                             std::to_string(m.global_batch) + ", run " +
+                             std::to_string(expect_global_batch) + ")");
+  }
+  nn::load_checkpoint(net, in);
+  opt.load_state(in);
+  char footer[4];
+  in.read(footer, sizeof(footer));
+  if (!in || std::memcmp(footer, kFooter, sizeof(kFooter)) != 0) {
+    throw std::runtime_error("train checkpoint: missing footer (truncated?)");
+  }
+  meta = m;
+}
+
+void save_train_checkpoint(const std::string& path, nn::Network& net,
+                           const optim::Optimizer& opt,
+                           const TrainCheckpoint& meta) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("train checkpoint: cannot open " + tmp);
+    }
+    save_train_checkpoint(out, net, opt, meta);
+    out.flush();
+    if (!out) throw std::runtime_error("train checkpoint: write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("train checkpoint: rename to " + path +
+                             " failed");
+  }
+}
+
+void load_train_checkpoint(const std::string& path, nn::Network& net,
+                           optim::Optimizer& opt, TrainCheckpoint& meta,
+                           std::int64_t expect_world,
+                           std::int64_t expect_global_batch) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("train checkpoint: cannot open " + path);
+  load_train_checkpoint(in, net, opt, meta, expect_world,
+                        expect_global_batch);
+}
+
+}  // namespace minsgd::train

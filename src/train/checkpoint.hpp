@@ -1,0 +1,77 @@
+// Train checkpoint (v2): everything needed for bit-exact resume.
+//
+// A weight-only model checkpoint (src/nn/serialize.hpp) cannot reproduce an
+// uninterrupted run: momentum is part of the trajectory, the LR schedule is
+// a function of the global iteration, and any random stream keeps a
+// position. The v2 train checkpoint captures all of it:
+//
+//   magic "MSGT"  u32 version(2)
+//   i64 epoch, i64 iter, i64 global_iter     (next position, not last done)
+//   i64 world, i64 global_batch              (validated on load: sharding
+//                                             and the 1/world gradient
+//                                             scaling are world-dependent,
+//                                             so exact resume requires the
+//                                             same geometry)
+//   RngState                                 (trainer RNG stream)
+//   u64 stream_count, RngState[stream_count] (layer-internal streams, e.g.
+//                                             dropout mask generators, in
+//                                             Network::rng_streams() order)
+//   embedded model section                   (nn::save_checkpoint, v2)
+//   embedded optimizer state                 (Optimizer::save_state)
+//   footer "TGSM"                            (truncation sentinel)
+//
+// Feeding a weight-only "MSGD" file to the train loader fails loudly with a
+// message saying exactly that, and vice versa.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "nn/network.hpp"
+#include "optim/optimizer.hpp"
+#include "tensor/rng.hpp"
+
+namespace minsgd::train {
+
+/// Version written/required by save/load_train_checkpoint.
+inline constexpr std::uint32_t kTrainCheckpointVersion = 2;
+
+/// The scalar trainer state riding along with the model and optimizer.
+/// Positions are "next to execute": a checkpoint written after finishing
+/// iteration t of epoch e has iter == t + 1 (or epoch e+1, iter 0 once the
+/// epoch wraps — the loader normalizes).
+struct TrainCheckpoint {
+  std::int64_t epoch = 0;
+  std::int64_t iter = 0;
+  std::int64_t global_iter = 0;
+  std::int64_t world = 1;
+  std::int64_t global_batch = 0;
+  RngState rng;
+};
+
+/// Writes net + optimizer + `meta` to `path` atomically (temp file +
+/// rename), so a crash mid-write cannot leave a torn checkpoint behind.
+void save_train_checkpoint(const std::string& path, nn::Network& net,
+                           const optim::Optimizer& opt,
+                           const TrainCheckpoint& meta);
+
+/// Restores net, optimizer, and `meta` from `path`. Throws
+/// std::runtime_error on a weight-only (v1 "MSGD") file, version skew,
+/// geometry mismatch against `expect_world`/`expect_global_batch` (pass 0
+/// to skip the check), name/shape mismatch, or truncation.
+void load_train_checkpoint(const std::string& path, nn::Network& net,
+                           optim::Optimizer& opt, TrainCheckpoint& meta,
+                           std::int64_t expect_world = 0,
+                           std::int64_t expect_global_batch = 0);
+
+/// Stream versions (unit-testable without touching the filesystem).
+void save_train_checkpoint(std::ostream& out, nn::Network& net,
+                           const optim::Optimizer& opt,
+                           const TrainCheckpoint& meta);
+void load_train_checkpoint(std::istream& in, nn::Network& net,
+                           optim::Optimizer& opt, TrainCheckpoint& meta,
+                           std::int64_t expect_world = 0,
+                           std::int64_t expect_global_batch = 0);
+
+}  // namespace minsgd::train

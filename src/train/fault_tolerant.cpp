@@ -1,0 +1,235 @@
+#include "train/fault_tolerant.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "data/loader.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+#include "train/checkpoint.hpp"
+#include "train/metrics.hpp"
+
+namespace minsgd::train {
+namespace {
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
+/// Mutable bookkeeping shared between the driver and rank 0 across
+/// attempts. Epoch records are keyed by epoch so a re-run after a mid-epoch
+/// crash replaces the partial record instead of duplicating it.
+struct SharedProgress {
+  std::mutex mu;
+  std::map<std::int64_t, EpochRecord> epochs;
+  std::vector<float> final_weights;
+  std::int64_t global_iter = 0;
+  std::int64_t checkpoints_written = 0;
+  bool diverged = false;
+};
+
+}  // namespace
+
+FaultTolerantResult train_sync_fault_tolerant(
+    const std::function<std::unique_ptr<nn::Network>()>& model_factory,
+    const std::function<std::unique_ptr<optim::Optimizer>()>& opt_factory,
+    const optim::LrSchedule& schedule, const data::SyntheticImageNet& dataset,
+    const FaultTolerantOptions& options, int world,
+    std::shared_ptr<comm::FaultInjector> injector) {
+  const TrainOptions& topt = options.train;
+  if (world <= 0) {
+    throw std::invalid_argument("train_sync_fault_tolerant: world <= 0");
+  }
+  if (topt.global_batch % world != 0) {
+    throw std::invalid_argument(
+        "train_sync_fault_tolerant: global_batch % world != 0");
+  }
+  if (options.checkpoint_every < 1) {
+    throw std::invalid_argument(
+        "train_sync_fault_tolerant: checkpoint_every < 1");
+  }
+  if (options.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "train_sync_fault_tolerant: empty checkpoint_path");
+  }
+  if (options.max_restarts < 0) {
+    throw std::invalid_argument("train_sync_fault_tolerant: max_restarts < 0");
+  }
+  const std::string& path = options.checkpoint_path;
+  if (!options.resume_existing) std::remove(path.c_str());
+
+  FaultTolerantResult out;
+  SharedProgress progress;
+
+  auto rank_fn = [&](comm::Communicator& comm) {
+    const int rank = comm.rank();
+    auto net = model_factory();
+    Rng rng(topt.init_seed);
+    net->init(rng);
+    auto opt = opt_factory();
+    auto params = net->params();
+
+    data::ShardedLoader loader(dataset, topt.global_batch, rank, world,
+                               topt.augment);
+    nn::SoftmaxCrossEntropy loss;
+    const std::int64_t iters = loader.iterations_per_epoch();
+    Tensor logits, dlogits, dx;
+    const float inv_world = 1.0f / static_cast<float>(world);
+
+    std::int64_t start_epoch = 0, start_iter = 0, global_iter = 0;
+    if (file_exists(path)) {
+      // Every rank restores the identical replica the cluster had after the
+      // checkpointed step; the next iteration then proceeds exactly as the
+      // uninterrupted run would have.
+      TrainCheckpoint meta;
+      load_train_checkpoint(path, *net, *opt, meta, world,
+                            topt.global_batch);
+      start_epoch = meta.epoch;
+      start_iter = meta.iter;
+      global_iter = meta.global_iter;
+      rng.set_state(meta.rng);
+    }
+
+    double first_loss = -1.0;
+    bool stop = false;
+    for (std::int64_t epoch = start_epoch; epoch < topt.epochs && !stop;
+         ++epoch) {
+      double epoch_loss = 0.0;
+      std::int64_t epoch_correct = 0;
+      std::int64_t epoch_iters = 0;
+      const double epoch_lr = schedule.lr(global_iter);
+      for (std::int64_t it = (epoch == start_epoch ? start_iter : 0);
+           it < iters && !stop; ++it, ++global_iter) {
+        const auto batch = loader.load_train(epoch, it);
+        net->zero_grad();
+        net->forward(batch.x, logits, /*training=*/true);
+        const auto lres = loss.forward_backward(logits, batch.labels, &dlogits);
+        net->backward(batch.x, logits, dlogits, dx);
+
+        // Identical update sequence to train_sync_data_parallel: rank-sum
+        // the gradients, divide by world, step at lr(global_iter).
+        auto flat = net->flatten_grads();
+        comm.allreduce_sum(flat, options.algo);
+        scale(inv_world, flat);
+        net->unflatten_grads(flat);
+        opt->step(params, schedule.lr(global_iter));
+
+        float stats[2] = {static_cast<float>(lres.loss),
+                          static_cast<float>(lres.correct)};
+        comm.allreduce_sum(std::span<float>(stats, 2), options.algo);
+        const double mean_loss = stats[0] / world;
+        epoch_loss += mean_loss;
+        epoch_correct += static_cast<std::int64_t>(stats[1]);
+        ++epoch_iters;
+
+        if (first_loss < 0) first_loss = mean_loss;
+        if (topt.detect_divergence &&
+            (!std::isfinite(mean_loss) ||
+             mean_loss > topt.divergence_factor * first_loss)) {
+          stop = true;  // all ranks see the same scalars, so all stop
+        }
+
+        if ((global_iter + 1) % options.checkpoint_every == 0 && rank == 0) {
+          TrainCheckpoint meta;
+          meta.global_iter = global_iter + 1;
+          meta.epoch = (it + 1 == iters) ? epoch + 1 : epoch;
+          meta.iter = (it + 1 == iters) ? 0 : it + 1;
+          meta.world = world;
+          meta.global_batch = topt.global_batch;
+          meta.rng = rng.state();
+          save_train_checkpoint(path, *net, *opt, meta);
+          std::lock_guard lk(progress.mu);
+          ++progress.checkpoints_written;
+        }
+      }
+
+      EpochRecord rec;
+      rec.epoch = epoch;
+      rec.lr = epoch_lr;
+      // After a mid-epoch resume these cover only the replayed tail of the
+      // epoch; weights are exact, per-epoch averages are best-effort.
+      rec.train_loss =
+          epoch_iters > 0 ? epoch_loss / static_cast<double>(epoch_iters) : 0.0;
+      rec.train_acc =
+          epoch_iters > 0
+              ? static_cast<double>(epoch_correct) /
+                    static_cast<double>(epoch_iters * topt.global_batch)
+              : 0.0;
+      if (rank == 0) {
+        const bool eval_now = (epoch % topt.eval_every == 0) ||
+                              (epoch + 1 == topt.epochs) || stop;
+        rec.test_acc = eval_now ? evaluate(*net, dataset) : 0.0;
+        if (topt.verbose) {
+          std::printf(
+              "epoch %3lld  lr %.5f  loss %.4f  train_acc %.4f  test_acc "
+              "%.4f\n",
+              static_cast<long long>(rec.epoch), rec.lr, rec.train_loss,
+              rec.train_acc, rec.test_acc);
+          std::fflush(stdout);
+        }
+        std::lock_guard lk(progress.mu);
+        progress.epochs[epoch] = rec;
+      }
+      comm.barrier();  // keep epochs aligned (rank 0 evaluates)
+    }
+
+    if (rank == 0) {
+      std::lock_guard lk(progress.mu);
+      progress.final_weights = net->flatten_params();
+      progress.global_iter = global_iter;
+      progress.diverged = stop;
+    }
+  };
+
+  for (int attempt = 0;; ++attempt) {
+    comm::SimCluster cluster(world);
+    if (options.recv_timeout.count() > 0) {
+      cluster.set_recv_timeout(options.recv_timeout);
+    }
+    if (injector) cluster.set_fault_injector(injector);
+    try {
+      cluster.run(rank_fn);
+      out.traffic += cluster.total_traffic();
+      break;
+    } catch (const comm::FaultError& e) {
+      out.traffic += cluster.total_traffic();
+      ++out.restarts;
+      if (out.restarts > options.max_restarts) throw;
+      if (topt.verbose) {
+        std::printf("fault (attempt %d): %s\n  -> restarting from %s\n",
+                    attempt, e.what(),
+                    file_exists(path) ? path.c_str() : "scratch");
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  if (injector) out.faults = injector->total();
+  {
+    std::lock_guard lk(progress.mu);
+    for (const auto& [epoch, rec] : progress.epochs) {
+      out.result.epochs.push_back(rec);
+    }
+    out.result.diverged = progress.diverged;
+    out.result.iterations_run = progress.global_iter;
+    out.final_weights = std::move(progress.final_weights);
+    out.iterations = progress.global_iter;
+    out.checkpoints_written = progress.checkpoints_written;
+  }
+  for (const auto& e : out.result.epochs) {
+    if (e.test_acc > out.result.best_test_acc) {
+      out.result.best_test_acc = e.test_acc;
+    }
+  }
+  if (!out.result.epochs.empty()) {
+    out.result.final_test_acc = out.result.epochs.back().test_acc;
+  }
+  if (!options.keep_checkpoint) std::remove(path.c_str());
+  return out;
+}
+
+}  // namespace minsgd::train

@@ -1,0 +1,85 @@
+// Fault-tolerant synchronous data-parallel training.
+//
+// train_sync_data_parallel assumes a perfect cluster: one crashed rank used
+// to deadlock every peer inside the allreduce, and a restart had to begin
+// from scratch. This driver wraps the same per-iteration math (identical
+// update sequence, so the no-fault run is bit-equal to the plain sync
+// trainer) in a checkpoint/restart loop:
+//
+//   * every `checkpoint_every` global iterations, rank 0 atomically writes
+//     a v2 train checkpoint (weights + optimizer + schedule position + RNG;
+//     see train/checkpoint.hpp) — legal because synchronous SGD keeps every
+//     rank's replica identical after the step;
+//   * when a rank dies (injected RankFailure, CommTimeout, or the
+//     cooperative ClusterAborted unwind), the driver catches the FaultError,
+//     builds a fresh cluster, and resumes all ranks from the last
+//     checkpoint;
+//   * because batches are a pure function of (epoch, iteration) and the
+//     checkpoint restores the full trajectory state, the recovered run's
+//     final weights are bit-identical to an uninterrupted run's — the
+//     integration tests assert exactly that.
+//
+// Only FaultError and its subclasses trigger a restart; logic errors (bad
+// arguments, shape mismatches) propagate immediately.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "comm/cluster.hpp"
+#include "comm/fault.hpp"
+#include "data/synthetic.hpp"
+#include "nn/network.hpp"
+#include "optim/optimizer.hpp"
+#include "optim/schedule.hpp"
+#include "train/trainer.hpp"
+
+namespace minsgd::train {
+
+struct FaultTolerantOptions {
+  TrainOptions train;
+  /// Global iterations between checkpoints (>= 1).
+  std::int64_t checkpoint_every = 8;
+  /// Where rank 0 writes the v2 train checkpoint.
+  std::string checkpoint_path = "minsgd_ft_checkpoint.bin";
+  /// Restart budget: the run fails (rethrowing the last fault) once more
+  /// than this many restarts were needed.
+  int max_restarts = 4;
+  /// Resume from an existing checkpoint file at `checkpoint_path` instead
+  /// of deleting it at startup (cross-process resume).
+  bool resume_existing = false;
+  /// Keep the checkpoint file after a successful run (default: remove it).
+  bool keep_checkpoint = false;
+  /// Recv deadline for the underlying cluster; fault scenarios with message
+  /// loss need a finite value or survivors wait forever. Zero means "leave
+  /// it to the cluster default" (which arms itself when an injector is
+  /// installed).
+  std::chrono::milliseconds recv_timeout{0};
+  comm::AllreduceAlgo algo = comm::AllreduceAlgo::kRing;
+};
+
+struct FaultTolerantResult {
+  TrainResult result;               // merged epoch records (rank 0)
+  std::vector<float> final_weights; // rank 0 replica after the last step
+  std::int64_t iterations = 0;      // logical global iterations completed
+  int restarts = 0;                 // cluster rebuilds after faults
+  std::int64_t checkpoints_written = 0;
+  comm::TrafficStats traffic;       // summed over all attempts
+  comm::FaultStats faults;          // injector totals (zeros if none)
+};
+
+/// Synchronous data-parallel training that survives rank failures by
+/// checkpoint/restart. `injector` (optional) perturbs the send path; it is
+/// shared with the cluster(s) so a one-shot crash stays consumed across
+/// restarts, modeling a failed-and-replaced node.
+FaultTolerantResult train_sync_fault_tolerant(
+    const std::function<std::unique_ptr<nn::Network>()>& model_factory,
+    const std::function<std::unique_ptr<optim::Optimizer>()>& opt_factory,
+    const optim::LrSchedule& schedule, const data::SyntheticImageNet& dataset,
+    const FaultTolerantOptions& options, int world,
+    std::shared_ptr<comm::FaultInjector> injector = nullptr);
+
+}  // namespace minsgd::train

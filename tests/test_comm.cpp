@@ -178,6 +178,58 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17),
         ::testing::Values(1, 5, 64, 1000)));
 
+class AllreduceStarBaseline : public ::testing::TestWithParam<int> {};
+
+// Every algorithm must agree with the star baseline on the same inputs —
+// the direct pairwise check, complementing the sequential-sum oracle above.
+// Odd worlds (3, 5, 7) stress the non-power-of-two paths of ring/tree/RHD;
+// world=1 must be a no-op for all of them.
+TEST_P(AllreduceStarBaseline, AllAlgosMatchStarResult) {
+  const int world = GetParam();
+  const int n = 129;  // not divisible by any of the tested worlds
+  std::vector<std::vector<float>> inputs(static_cast<std::size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    Rng rng(static_cast<std::uint64_t>(r) * 31 + 9);
+    inputs[static_cast<std::size_t>(r)].resize(n);
+    rng.fill_uniform(inputs[static_cast<std::size_t>(r)], -2.0f, 2.0f);
+  }
+  auto run_algo = [&](AllreduceAlgo algo) {
+    SimCluster cluster(world);
+    std::vector<float> rank0_out;
+    std::mutex mu;
+    cluster.run([&](Communicator& comm) {
+      auto data = inputs[static_cast<std::size_t>(comm.rank())];
+      comm.allreduce_sum(data, algo);
+      if (comm.rank() == 0) {
+        std::lock_guard lk(mu);
+        rank0_out = std::move(data);
+      }
+    });
+    return rank0_out;
+  };
+  const auto star = run_algo(AllreduceAlgo::kStar);
+  ASSERT_EQ(star.size(), static_cast<std::size_t>(n));
+  for (const auto algo :
+       {AllreduceAlgo::kRing, AllreduceAlgo::kTree,
+        AllreduceAlgo::kRecursiveHalving}) {
+    const auto got = run_algo(algo);
+    ASSERT_EQ(got.size(), star.size()) << comm::to_string(algo);
+    for (std::size_t i = 0; i < star.size(); ++i) {
+      // Summation order differs between algorithms; values must agree to
+      // float rounding.
+      ASSERT_NEAR(got[i], star[i], 1e-4)
+          << comm::to_string(algo) << " world=" << world << " i=" << i;
+    }
+    if (world == 1) {
+      // With one rank no algorithm may touch the data at all.
+      EXPECT_EQ(got, inputs[0]) << comm::to_string(algo);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, AllreduceStarBaseline,
+                         ::testing::Values(1, 3, 5, 7));
+
 TEST(Allreduce, RepeatedCollectivesStayConsistent) {
   SimCluster cluster(4);
   cluster.run([](Communicator& comm) {
