@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace minsgd::comm {
 
 namespace {
@@ -138,6 +140,52 @@ SimCluster::SimCluster(int world)
   }
 }
 
+SimCluster::~SimCluster() {
+  if (metrics_registry_) {
+    metrics_registry_->unregister_source(metrics_source_name_);
+  }
+}
+
+void SimCluster::register_metrics(obs::MetricsRegistry& registry,
+                                  const std::string& prefix) {
+  if (metrics_registry_) {
+    metrics_registry_->unregister_source(metrics_source_name_);
+  }
+  metrics_registry_ = &registry;
+  metrics_source_name_ = prefix;
+  registry.register_source(prefix, [this, prefix] {
+    using Kind = obs::Sample::Kind;
+    std::vector<obs::Sample> out;
+    const auto t = total_traffic();
+    out.push_back({prefix + ".traffic.messages",
+                   static_cast<double>(t.messages), Kind::kCounter});
+    out.push_back({prefix + ".traffic.bytes", static_cast<double>(t.bytes),
+                   Kind::kCounter});
+    for (const auto& [op, s] : traffic_by_op()) {
+      out.push_back({prefix + ".traffic." + op + ".messages",
+                     static_cast<double>(s.messages), Kind::kCounter});
+      out.push_back({prefix + ".traffic." + op + ".bytes",
+                     static_cast<double>(s.bytes), Kind::kCounter});
+    }
+    if (injector_) {
+      const auto f = total_faults();
+      out.push_back({prefix + ".faults.sends_seen",
+                     static_cast<double>(f.sends_seen), Kind::kCounter});
+      out.push_back({prefix + ".faults.dropped",
+                     static_cast<double>(f.dropped), Kind::kCounter});
+      out.push_back({prefix + ".faults.delayed",
+                     static_cast<double>(f.delayed), Kind::kCounter});
+      out.push_back({prefix + ".faults.duplicated",
+                     static_cast<double>(f.duplicated), Kind::kCounter});
+      out.push_back({prefix + ".faults.corrupted",
+                     static_cast<double>(f.corrupted), Kind::kCounter});
+      out.push_back({prefix + ".faults.crashes",
+                     static_cast<double>(f.crashes), Kind::kCounter});
+    }
+    return out;
+  });
+}
+
 void SimCluster::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
   injector_ = std::move(injector);
   if (injector_ && !timeout_configured_) recv_timeout_ = kFaultRecvTimeout;
@@ -196,7 +244,10 @@ void SimCluster::run(const std::function<void(Communicator&)>& fn) {
   threads.reserve(static_cast<std::size_t>(world_));
   for (int r = 0; r < world_; ++r) {
     threads.emplace_back([this, r, &fn, &errors] {
+      // Every span this rank thread records lands in its own trace lane.
+      obs::set_thread_rank(r);
       try {
+        obs::ScopedSpan sp("rank", obs::cat::kCluster);
         Communicator comm(*this, r);
         fn(comm);
       } catch (const std::exception& e) {

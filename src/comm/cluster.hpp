@@ -24,6 +24,7 @@
 #include "comm/fault.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/traffic.hpp"
+#include "obs/metrics.hpp"
 
 namespace minsgd::comm {
 
@@ -72,7 +73,20 @@ class SimCluster {
   TrafficStats rank_traffic(int rank) const {
     return meter_.rank_stats(static_cast<std::size_t>(rank));
   }
+  /// Traffic attributed to one collective / all collectives with traffic.
+  TrafficStats op_traffic(WireOp op) const { return meter_.op_stats(op); }
+  std::vector<std::pair<std::string, TrafficStats>> traffic_by_op() const {
+    return meter_.by_op();
+  }
   void reset_traffic() { meter_.reset(); }
+
+  /// Registers this cluster's traffic and fault counters as a source in
+  /// `registry` under `<prefix>.` names (e.g. "cluster.traffic.bytes",
+  /// "cluster.traffic.allreduce-ring.bytes", "cluster.faults.dropped").
+  /// The destructor unregisters automatically.
+  void register_metrics(obs::MetricsRegistry& registry,
+                        const std::string& prefix = "cluster");
+  ~SimCluster();
 
   // -- fault model ---------------------------------------------------------
   /// Installs (or clears, with nullptr) a fault injector on the send path.
@@ -120,6 +134,9 @@ class SimCluster {
   std::atomic<bool> aborted_{false};
   mutable std::mutex abort_mu_;
   std::string abort_reason_;
+
+  obs::MetricsRegistry* metrics_registry_ = nullptr;
+  std::string metrics_source_name_;
 };
 
 }  // namespace minsgd::comm

@@ -5,6 +5,7 @@
 
 #include "comm/cluster.hpp"
 #include "comm/fault.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace minsgd::comm {
@@ -18,6 +19,35 @@ const char* to_string(AllreduceAlgo algo) {
   }
   return "?";
 }
+
+const char* to_string(WireOp op) {
+  switch (op) {
+    case WireOp::kP2P: return "p2p";
+    case WireOp::kBroadcast: return "broadcast";
+    case WireOp::kReduce: return "reduce";
+    case WireOp::kAllgather: return "allgather";
+    case WireOp::kAllreduceStar: return "allreduce-star";
+    case WireOp::kAllreduceRing: return "allreduce-ring";
+    case WireOp::kAllreduceTree: return "allreduce-tree";
+    case WireOp::kAllreduceRhd: return "allreduce-rhd";
+    case WireOp::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+WireOp wire_op(AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::kStar: return WireOp::kAllreduceStar;
+    case AllreduceAlgo::kRing: return WireOp::kAllreduceRing;
+    case AllreduceAlgo::kTree: return WireOp::kAllreduceTree;
+    case AllreduceAlgo::kRecursiveHalving: return WireOp::kAllreduceRhd;
+  }
+  return WireOp::kP2P;
+}
+
+}  // namespace
 
 Communicator::Communicator(SimCluster& cluster, int rank)
     : cluster_(cluster), rank_(rank) {
@@ -50,11 +80,13 @@ void Communicator::send(int dst, std::int64_t tag,
   // Dropped and duplicated messages still went on the wire: the meter
   // counts what the sender emitted, not what arrived.
   cluster_.meter().record_send(static_cast<std::size_t>(rank_),
-                               static_cast<std::int64_t>(data.size()) * 4);
+                               static_cast<std::int64_t>(data.size()) * 4,
+                               op_);
   if (action == SendAction::kDrop) return;
   if (action == SendAction::kDeliverTwice) {
     cluster_.meter().record_send(static_cast<std::size_t>(rank_),
-                                 static_cast<std::int64_t>(data.size()) * 4);
+                                 static_cast<std::int64_t>(data.size()) * 4,
+                                 op_);
     cluster_.mailbox(dst).deliver(msg);
   }
   cluster_.mailbox(dst).deliver(std::move(msg));
@@ -82,11 +114,17 @@ std::vector<float> Communicator::recv_for(int src, std::int64_t tag,
   throw std::logic_error("Communicator::recv: unreachable");
 }
 
-void Communicator::barrier() { cluster_.barrier_sync().arrive_and_wait(); }
+void Communicator::barrier() {
+  obs::ScopedSpan sp("barrier", obs::cat::kComm);
+  cluster_.barrier_sync().arrive_and_wait();
+}
 
 void Communicator::broadcast(std::span<float> data, int root) {
   const int p = world();
   if (p == 1) return;
+  OpScope op(*this, WireOp::kBroadcast);
+  obs::ScopedSpan sp("broadcast", obs::cat::kComm);
+  sp.set_bytes(static_cast<std::int64_t>(data.size()) * 4);
   const std::int64_t tag = next_collective_tag();
   const int vrank = (rank_ - root + p) % p;
   // Receive from parent (the peer that differs in the lowest set bit).
@@ -116,6 +154,9 @@ void Communicator::broadcast(std::span<float> data, int root) {
 void Communicator::reduce_sum(std::span<float> data, int root) {
   const int p = world();
   if (p == 1) return;
+  OpScope op(*this, WireOp::kReduce);
+  obs::ScopedSpan sp("reduce", obs::cat::kComm);
+  sp.set_bytes(static_cast<std::int64_t>(data.size()) * 4);
   const std::int64_t tag = next_collective_tag();
   const int vrank = (rank_ - root + p) % p;
   int mask = 1;
@@ -138,6 +179,13 @@ void Communicator::reduce_sum(std::span<float> data, int root) {
 
 void Communicator::allreduce_sum(std::span<float> data, AllreduceAlgo algo) {
   if (world() == 1) return;
+  OpScope op(*this, wire_op(algo));
+  obs::ScopedSpan sp;
+  if (obs::tracer().enabled()) {
+    sp.start(std::string("allreduce.") + to_string(algo), obs::cat::kComm);
+    sp.set_bytes(static_cast<std::int64_t>(data.size()) * 4);
+    sp.set_label(to_string(algo));
+  }
   switch (algo) {
     case AllreduceAlgo::kStar: allreduce_star(data); break;
     case AllreduceAlgo::kRing: allreduce_ring(data); break;
@@ -153,6 +201,9 @@ void Communicator::allgather(std::span<const float> local,
   if (out.size() != n * static_cast<std::size_t>(p)) {
     throw std::invalid_argument("allgather: out must be world * local");
   }
+  OpScope op(*this, WireOp::kAllgather);
+  obs::ScopedSpan sp("allgather", obs::cat::kComm);
+  sp.set_bytes(static_cast<std::int64_t>(n) * 4);
   const std::int64_t tag = next_collective_tag();
   std::copy(local.begin(), local.end(),
             out.begin() + static_cast<std::ptrdiff_t>(n) * rank_);

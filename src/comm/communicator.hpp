@@ -16,6 +16,8 @@
 #include <span>
 #include <vector>
 
+#include "comm/traffic.hpp"
+
 namespace minsgd::comm {
 
 class SimCluster;
@@ -78,6 +80,25 @@ class Communicator {
   void allreduce_tree(std::span<float> data);
   void allreduce_rhd(std::span<float> data);
 
+  /// Attributes sends inside a collective to that collective for the
+  /// traffic meter. Only the *outermost* collective claims the traffic
+  /// (allreduce-tree's internal reduce/broadcast stay "allreduce-tree");
+  /// a Communicator is used by exactly one rank thread, so a plain member
+  /// suffices.
+  class OpScope {
+   public:
+    OpScope(Communicator& comm, WireOp op) : comm_(comm), prev_(comm.op_) {
+      if (prev_ == WireOp::kP2P) comm_.op_ = op;
+    }
+    ~OpScope() { comm_.op_ = prev_; }
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+   private:
+    Communicator& comm_;
+    WireOp prev_;
+  };
+
   /// Next tag for a collective op. All ranks run the same collective
   /// sequence, so matching counters yield matching tags.
   std::int64_t next_collective_tag() { return kCollectiveBase + seq_++; }
@@ -87,6 +108,7 @@ class Communicator {
   SimCluster& cluster_;
   int rank_;
   std::int64_t seq_ = 0;
+  WireOp op_ = WireOp::kP2P;
 };
 
 }  // namespace minsgd::comm

@@ -3,11 +3,18 @@
 // Figures 8-10 of the paper argue about latency overhead (message count)
 // and bandwidth overhead (bytes moved) as functions of batch size; the
 // meter makes those measurable quantities of our collectives rather than
-// formulas taken on faith.
+// formulas taken on faith. Traffic is attributed both per rank and per
+// *collective* (which allreduce algorithm, broadcast, allgather, raw
+// point-to-point), so a bench can say "the ring moved X bytes in M
+// messages" instead of lumping everything together. Per-op counters are a
+// fixed array of atomics — the collective vocabulary is closed — so the
+// send path takes no lock.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace minsgd::comm {
@@ -23,19 +30,54 @@ struct TrafficStats {
   }
 };
 
-/// Per-rank atomic counters; aggregate with total().
+/// The closed set of operations traffic can be attributed to. kP2P is the
+/// default for sends outside any collective.
+enum class WireOp : std::uint8_t {
+  kP2P = 0,
+  kBroadcast,
+  kReduce,
+  kAllgather,
+  kAllreduceStar,
+  kAllreduceRing,
+  kAllreduceTree,
+  kAllreduceRhd,
+  kCount,
+};
+
+const char* to_string(WireOp op);
+
+/// Per-rank and per-collective atomic counters; aggregate with total().
 class TrafficMeter {
  public:
   explicit TrafficMeter(std::size_t world) : per_rank_(world) {}
 
-  void record_send(std::size_t rank, std::int64_t bytes) {
+  void record_send(std::size_t rank, std::int64_t bytes,
+                   WireOp op = WireOp::kP2P) {
     per_rank_[rank].messages.fetch_add(1, std::memory_order_relaxed);
     per_rank_[rank].bytes.fetch_add(bytes, std::memory_order_relaxed);
+    auto& oc = per_op_[static_cast<std::size_t>(op)];
+    oc.messages.fetch_add(1, std::memory_order_relaxed);
+    oc.bytes.fetch_add(bytes, std::memory_order_relaxed);
   }
 
   TrafficStats rank_stats(std::size_t rank) const {
-    return {per_rank_[rank].messages.load(std::memory_order_relaxed),
-            per_rank_[rank].bytes.load(std::memory_order_relaxed)};
+    return load(per_rank_[rank]);
+  }
+
+  TrafficStats op_stats(WireOp op) const {
+    return load(per_op_[static_cast<std::size_t>(op)]);
+  }
+
+  /// Every op with non-zero traffic, as (name, stats) rows.
+  std::vector<std::pair<std::string, TrafficStats>> by_op() const {
+    std::vector<std::pair<std::string, TrafficStats>> rows;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(WireOp::kCount);
+         ++i) {
+      const auto s = load(per_op_[i]);
+      if (s.messages == 0) continue;
+      rows.emplace_back(to_string(static_cast<WireOp>(i)), s);
+    }
+    return rows;
   }
 
   TrafficStats total() const {
@@ -49,6 +91,10 @@ class TrafficMeter {
       c.messages.store(0, std::memory_order_relaxed);
       c.bytes.store(0, std::memory_order_relaxed);
     }
+    for (auto& c : per_op_) {
+      c.messages.store(0, std::memory_order_relaxed);
+      c.bytes.store(0, std::memory_order_relaxed);
+    }
   }
 
  private:
@@ -56,7 +102,14 @@ class TrafficMeter {
     std::atomic<std::int64_t> messages{0};
     std::atomic<std::int64_t> bytes{0};
   };
+
+  static TrafficStats load(const Counters& c) {
+    return {c.messages.load(std::memory_order_relaxed),
+            c.bytes.load(std::memory_order_relaxed)};
+  }
+
   std::vector<Counters> per_rank_;
+  Counters per_op_[static_cast<std::size_t>(WireOp::kCount)];
 };
 
 }  // namespace minsgd::comm

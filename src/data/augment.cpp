@@ -3,10 +3,13 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace minsgd::data {
 
 void augment_image(std::span<float> chw, std::int64_t resolution,
                    const AugmentConfig& config, Rng& rng) {
+  obs::ScopedSpan span("data.augment", obs::cat::kData);
   const std::int64_t r = resolution;
   if (static_cast<std::int64_t>(chw.size()) != 3 * r * r) {
     throw std::invalid_argument("augment_image: span size mismatch");

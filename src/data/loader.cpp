@@ -4,6 +4,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace minsgd::data {
 
 ShardedLoader::ShardedLoader(const SyntheticImageNet& dataset,
@@ -36,6 +38,7 @@ Batch ShardedLoader::load_train(std::int64_t epoch, std::int64_t iter) const {
   if (epoch < 0 || iter < 0) {
     throw std::invalid_argument("ShardedLoader::load_train: negative index");
   }
+  obs::ScopedSpan span("data.load_train", obs::cat::kData);
   iter %= iterations_per_epoch();
 
   // Deterministic epoch permutation (Fisher-Yates from a per-epoch stream).

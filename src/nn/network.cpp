@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace minsgd::nn {
@@ -22,10 +23,19 @@ Shape Network::output_shape(const Shape& input) const {
 
 void Network::forward(const Tensor& x, Tensor& y, bool training) {
   if (layers_.empty()) throw std::logic_error("Network::forward: empty net");
+  // Span names are built only when tracing is on; the disabled path costs
+  // one atomic load per layer.
+  const bool traced = obs::tracer().enabled();
+  obs::ScopedSpan outer;
+  if (traced) {
+    outer.start("forward." + label_, obs::cat::kCompute);
+  }
   acts_.resize(layers_.size());
   const Tensor* cur = &x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     Tensor& out = (i + 1 == layers_.size()) ? y : acts_[i];
+    obs::ScopedSpan sp;
+    if (traced) sp.start("fwd." + layers_[i]->name(), obs::cat::kCompute);
     layers_[i]->forward(*cur, out, training);
     cur = &out;
   }
@@ -39,11 +49,18 @@ void Network::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
   if (acts_.size() != layers_.size()) {
     throw std::logic_error("Network::backward without forward");
   }
+  const bool traced = obs::tracer().enabled();
+  obs::ScopedSpan outer;
+  if (traced) {
+    outer.start("backward." + label_, obs::cat::kCompute);
+  }
   dacts_.resize(layers_.size());
   const Tensor* cur_dy = &dy;
   for (std::size_t i = layers_.size(); i-- > 0;) {
     const Tensor& input = (i == 0) ? x : acts_[i - 1];
     Tensor& out_dx = (i == 0) ? dx : dacts_[i - 1];
+    obs::ScopedSpan sp;
+    if (traced) sp.start("bwd." + layers_[i]->name(), obs::cat::kCompute);
     layers_[i]->backward(input, acts_[i], *cur_dy, out_dx);
     cur_dy = &out_dx;
   }

@@ -1,0 +1,100 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <ostream>
+
+#include "nn/analysis.hpp"
+#include "obs/trace.hpp"
+#include "train/trainer.hpp"
+
+namespace minsgd::obs {
+
+double ScalingRatioRow::ratio() const {
+  return comm_ms() > 0 ? compute_ms() / comm_ms()
+                       : std::numeric_limits<double>::infinity();
+}
+
+double ScalingRatioRow::static_ratio() const {
+  return params > 0 ? static_cast<double>(flops_per_image) /
+                          static_cast<double>(params)
+                    : 0.0;
+}
+
+ScalingRatioRow measure_scaling_ratio(
+    const std::string& model_name,
+    const std::function<std::unique_ptr<nn::Network>()>& model_factory,
+    const std::function<std::unique_ptr<optim::Optimizer>()>& opt_factory,
+    const optim::LrSchedule& schedule, const data::SyntheticImageNet& dataset,
+    const ScalingRatioOptions& options) {
+  Tracer& tr = tracer();
+  const bool was_enabled = tr.enabled();
+  tr.set_enabled(true);
+  // Only spans recorded from here on belong to this measurement; earlier
+  // buffered spans (e.g. a previous model's run) are left untouched.
+  const std::int64_t t0 = tr.now_ns();
+
+  train::TrainOptions topt;
+  topt.global_batch = options.global_batch;
+  topt.epochs = options.epochs;
+  topt.init_seed = options.init_seed;
+  topt.detect_divergence = false;  // measuring time, not accuracy
+  const auto dist = train::train_sync_data_parallel(
+      model_factory, opt_factory, schedule, dataset, topt, options.world,
+      options.algo);
+
+  tr.set_enabled(was_enabled);
+
+  ScalingRatioRow row;
+  row.model = model_name;
+  row.world = options.world;
+  row.iterations = dist.iterations;
+  {
+    auto probe = model_factory();
+    const auto res = dataset.config().resolution;
+    const auto prof = nn::profile_model(*probe, Shape{1, 3, res, res});
+    row.params = prof.params;
+    row.flops_per_image = static_cast<std::int64_t>(prof.flops_per_image);
+  }
+
+  std::map<std::string, double> totals_ms;
+  for (const auto& s : tr.snapshot()) {
+    if (s.start_ns < t0) continue;
+    if (std::string(s.category) != cat::kPhase) continue;
+    totals_ms[s.name] += static_cast<double>(s.dur_ns) / 1e6;
+  }
+  // Phase spans are per (rank, iteration); normalize to one rank-iteration.
+  const double norm = static_cast<double>(options.world) *
+                      static_cast<double>(std::max<std::int64_t>(
+                          row.iterations, 1));
+  row.data_ms = totals_ms["phase.data"] / norm;
+  row.forward_ms = totals_ms["phase.forward"] / norm;
+  row.backward_ms = totals_ms["phase.backward"] / norm;
+  row.allreduce_ms = totals_ms["phase.allreduce"] / norm;
+  row.step_ms = totals_ms["phase.step"] / norm;
+  return row;
+}
+
+void print_scaling_ratio_table(const std::vector<ScalingRatioRow>& rows,
+                               std::ostream& out) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-16s %5s %6s %8s %8s %8s %8s %8s %9s %9s\n", "model",
+                "world", "iters", "data_ms", "fwd_ms", "bwd_ms", "comm_ms",
+                "step_ms", "ratio", "static");
+  out << line;
+  for (const auto& r : rows) {
+    std::snprintf(line, sizeof(line),
+                  "%-16s %5d %6lld %8.3f %8.3f %8.3f %8.3f %8.3f %9.2f "
+                  "%9.1f\n",
+                  r.model.c_str(), r.world,
+                  static_cast<long long>(r.iterations), r.data_ms,
+                  r.forward_ms, r.backward_ms, r.allreduce_ms, r.step_ms,
+                  r.ratio(), r.static_ratio());
+    out << line;
+  }
+}
+
+}  // namespace minsgd::obs

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace minsgd::optim {
@@ -26,6 +28,9 @@ void Lars::step(std::span<nn::ParamRef> params, double lr) {
   if (velocity_.size() != params.size()) {
     throw std::invalid_argument("Lars::step: param list changed size");
   }
+  const bool traced = obs::tracer().enabled();
+  obs::ScopedSpan span;
+  if (traced) span.start("optim.lars", obs::cat::kCompute);
   last_local_.assign(params.size(), 0.0);
   const auto m = static_cast<float>(config_.momentum);
   for (std::size_t i = 0; i < params.size(); ++i) {
@@ -45,6 +50,12 @@ void Lars::step(std::span<nn::ParamRef> params, double lr) {
       if (w_norm == 0.0) local = 1.0;
       if (config_.clip && local > 1.0) local = 1.0;
       last_local_[i] = local;
+      // Trust-ratio gauges make the paper's core mechanism observable per
+      // layer; only published while tracing so the steady-state step stays
+      // free of registry lookups.
+      if (traced) {
+        obs::metrics().gauge("lars.local_lr." + p.name).set(local);
+      }
     }
 
     const auto eff = static_cast<float>(lr * local);

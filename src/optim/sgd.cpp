@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace minsgd::optim {
 
 Sgd::Sgd(SgdConfig config) : config_(config) {
@@ -21,6 +23,7 @@ void Sgd::step(std::span<nn::ParamRef> params, double lr) {
   if (velocity_.size() != params.size()) {
     throw std::invalid_argument("Sgd::step: param list changed size");
   }
+  obs::ScopedSpan span("optim.sgd", obs::cat::kCompute);
   const auto m = static_cast<float>(config_.momentum);
   const auto flr = static_cast<float>(lr);
   for (std::size_t i = 0; i < params.size(); ++i) {

@@ -9,6 +9,7 @@
 #include "comm/param_server.hpp"
 #include "data/loader.hpp"
 #include "nn/loss.hpp"
+#include "obs/trace.hpp"
 
 namespace minsgd::train {
 
@@ -39,6 +40,7 @@ AsyncResult train_async_param_server(
 
   for (int w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
+      obs::set_thread_rank(w);  // trace lane per worker
       auto net = model_factory();
       Rng worker_init(options.init_seed);
       net->init(worker_init);  // allocate param storage; overwritten by pull
@@ -57,15 +59,29 @@ AsyncResult train_async_param_server(
       for (std::int64_t epoch = 0; epoch < options.epochs; ++epoch) {
         for (std::int64_t it = 0; it < iters; ++it) {
           if (abort.load(std::memory_order_relaxed)) return;
-          const auto batch = loader.load_train(epoch, it);
+          data::Batch batch;
+          {
+            obs::ScopedSpan sp("phase.data", obs::cat::kPhase);
+            batch = loader.load_train(epoch, it);
+          }
           net->zero_grad();
-          net->forward(batch.x, logits, /*training=*/true);
-          const auto lres =
-              loss.forward_backward(logits, batch.labels, &dlogits);
-          net->backward(batch.x, logits, dlogits, dx);
+          nn::LossResult lres;
+          {
+            obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
+            net->forward(batch.x, logits, /*training=*/true);
+            lres = loss.forward_backward(logits, batch.labels, &dlogits);
+          }
+          {
+            obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
+            net->backward(batch.x, logits, dlogits, dx);
+          }
           const double lr = schedule.lr(server.updates_applied());
           auto grad = net->flatten_grads();
-          server.push_pull(w, grad, lr, weights);
+          {
+            obs::ScopedSpan sp("phase.push_pull", obs::cat::kPhase);
+            sp.set_bytes(static_cast<std::int64_t>(grad.size()) * 4);
+            server.push_pull(w, grad, lr, weights);
+          }
           net->unflatten_params(weights);
           last_loss.store(lres.loss, std::memory_order_relaxed);
           if (first_loss < 0) first_loss = lres.loss;

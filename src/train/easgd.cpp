@@ -9,6 +9,7 @@
 
 #include "data/loader.hpp"
 #include "nn/loss.hpp"
+#include "obs/trace.hpp"
 #include "optim/sgd.hpp"
 #include "tensor/ops.hpp"
 
@@ -43,6 +44,7 @@ EasgdResult train_easgd(
   threads.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
+      obs::set_thread_rank(w);  // trace lane per worker
       auto net = model_factory();
       Rng wrng(options.init_seed);
       net->init(wrng);  // all workers start at the center
@@ -61,13 +63,26 @@ EasgdResult train_easgd(
       for (std::int64_t epoch = 0; epoch < options.epochs; ++epoch) {
         for (std::int64_t it = 0; it < iters; ++it, ++step) {
           if (abort.load(std::memory_order_relaxed)) return;
-          const auto batch = loader.load_train(epoch, it);
+          data::Batch batch;
+          {
+            obs::ScopedSpan sp("phase.data", obs::cat::kPhase);
+            batch = loader.load_train(epoch, it);
+          }
           net->zero_grad();
-          net->forward(batch.x, logits, /*training=*/true);
-          const auto lres =
-              loss.forward_backward(logits, batch.labels, &dlogits);
-          net->backward(batch.x, logits, dlogits, dx);
-          sgd.step(params, schedule.lr(step));
+          nn::LossResult lres;
+          {
+            obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
+            net->forward(batch.x, logits, /*training=*/true);
+            lres = loss.forward_backward(logits, batch.labels, &dlogits);
+          }
+          {
+            obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
+            net->backward(batch.x, logits, dlogits, dx);
+          }
+          {
+            obs::ScopedSpan sp("phase.step", obs::cat::kPhase);
+            sgd.step(params, schedule.lr(step));
+          }
           last_loss.store(lres.loss, std::memory_order_relaxed);
           if (first_loss < 0) first_loss = lres.loss;
           if (options.detect_divergence &&
@@ -79,6 +94,7 @@ EasgdResult train_easgd(
 
           if ((step + 1) % config.communication_period == 0) {
             // Elastic synchronization with the center.
+            obs::ScopedSpan sp("phase.elastic", obs::cat::kPhase);
             auto flat = net->flatten_params();
             {
               std::lock_guard lk(center_mu);

@@ -9,6 +9,7 @@
 
 #include "data/loader.hpp"
 #include "nn/loss.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "train/checkpoint.hpp"
 #include "train/metrics.hpp"
@@ -104,19 +105,37 @@ FaultTolerantResult train_sync_fault_tolerant(
       const double epoch_lr = schedule.lr(global_iter);
       for (std::int64_t it = (epoch == start_epoch ? start_iter : 0);
            it < iters && !stop; ++it, ++global_iter) {
-        const auto batch = loader.load_train(epoch, it);
+        data::Batch batch;
+        {
+          obs::ScopedSpan sp("phase.data", obs::cat::kPhase);
+          batch = loader.load_train(epoch, it);
+        }
         net->zero_grad();
-        net->forward(batch.x, logits, /*training=*/true);
-        const auto lres = loss.forward_backward(logits, batch.labels, &dlogits);
-        net->backward(batch.x, logits, dlogits, dx);
+        nn::LossResult lres;
+        {
+          obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
+          net->forward(batch.x, logits, /*training=*/true);
+          lres = loss.forward_backward(logits, batch.labels, &dlogits);
+        }
+        {
+          obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
+          net->backward(batch.x, logits, dlogits, dx);
+        }
 
         // Identical update sequence to train_sync_data_parallel: rank-sum
         // the gradients, divide by world, step at lr(global_iter).
         auto flat = net->flatten_grads();
-        comm.allreduce_sum(flat, options.algo);
-        scale(inv_world, flat);
-        net->unflatten_grads(flat);
-        opt->step(params, schedule.lr(global_iter));
+        {
+          obs::ScopedSpan sp("phase.allreduce", obs::cat::kPhase);
+          sp.set_bytes(static_cast<std::int64_t>(flat.size()) * 4);
+          comm.allreduce_sum(flat, options.algo);
+        }
+        {
+          obs::ScopedSpan sp("phase.step", obs::cat::kPhase);
+          scale(inv_world, flat);
+          net->unflatten_grads(flat);
+          opt->step(params, schedule.lr(global_iter));
+        }
 
         float stats[2] = {static_cast<float>(lres.loss),
                           static_cast<float>(lres.correct)};

@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "data/synthetic.hpp"
@@ -42,5 +44,15 @@ std::int64_t top_k_correct(const Tensor& logits,
 double evaluate_top_k(nn::Network& net,
                       const data::SyntheticImageNet& dataset, std::int64_t k,
                       std::int64_t eval_batch = 256);
+
+// -- training-curve export --------------------------------------------------
+// The paper's accuracy claims are curves (Figures 1, 4, 5); these dump any
+// TrainResult without bench-specific glue. CSV: one row per epoch. JSONL:
+// one object per epoch plus a final {"summary":true,...} line; non-finite
+// values (diverged losses) are emitted as null.
+
+void write_csv(const TrainResult& result, const std::string& path);
+void write_jsonl(const TrainResult& result, std::ostream& out);
+void write_jsonl(const TrainResult& result, const std::string& path);
 
 }  // namespace minsgd::train

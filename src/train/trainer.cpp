@@ -7,6 +7,8 @@
 
 #include "comm/compress.hpp"
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace minsgd::train {
@@ -63,21 +65,34 @@ TrainResult train_single(nn::Network& net, optim::Optimizer& opt,
       net.zero_grad();
       double step_loss = 0.0;
       for (std::int64_t micro = 0; micro < accum; ++micro) {
-        const auto batch = loader.load_train(epoch, it * accum + micro);
-        net.forward(batch.x, logits, /*training=*/true);
-        const auto lres =
-            loss.forward_backward(logits, batch.labels, &dlogits);
-        net.backward(batch.x, logits, dlogits, dx);
+        data::Batch batch;
+        {
+          obs::ScopedSpan sp("phase.data", obs::cat::kPhase);
+          batch = loader.load_train(epoch, it * accum + micro);
+        }
+        nn::LossResult lres;
+        {
+          obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
+          net.forward(batch.x, logits, /*training=*/true);
+          lres = loss.forward_backward(logits, batch.labels, &dlogits);
+        }
+        {
+          obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
+          net.backward(batch.x, logits, dlogits, dx);
+        }
         step_loss += lres.loss;
         epoch_correct += lres.correct;
       }
       step_loss *= inv_accum;
-      if (accum > 1) {
-        // Average the accumulated micro-batch gradients so the update is
-        // the mean over the effective batch.
-        for (auto& p : params) scale(inv_accum, p.grad->span());
+      {
+        obs::ScopedSpan sp("phase.step", obs::cat::kPhase);
+        if (accum > 1) {
+          // Average the accumulated micro-batch gradients so the update is
+          // the mean over the effective batch.
+          for (auto& p : params) scale(inv_accum, p.grad->span());
+        }
+        opt.step(params, schedule.lr(global_iter));
       }
-      opt.step(params, schedule.lr(global_iter));
       epoch_loss += step_loss;
       ++res.iterations_run;
       if (first_loss < 0) first_loss = step_loss;
@@ -156,17 +171,32 @@ DistResult train_sync_data_parallel(
       std::int64_t epoch_correct = 0;
       const double epoch_lr = schedule.lr(global_iter);
       for (std::int64_t it = 0; it < iters && !stop; ++it, ++global_iter) {
-        const auto batch = loader.load_train(epoch, it);
+        data::Batch batch;
+        {
+          obs::ScopedSpan sp("phase.data", obs::cat::kPhase);
+          batch = loader.load_train(epoch, it);
+        }
         net->zero_grad();
-        net->forward(batch.x, logits, /*training=*/true);
-        const auto lres =
-            loss.forward_backward(logits, batch.labels, &dlogits);
-        net->backward(batch.x, logits, dlogits, dx);
+        nn::LossResult lres;
+        {
+          obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
+          net->forward(batch.x, logits, /*training=*/true);
+          lres = loss.forward_backward(logits, batch.labels, &dlogits);
+        }
+        {
+          obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
+          net->backward(batch.x, logits, dlogits, dx);
+        }
 
         // Sum gradients across ranks, then average: each local gradient is
         // the mean over the local shard, so the global-batch mean is the
         // rank-sum divided by world.
         auto flat = net->flatten_grads();
+        obs::ScopedSpan sp_comm;
+        if (obs::tracer().enabled()) {
+          sp_comm.start("phase.allreduce", obs::cat::kPhase);
+          sp_comm.set_bytes(static_cast<std::int64_t>(flat.size()) * 4);
+        }
         if (compressor) {
           // 1-bit SGD: compress locally (error feedback), allgather the
           // payloads, reconstruct and sum every rank's contribution.
@@ -198,9 +228,13 @@ DistResult train_sync_data_parallel(
         } else {
           comm.allreduce_sum(flat, algo);
         }
-        scale(inv_world, flat);
-        net->unflatten_grads(flat);
-        opt->step(params, schedule.lr(global_iter));
+        sp_comm.stop();
+        {
+          obs::ScopedSpan sp("phase.step", obs::cat::kPhase);
+          scale(inv_world, flat);
+          net->unflatten_grads(flat);
+          opt->step(params, schedule.lr(global_iter));
+        }
 
         // Aggregate the loss/accuracy scalars for reporting.
         float stats[2] = {static_cast<float>(lres.loss),
@@ -245,6 +279,15 @@ DistResult train_sync_data_parallel(
   });
 
   out.traffic = cluster.total_traffic();
+  // Persist the wire traffic past the cluster's lifetime: snapshots taken
+  // after training still see what each collective put on the wire.
+  auto& reg = obs::metrics();
+  reg.counter("train.traffic.messages").add(out.traffic.messages);
+  reg.counter("train.traffic.bytes").add(out.traffic.bytes);
+  for (const auto& [op, st] : cluster.traffic_by_op()) {
+    reg.counter("train.traffic." + op + ".messages").add(st.messages);
+    reg.counter("train.traffic." + op + ".bytes").add(st.bytes);
+  }
   return out;
 }
 

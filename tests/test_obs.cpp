@@ -1,0 +1,466 @@
+// Tracer, MetricsRegistry, per-collective traffic attribution, and the
+// TrainResult exporters. Trace and metrics output is validated by
+// round-tripping through a real JSON parser (obs/json.hpp), not substring
+// greps: a trace Chrome cannot load is a bug.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/cluster.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/threadpool.hpp"
+#include "train/metrics.hpp"
+
+namespace minsgd {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(::testing::TempDir() + "/" + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Every test starts from an empty tracer/registry and leaves tracing off;
+/// the tracer and registry are process-wide singletons.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::tracer().set_enabled(false);
+    obs::tracer().clear();
+    obs::metrics().clear();
+  }
+  void TearDown() override {
+    obs::tracer().set_enabled(false);
+    obs::tracer().clear();
+    obs::metrics().clear();
+  }
+};
+
+// -- tracer basics ----------------------------------------------------------
+
+TEST_F(ObsTest, DisabledByDefaultRecordsNothing) {
+  ASSERT_FALSE(obs::tracer().enabled());
+  {
+    obs::ScopedSpan sp("should.not.appear", obs::cat::kCompute);
+    obs::ScopedSpan sp2(std::string("dynamic.") + "name", obs::cat::kComm);
+    sp2.set_bytes(123);
+  }
+  EXPECT_EQ(obs::tracer().span_count(), 0u);
+  EXPECT_TRUE(obs::tracer().snapshot().empty());
+  EXPECT_TRUE(obs::tracer().summary().empty());
+}
+
+TEST_F(ObsTest, SpanStartedWhileDisabledStaysUnrecorded) {
+  obs::ScopedSpan sp("started.disabled", obs::cat::kCompute);
+  obs::tracer().set_enabled(true);  // enable before the span closes
+  sp.stop();
+  EXPECT_EQ(obs::tracer().span_count(), 0u);
+}
+
+#ifndef MINSGD_TRACE_OFF
+TEST_F(ObsTest, RecordsNameCategoryNestingAndArgs) {
+  obs::tracer().set_enabled(true);
+  {
+    obs::ScopedSpan outer("outer", obs::cat::kPhase);
+    {
+      obs::ScopedSpan inner("inner", obs::cat::kComm);
+      inner.set_bytes(4096);
+      inner.set_label("ring");
+    }
+  }
+  const auto spans = obs::tracer().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // snapshot() orders by start time: outer first.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_STREQ(spans[0].category, obs::cat::kPhase);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[1].bytes, 4096);
+  EXPECT_EQ(spans[1].label, "ring");
+  // The inner span is contained in the outer one.
+  EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_LE(spans[1].start_ns + spans[1].dur_ns,
+            spans[0].start_ns + spans[0].dur_ns);
+}
+
+TEST_F(ObsTest, StopIsIdempotentAndEndsTheSpanEarly) {
+  obs::tracer().set_enabled(true);
+  obs::ScopedSpan sp("early", obs::cat::kCompute);
+  sp.stop();
+  sp.stop();  // second stop must not record again
+  EXPECT_EQ(obs::tracer().span_count(), 1u);
+  EXPECT_FALSE(sp.active());
+}
+
+TEST_F(ObsTest, ClearDropsSpansAndResetsEpoch) {
+  obs::tracer().set_enabled(true);
+  { obs::ScopedSpan sp("a", obs::cat::kCompute); }
+  ASSERT_EQ(obs::tracer().span_count(), 1u);
+  obs::tracer().clear();
+  EXPECT_EQ(obs::tracer().span_count(), 0u);
+  { obs::ScopedSpan sp("b", obs::cat::kCompute); }
+  const auto spans = obs::tracer().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GE(spans[0].start_ns, 0);
+}
+#endif  // MINSGD_TRACE_OFF
+
+// -- summary math -----------------------------------------------------------
+
+TEST_F(ObsTest, SummaryComputesCountTotalMeanAndNearestRankP95) {
+  // Inject 100 spans with durations 1..100ns directly; nearest-rank p95 of
+  // {1..100} is the 95th value.
+  for (int i = 1; i <= 100; ++i) {
+    obs::Span s;
+    s.name = "op";
+    s.category = obs::cat::kCompute;
+    s.start_ns = i;
+    s.dur_ns = i;
+    obs::tracer().record(std::move(s));
+  }
+  const auto stats = obs::tracer().summary();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "op");
+  EXPECT_EQ(stats[0].count, 100);
+  EXPECT_EQ(stats[0].total_ns, 5050);
+  EXPECT_DOUBLE_EQ(stats[0].mean_ns(), 50.5);
+  EXPECT_EQ(stats[0].p95_ns, 95);
+  EXPECT_EQ(stats[0].max_ns, 100);
+}
+
+TEST_F(ObsTest, SummaryP95SmallSamples) {
+  // n = 1: p95 is the only sample. n = 2: nearest-rank index 2 -> max.
+  obs::Span s;
+  s.name = "one";
+  s.category = obs::cat::kCompute;
+  s.dur_ns = 7;
+  obs::tracer().record(s);
+  s.name = "two";
+  s.dur_ns = 10;
+  obs::tracer().record(s);
+  s.dur_ns = 20;
+  obs::tracer().record(s);
+  for (const auto& st : obs::tracer().summary()) {
+    if (st.name == "one") {
+      EXPECT_EQ(st.p95_ns, 7);
+    }
+    if (st.name == "two") {
+      EXPECT_EQ(st.p95_ns, 20);
+    }
+  }
+}
+
+TEST_F(ObsTest, SummaryGroupsByCategoryAndName) {
+  obs::Span s;
+  s.category = obs::cat::kCompute;
+  s.name = "x";
+  s.dur_ns = 5;
+  obs::tracer().record(s);
+  obs::tracer().record(s);
+  s.category = obs::cat::kComm;  // same name, different category: own row
+  obs::tracer().record(s);
+  const auto stats = obs::tracer().summary();
+  ASSERT_EQ(stats.size(), 2u);
+  std::int64_t total = 0;
+  for (const auto& st : stats) total += st.count;
+  EXPECT_EQ(total, 3);
+}
+
+// -- concurrent recording + chrome export -----------------------------------
+
+#ifndef MINSGD_TRACE_OFF
+TEST_F(ObsTest, ConcurrentSpansFromThreadPoolProduceValidChromeTrace) {
+  obs::tracer().set_enabled(true);
+  constexpr int kTasks = 64;
+  ThreadPool pool(4);
+  for (int t = 0; t < kTasks; ++t) {
+    pool.submit([t] {
+      obs::ScopedSpan sp("task." + std::to_string(t % 4), obs::cat::kCompute);
+      obs::ScopedSpan inner("inner", obs::cat::kData);
+    });
+  }
+  pool.wait_idle();
+  obs::tracer().set_enabled(false);
+  EXPECT_EQ(obs::tracer().span_count(), 2u * kTasks);
+
+  std::ostringstream os;
+  obs::tracer().write_chrome_trace(os);
+  const auto doc = obs::json::parse(os.str());  // throws if malformed
+  const auto& events = doc.at("traceEvents").as_array();
+  std::size_t x_events = 0;
+  for (const auto& e : events) {
+    const auto& ph = e.at("ph").as_string();
+    if (ph == "M") continue;  // process_name metadata
+    EXPECT_EQ(ph, "X");
+    EXPECT_FALSE(e.at("name").as_string().empty());
+    EXPECT_GE(e.at("ts").as_number(), 0.0);
+    EXPECT_GE(e.at("dur").as_number(), 0.0);
+    e.at("pid").as_number();
+    e.at("tid").as_number();
+    ++x_events;
+  }
+  EXPECT_EQ(x_events, 2u * kTasks);
+}
+#endif  // MINSGD_TRACE_OFF
+
+TEST_F(ObsTest, ChromeTraceEscapesSpecialCharacters) {
+  obs::Span s;
+  s.name = "weird \"name\"\nwith\\escapes";
+  s.category = obs::cat::kCompute;
+  s.dur_ns = 1;
+  obs::tracer().record(s);
+  std::ostringstream os;
+  obs::tracer().write_chrome_trace(os);
+  const auto doc = obs::json::parse(os.str());
+  const auto& events = doc.at("traceEvents").as_array();
+  bool found = false;
+  for (const auto& e : events) {
+    if (e.at("ph").as_string() != "X") continue;
+    EXPECT_EQ(e.at("name").as_string(), s.name);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+#ifndef MINSGD_TRACE_OFF
+TEST_F(ObsTest, SimClusterRanksGetTheirOwnTraceLanes) {
+  obs::tracer().set_enabled(true);
+  constexpr int kWorld = 3;
+  comm::SimCluster cluster(kWorld);
+  cluster.run([](comm::Communicator& comm) {
+    obs::ScopedSpan sp("work", obs::cat::kCompute);
+    (void)comm;
+  });
+  obs::tracer().set_enabled(false);
+
+  std::ostringstream os;
+  obs::tracer().write_chrome_trace(os);
+  const auto doc = obs::json::parse(os.str());
+  std::vector<bool> lane_named(kWorld, false), lane_used(kWorld, false);
+  for (const auto& e : doc.at("traceEvents").as_array()) {
+    const int pid = static_cast<int>(e.at("pid").as_number());
+    if (e.at("ph").as_string() == "M") {
+      ASSERT_EQ(e.at("name").as_string(), "process_name");
+      if (pid >= 0 && pid < kWorld) lane_named[pid] = true;
+      continue;
+    }
+    if (e.at("name").as_string() == "work") {
+      ASSERT_GE(pid, 0);
+      ASSERT_LT(pid, kWorld);
+      lane_used[pid] = true;
+    }
+  }
+  for (int r = 0; r < kWorld; ++r) {
+    EXPECT_TRUE(lane_named[r]) << "no process_name for rank " << r;
+    EXPECT_TRUE(lane_used[r]) << "no span in rank " << r << "'s lane";
+  }
+}
+#endif  // MINSGD_TRACE_OFF
+
+// -- metrics registry -------------------------------------------------------
+
+TEST_F(ObsTest, CountersAndGaugesAreCreateOnFirstUseAndStable) {
+  auto& c = obs::metrics().counter("iters");
+  c.add();
+  c.add(9);
+  EXPECT_EQ(obs::metrics().counter("iters").value(), 10);
+  EXPECT_EQ(&obs::metrics().counter("iters"), &c);
+
+  obs::metrics().gauge("lr").set(0.25);
+  EXPECT_DOUBLE_EQ(obs::metrics().gauge("lr").value(), 0.25);
+}
+
+TEST_F(ObsTest, SourcesContributeSamplesAtSnapshotTime) {
+  int polls = 0;
+  obs::metrics().register_source("src", [&polls] {
+    ++polls;
+    std::vector<obs::Sample> out;
+    out.push_back({"src.live", static_cast<double>(polls),
+                   obs::Sample::Kind::kGauge});
+    return out;
+  });
+  obs::metrics().counter("fixed").add(3);
+
+  auto snap = obs::metrics().snapshot();
+  ASSERT_EQ(snap.size(), 2u);  // sorted by name: fixed, src.live
+  EXPECT_EQ(snap[0].name, "fixed");
+  EXPECT_EQ(snap[1].name, "src.live");
+  EXPECT_DOUBLE_EQ(snap[1].value, 1.0);
+
+  obs::metrics().unregister_source("src");
+  snap = obs::metrics().snapshot();
+  EXPECT_EQ(snap.size(), 1u);
+  EXPECT_EQ(polls, 1);
+}
+
+TEST_F(ObsTest, JsonlSnapshotParsesAndKeepsCountersIntegral) {
+  obs::metrics().counter("msgs").add(7);
+  obs::metrics().gauge("ratio").set(1.5);
+  obs::metrics().gauge("bad").set(std::nan(""));
+  std::ostringstream os;
+  obs::metrics().write_jsonl_snapshot(os);
+  const std::string line = os.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  const auto doc = obs::json::parse(line.substr(0, line.size() - 1));
+  EXPECT_DOUBLE_EQ(doc.at("msgs").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_number(), 1.5);
+  EXPECT_TRUE(doc.at("bad").is_null());
+  // Counter must be serialized without a decimal point.
+  EXPECT_NE(line.find("\"msgs\":7"), std::string::npos);
+  EXPECT_EQ(line.find("\"msgs\":7."), std::string::npos);
+}
+
+// -- per-collective traffic attribution -------------------------------------
+
+TEST_F(ObsTest, TrafficMeterAttributesPerOp) {
+  comm::TrafficMeter meter(2);
+  meter.record_send(0, 100);  // defaults to p2p
+  meter.record_send(1, 50, comm::WireOp::kAllreduceRing);
+  meter.record_send(1, 50, comm::WireOp::kAllreduceRing);
+
+  EXPECT_EQ(meter.op_stats(comm::WireOp::kP2P).bytes, 100);
+  EXPECT_EQ(meter.op_stats(comm::WireOp::kAllreduceRing).messages, 2);
+  EXPECT_EQ(meter.op_stats(comm::WireOp::kAllreduceRing).bytes, 100);
+  EXPECT_EQ(meter.total().bytes, 200);
+
+  const auto rows = meter.by_op();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "p2p");
+  EXPECT_EQ(rows[1].first, "allreduce-ring");
+
+  meter.reset();
+  EXPECT_TRUE(meter.by_op().empty());
+}
+
+TEST_F(ObsTest, ClusterAttributesCollectiveTraffic) {
+  comm::SimCluster cluster(4);
+  std::vector<float> data(64, 1.0f);
+  cluster.run([&](comm::Communicator& comm) {
+    std::vector<float> local = data;
+    comm.allreduce_sum(local, comm::AllreduceAlgo::kRing);
+    comm.broadcast(local, /*root=*/0);
+  });
+  const auto ring = cluster.op_traffic(comm::WireOp::kAllreduceRing);
+  const auto bcast = cluster.op_traffic(comm::WireOp::kBroadcast);
+  EXPECT_GT(ring.messages, 0);
+  EXPECT_GT(bcast.messages, 0);
+  // The tree allreduce's internal reduce/broadcast must NOT be claimed by
+  // the inner collectives: everything belongs to the outermost op.
+  cluster.reset_traffic();
+  cluster.run([&](comm::Communicator& comm) {
+    std::vector<float> local = data;
+    comm.allreduce_sum(local, comm::AllreduceAlgo::kTree);
+  });
+  EXPECT_GT(cluster.op_traffic(comm::WireOp::kAllreduceTree).messages, 0);
+  EXPECT_EQ(cluster.op_traffic(comm::WireOp::kReduce).messages, 0);
+  EXPECT_EQ(cluster.op_traffic(comm::WireOp::kBroadcast).messages, 0);
+}
+
+TEST_F(ObsTest, ClusterRegistersAsMetricsSource) {
+  auto& reg = obs::metrics();
+  {
+    comm::SimCluster cluster(2);
+    cluster.register_metrics(reg, "c0");
+    cluster.run([](comm::Communicator& comm) {
+      std::vector<float> v(8, 1.0f);
+      comm.allreduce_sum(v, comm::AllreduceAlgo::kStar);
+    });
+    bool saw_bytes = false, saw_op = false;
+    for (const auto& s : reg.snapshot()) {
+      if (s.name == "c0.traffic.bytes") {
+        saw_bytes = true;
+        EXPECT_GT(s.value, 0.0);
+      }
+      if (s.name == "c0.traffic.allreduce-star.messages") saw_op = true;
+    }
+    EXPECT_TRUE(saw_bytes);
+    EXPECT_TRUE(saw_op);
+  }
+  // Destructor unregistered the source: snapshot no longer polls it.
+  for (const auto& s : reg.snapshot()) {
+    EXPECT_TRUE(s.name.rfind("c0.", 0) != 0) << s.name;
+  }
+}
+
+// -- TrainResult exporters --------------------------------------------------
+
+train::TrainResult make_result() {
+  train::TrainResult r;
+  for (int e = 0; e < 3; ++e) {
+    train::EpochRecord rec;
+    rec.epoch = e;
+    rec.lr = 0.1 * (e + 1);
+    rec.train_loss = 2.0 - 0.5 * e;
+    rec.train_acc = 0.2 * (e + 1);
+    rec.test_acc = 0.15 * (e + 1);
+    r.epochs.push_back(rec);
+  }
+  r.iterations_run = 96;
+  r.best_test_acc = 0.45;
+  r.final_test_acc = 0.45;
+  return r;
+}
+
+TEST_F(ObsTest, TrainResultCsvExport) {
+  TempFile f("train_result.csv");
+  train::write_csv(make_result(), f.path);
+  const auto text = read_all(f.path);
+  std::istringstream is(text);
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "epoch,lr,train_loss,train_acc,test_acc");
+  int rows = 0;
+  while (std::getline(is, line)) ++rows;
+  EXPECT_EQ(rows, 3);
+  EXPECT_NE(text.find("\n0,0.1,2,"), std::string::npos);
+}
+
+TEST_F(ObsTest, TrainResultJsonlExportParsesLineByLine) {
+  auto r = make_result();
+  r.epochs[1].train_loss = std::nan("");  // must serialize as null
+  r.diverged = true;
+  std::ostringstream os;
+  train::write_jsonl(r, os);
+  std::istringstream is(os.str());
+  std::string line;
+  int epoch_lines = 0;
+  bool saw_summary = false;
+  while (std::getline(is, line)) {
+    const auto doc = obs::json::parse(line);  // throws if malformed
+    if (doc.contains("summary")) {
+      saw_summary = true;
+      EXPECT_TRUE(doc.at("diverged").as_bool());
+      EXPECT_DOUBLE_EQ(doc.at("best_test_acc").as_number(), 0.45);
+      EXPECT_DOUBLE_EQ(doc.at("iterations_run").as_number(), 96.0);
+    } else {
+      if (epoch_lines == 1) {
+        EXPECT_TRUE(doc.at("train_loss").is_null());
+      } else {
+        doc.at("train_loss").as_number();
+      }
+      ++epoch_lines;
+    }
+  }
+  EXPECT_EQ(epoch_lines, 3);
+  EXPECT_TRUE(saw_summary);
+}
+
+}  // namespace
+}  // namespace minsgd
