@@ -1,0 +1,101 @@
+// Ablation: overlapping gradient allreduce with backward compute.
+//
+// The same 8-way data-parallel AlexNet-proxy run with overlap_comm off and
+// on, at several bucket sizes. Overlap launches each gradient bucket's
+// allreduce on the comm worker the moment backward finalizes it, so most of
+// the collective runs while backward is still producing earlier layers'
+// gradients. The table reports total collective time vs *exposed* time (what
+// the iteration actually stalled on) — hiding is total minus exposed. Both
+// paths use identical bucket boundaries and reduction order, so accuracy and
+// final weights are bit-identical; only wall-clock accounting moves.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "comm/cluster.hpp"
+#include "core/proxy.hpp"
+#include "core/recipe.hpp"
+#include "train/trainer.hpp"
+
+using namespace minsgd;
+
+int main() {
+  bench::banner("Ablation — comm/compute overlap",
+                "overlap hides allreduce under backward; exposed comm drops, "
+                "bits do not change");
+
+  auto proxy = core::bench_proxy();
+  data::SyntheticImageNet ds(proxy.dataset);
+  const int world = 8;
+  const auto algo = comm::AllreduceAlgo::kRing;
+
+  core::CsvWriter csv(bench::csv_path("ablation_overlap"),
+                      {"overlap", "bucket_kib", "acc", "total_comm_ms_per_it",
+                       "exposed_comm_ms_per_it", "exposed_frac"});
+
+  auto run = [&](bool overlap, std::int64_t bucket_bytes) {
+    auto rc = proxy.recipe(proxy.base_batch * world, core::LrRule::kLars);
+    rc.epochs = 2;
+    rc.warmup_epochs = 0.5;
+    auto recipe = core::make_recipe(rc, ds);
+    recipe.options.bucket_bytes = bucket_bytes;
+    recipe.options.overlap_comm = overlap;
+    return train::train_sync_data_parallel(proxy.alexnet_factory(),
+                                           recipe.optimizer_factory,
+                                           *recipe.schedule, ds,
+                                           recipe.options, world, algo);
+  };
+
+  bench::section("8-way AlexNet proxy, ring allreduce, 2 epochs");
+  std::printf("%-10s %10s %8s %14s %16s %10s\n", "overlap", "bucket", "acc",
+              "total ms/it", "exposed ms/it", "exposed%");
+
+  double off_exposed_ms = -1.0, on_best_exposed_ms = -1.0;
+  const std::int64_t buckets[] = {64 * 1024, 256 * 1024, 0};
+  for (const bool overlap : {false, true}) {
+    for (const std::int64_t bucket : buckets) {
+      // Without overlap the bucket size only changes message count; run the
+      // serial baseline once, at the bucket the overlap runs also use.
+      if (!overlap && bucket != buckets[0]) continue;
+      const auto res = run(overlap, bucket);
+      const double iters = static_cast<double>(res.iterations);
+      const double total_ms =
+          static_cast<double>(res.total_comm_ns) / 1e6 / iters;
+      const double exposed_ms =
+          static_cast<double>(res.exposed_comm_ns) / 1e6 / iters;
+      const double frac =
+          res.total_comm_ns > 0
+              ? static_cast<double>(res.exposed_comm_ns) /
+                    static_cast<double>(res.total_comm_ns)
+              : 0.0;
+      char bucket_str[32];
+      if (bucket == 0) {
+        std::snprintf(bucket_str, sizeof(bucket_str), "whole");
+      } else {
+        std::snprintf(bucket_str, sizeof(bucket_str), "%lld KiB",
+                      static_cast<long long>(bucket / 1024));
+      }
+      std::printf("%-10s %10s %7.1f%% %14.3f %16.3f %9.1f%%\n",
+                  overlap ? "on" : "off", bucket_str,
+                  100 * res.result.best_test_acc, total_ms, exposed_ms,
+                  100 * frac);
+      csv.row(overlap ? 1 : 0, bucket / 1024, res.result.best_test_acc,
+              total_ms, exposed_ms, frac);
+      if (!overlap) off_exposed_ms = exposed_ms;
+      if (overlap && (on_best_exposed_ms < 0 || exposed_ms < on_best_exposed_ms)) {
+        on_best_exposed_ms = exposed_ms;
+      }
+    }
+  }
+
+  std::printf("\nExposed communication per iteration: %.3f ms off -> %.3f ms "
+              "best overlap (%.1fx reduction).\n",
+              off_exposed_ms, on_best_exposed_ms,
+              on_best_exposed_ms > 0 ? off_exposed_ms / on_best_exposed_ms
+                                     : 0.0);
+  std::printf("Accuracy columns match because overlap preserves bucket\n"
+              "boundaries and reduction order: the determinism suite checks\n"
+              "the weights are bit-identical, this bench shows the latency\n"
+              "side — the collective still runs, the iteration just stops\n"
+              "waiting for most of it.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-2 ThreadSanitizer gate: rebuild the thread-heavy test binaries with
+# MINSGD_SANITIZE=thread and run everything labeled tier2-tsan. The async
+# collective engine adds a per-rank comm worker thread to the SimCluster
+# rank threads, so test_comm / test_train / test_overlap must stay
+# TSan-clean for the overlap path to be trusted.
+#
+# Usage: scripts/tsan_tier2.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMINSGD_SANITIZE=thread
+
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target test_comm test_train test_overlap
+
+# TSan findings must fail the gate, not just print.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 exitcode=66}"
+
+ctest --test-dir "$BUILD_DIR" -L tier2-tsan --output-on-failure
+echo "tier2-tsan: all labeled suites TSan-clean"

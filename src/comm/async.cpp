@@ -1,0 +1,116 @@
+#include "comm/async.hpp"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "comm/cluster.hpp"
+#include "obs/trace.hpp"
+
+namespace minsgd::comm {
+
+bool AllreduceHandle::done() const {
+  if (!state_) return true;
+  std::lock_guard lk(state_->mu);
+  return state_->done;
+}
+
+void AllreduceHandle::wait() {
+  if (!state_) return;
+  std::unique_lock lk(state_->mu);
+  state_->cv.wait(lk, [&] { return state_->done; });
+  if (state_->error) std::rethrow_exception(state_->error);
+}
+
+AsyncCollectiveEngine::AsyncCollectiveEngine(SimCluster& cluster, int rank)
+    : comm_(cluster, rank, /*channel=*/1), rank_(rank) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+AsyncCollectiveEngine::~AsyncCollectiveEngine() { shutdown(); }
+
+void AsyncCollectiveEngine::shutdown() {
+  {
+    std::lock_guard lk(mu_);
+    if (stop_ && !worker_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+AllreduceHandle AsyncCollectiveEngine::allreduce_sum_async(
+    std::span<float> data, AllreduceAlgo algo) {
+  auto state = std::make_shared<detail::AsyncOpState>();
+  {
+    std::lock_guard lk(mu_);
+    if (stop_) {
+      throw std::logic_error(
+          "AsyncCollectiveEngine: allreduce_sum_async after shutdown");
+    }
+    queue_.push_back(Work{data, algo, state});
+  }
+  cv_.notify_all();
+  return AllreduceHandle(std::move(state));
+}
+
+void AsyncCollectiveEngine::worker_loop() {
+  // The worker records trace spans into its rank's lane, like the rank
+  // thread it serves.
+  obs::set_thread_rank(rank_);
+  for (;;) {
+    Work w;
+    std::exception_ptr poison;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stop_ set and fully drained
+      w = std::move(queue_.front());
+      queue_.pop_front();
+      poison = sticky_error_;
+    }
+    if (poison) {
+      // Fail fast: after one failed collective the channel's tag sequence
+      // no longer matches peers, so running later ops could pair buckets
+      // across iterations. Surface the root cause instead.
+      {
+        std::lock_guard lk(w.state->mu);
+        w.state->error = poison;
+        w.state->done = true;
+      }
+      w.state->cv.notify_all();
+      continue;
+    }
+    std::exception_ptr err;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      obs::ScopedSpan sp;
+      if (obs::tracer().enabled()) {
+        sp.start(std::string("allreduce.async.") + to_string(w.algo),
+                 obs::cat::kComm);
+        sp.set_bytes(static_cast<std::int64_t>(w.data.size()) * 4);
+        sp.set_label(to_string(w.algo));
+      }
+      comm_.allreduce_sum(w.data, w.algo);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    busy_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count(),
+                       std::memory_order_relaxed);
+    ops_.fetch_add(1, std::memory_order_relaxed);
+    if (err) {
+      std::lock_guard lk(mu_);
+      sticky_error_ = err;
+    }
+    {
+      std::lock_guard lk(w.state->mu);
+      w.state->error = err;
+      w.state->done = true;
+    }
+    w.state->cv.notify_all();
+  }
+}
+
+}  // namespace minsgd::comm

@@ -1,0 +1,139 @@
+// Async collective engine: nonblocking allreduce with a waitable handle.
+//
+// The paper's iteration is communication-bound at scale (Table 2, Figures
+// 8-10); the standard fix — Goyal et al. 2017, Akiba et al. 2017 — is to
+// aggregate gradients *while* backprop is still producing the earlier
+// layers' gradients. This engine supplies the comm side of that overlap: a
+// per-rank worker thread owning its own tag channel executes queued
+// collectives strictly in FIFO order while the rank thread keeps computing.
+//
+// Determinism contract: work items run one at a time, in launch order. If
+// every rank launches the same sequence of buckets (the bucketing assigner
+// in src/train/overlap.hpp guarantees this — backward walks layers in a
+// fixed order), then (a) collective tags match across ranks and (b) each
+// bucket's floating-point reduction order is exactly what the blocking
+// `Communicator::allreduce_sum` would produce on the same span, so overlap
+// changes *when* communication happens, never *what* it computes.
+//
+// Failure contract: an exception inside a queued collective (CommTimeout,
+// RankFailure, ClusterAborted, ...) is captured into its handle and
+// rethrown by wait(). The failure is sticky — every later queued item fails
+// fast with the same error instead of running, because a failed collective
+// desynchronizes the channel's tag sequence and nothing after it can be
+// trusted to match peers. No hang, no partial result: callers observe the
+// error before any dependent state (the optimizer step) is touched.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+
+#include "comm/communicator.hpp"
+
+namespace minsgd::comm {
+
+class SimCluster;
+
+namespace detail {
+/// Shared completion state between one queued op and its handle(s).
+struct AsyncOpState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;  // set iff the op failed
+};
+}  // namespace detail
+
+/// Waitable result of allreduce_sum_async. Copyable (shared state); an
+/// abandoned handle never blocks the engine.
+class AllreduceHandle {
+ public:
+  AllreduceHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the op finished (successfully or not). Never blocks.
+  bool done() const;
+
+  /// Blocks until the op completes; rethrows the op's exception if it
+  /// failed. An invalid (default-constructed) handle returns immediately.
+  /// Safe to call repeatedly.
+  void wait();
+
+ private:
+  friend class AsyncCollectiveEngine;
+  explicit AllreduceHandle(std::shared_ptr<detail::AsyncOpState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::AsyncOpState> state_;
+};
+
+/// Per-rank comm worker: owns a Communicator on a secondary tag channel and
+/// executes queued collectives in FIFO order on a dedicated thread.
+///
+/// Usage contract (mirrors MPI nonblocking collectives): every rank of the
+/// cluster must launch the same sequence of async ops, and should wait on
+/// all handles before abandoning the engine. The destructor drains the
+/// queue; with the cluster aborted or a recv deadline armed, drain is
+/// bounded even mid-fault.
+class AsyncCollectiveEngine {
+ public:
+  AsyncCollectiveEngine(SimCluster& cluster, int rank);
+  ~AsyncCollectiveEngine();
+
+  AsyncCollectiveEngine(const AsyncCollectiveEngine&) = delete;
+  AsyncCollectiveEngine& operator=(const AsyncCollectiveEngine&) = delete;
+
+  /// Enqueues an in-place allreduce over `data` and returns immediately.
+  /// `data` must stay alive and untouched until the handle reports done;
+  /// the engine reads and writes it from the worker thread.
+  AllreduceHandle allreduce_sum_async(
+      std::span<float> data, AllreduceAlgo algo = AllreduceAlgo::kRing);
+
+  int rank() const { return rank_; }
+
+  /// Total wall-clock time the worker spent *executing* collectives —
+  /// hidden plus exposed communication. Compare against the time a caller
+  /// spent blocked in wait() to get the exposed fraction.
+  std::int64_t busy_ns() const {
+    return busy_ns_.load(std::memory_order_relaxed);
+  }
+
+  std::int64_t ops_completed() const {
+    return ops_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting work, drains the queue, and joins the worker.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+ private:
+  struct Work {
+    std::span<float> data;
+    AllreduceAlgo algo = AllreduceAlgo::kRing;
+    std::shared_ptr<detail::AsyncOpState> state;
+  };
+
+  void worker_loop();
+
+  Communicator comm_;  // channel-1 communicator; worker thread only
+  int rank_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Work> queue_;
+  bool stop_ = false;
+  std::exception_ptr sticky_error_;  // first failure; poisons later ops
+
+  std::atomic<std::int64_t> busy_ns_{0};
+  std::atomic<std::int64_t> ops_{0};
+  std::thread worker_;
+};
+
+}  // namespace minsgd::comm

@@ -49,11 +49,15 @@ WireOp wire_op(AllreduceAlgo algo) {
 
 }  // namespace
 
-Communicator::Communicator(SimCluster& cluster, int rank)
+Communicator::Communicator(SimCluster& cluster, int rank, int channel)
     : cluster_(cluster), rank_(rank) {
   if (rank < 0 || rank >= cluster.world()) {
     throw std::invalid_argument("Communicator: rank out of range");
   }
+  if (channel < 0 || channel >= kMaxChannels) {
+    throw std::invalid_argument("Communicator: channel out of range");
+  }
+  tag_base_ = kCollectiveBase + channel * kChannelStride;
 }
 
 int Communicator::world() const { return cluster_.world(); }

@@ -33,10 +33,16 @@ const char* to_string(AllreduceAlgo algo);
 
 class Communicator {
  public:
-  Communicator(SimCluster& cluster, int rank);
+  /// `channel` selects a disjoint collective-tag space. Channel 0 is the
+  /// default rank-facing channel; the async collective engine's worker
+  /// thread uses channel 1 so its collectives can run concurrently with
+  /// the main channel's without tag collisions. All ranks of a collective
+  /// must use the same channel.
+  Communicator(SimCluster& cluster, int rank, int channel = 0);
 
   int rank() const { return rank_; }
   int world() const;
+  SimCluster& cluster() const { return cluster_; }
 
   // -- point to point ----------------------------------------------------
   /// Buffered, non-blocking send (never deadlocks on unmatched recv order).
@@ -100,13 +106,18 @@ class Communicator {
   };
 
   /// Next tag for a collective op. All ranks run the same collective
-  /// sequence, so matching counters yield matching tags.
-  std::int64_t next_collective_tag() { return kCollectiveBase + seq_++; }
+  /// sequence per channel, so matching counters yield matching tags.
+  std::int64_t next_collective_tag() { return tag_base_ + seq_++; }
 
   static constexpr std::int64_t kCollectiveBase = std::int64_t{1} << 40;
+  /// Tag distance between channels; collective sequence numbers never get
+  /// anywhere near this.
+  static constexpr std::int64_t kChannelStride = std::int64_t{1} << 36;
+  static constexpr int kMaxChannels = 8;
 
   SimCluster& cluster_;
   int rank_;
+  std::int64_t tag_base_ = kCollectiveBase;
   std::int64_t seq_ = 0;
   WireOp op_ = WireOp::kP2P;
 };

@@ -59,9 +59,12 @@ void Network::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
   for (std::size_t i = layers_.size(); i-- > 0;) {
     const Tensor& input = (i == 0) ? x : acts_[i - 1];
     Tensor& out_dx = (i == 0) ? dx : dacts_[i - 1];
-    obs::ScopedSpan sp;
-    if (traced) sp.start("bwd." + layers_[i]->name(), obs::cat::kCompute);
-    layers_[i]->backward(input, acts_[i], *cur_dy, out_dx);
+    {
+      obs::ScopedSpan sp;
+      if (traced) sp.start("bwd." + layers_[i]->name(), obs::cat::kCompute);
+      layers_[i]->backward(input, acts_[i], *cur_dy, out_dx);
+    }
+    if (grad_ready_hook_) grad_ready_hook_(i, *layers_[i]);
     cur_dy = &out_dx;
   }
 }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -60,8 +61,29 @@ class Network final : public Layer {
   std::vector<float> flatten_grads();
   void unflatten_grads(std::span<const float> flat);
 
+  // Gradient-ready observation -------------------------------------------
+  /// Hook fired during backward() immediately after layers_[i]->backward()
+  /// returns — the point at which layer i's parameter gradients are final
+  /// for this pass (parameters are not shared between layers, so no later
+  /// backward call touches them).
+  ///
+  /// Ordering guarantees the comm-overlap machinery relies on:
+  ///   * fires output→input (layer index strictly descending),
+  ///   * exactly once per top-level layer per backward() call (layers with
+  ///     no parameters included),
+  ///   * synchronously, on the thread running backward().
+  /// A nested Network (e.g. a residual branch) reports once, as a whole,
+  /// when the enclosing top-level layer's backward returns.
+  using GradReadyHook = std::function<void(std::size_t layer_index, Layer&)>;
+
+  /// Installs (or clears, with nullptr) the gradient-ready hook.
+  void set_grad_ready_hook(GradReadyHook hook) {
+    grad_ready_hook_ = std::move(hook);
+  }
+
  private:
   std::string label_ = "net";
+  GradReadyHook grad_ready_hook_;
   std::vector<LayerPtr> layers_;
   std::vector<Tensor> acts_;    // acts_[i] = output of layers_[i]
   std::vector<Tensor> dacts_;   // gradient scratch, same indexing

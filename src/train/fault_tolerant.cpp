@@ -13,6 +13,7 @@
 #include "tensor/ops.hpp"
 #include "train/checkpoint.hpp"
 #include "train/metrics.hpp"
+#include "train/overlap.hpp"
 
 namespace minsgd::train {
 namespace {
@@ -60,6 +61,12 @@ FaultTolerantResult train_sync_fault_tolerant(
   if (options.max_restarts < 0) {
     throw std::invalid_argument("train_sync_fault_tolerant: max_restarts < 0");
   }
+  if (topt.bucket_bytes < 0 ||
+      (topt.bucket_bytes > 0 && topt.bucket_bytes < 4)) {
+    throw std::invalid_argument(
+        "train_sync_fault_tolerant: bucket_bytes must be 0 (single bucket) "
+        "or >= 4");
+  }
   const std::string& path = options.checkpoint_path;
   if (!options.resume_existing) std::remove(path.c_str());
 
@@ -80,6 +87,11 @@ FaultTolerantResult train_sync_fault_tolerant(
     const std::int64_t iters = loader.iterations_per_epoch();
     Tensor logits, dlogits, dx;
     const float inv_world = 1.0f / static_cast<float>(world);
+    std::unique_ptr<OverlapAllreducer> overlap;
+    if (topt.overlap_comm) {
+      overlap = std::make_unique<OverlapAllreducer>(
+          *net, comm, topt.bucket_bytes, options.algo);
+    }
 
     std::int64_t start_epoch = 0, start_iter = 0, global_iter = 0;
     if (file_exists(path)) {
@@ -117,18 +129,36 @@ FaultTolerantResult train_sync_fault_tolerant(
           net->forward(batch.x, logits, /*training=*/true);
           lres = loss.forward_backward(logits, batch.labels, &dlogits);
         }
+        if (overlap) overlap->begin_iteration();
         {
           obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
           net->backward(batch.x, logits, dlogits, dx);
         }
 
         // Identical update sequence to train_sync_data_parallel: rank-sum
-        // the gradients, divide by world, step at lr(global_iter).
-        auto flat = net->flatten_grads();
-        {
+        // the gradients (bucketed exactly like the sync trainer, so the
+        // overlap on/off determinism guarantee carries over), divide by
+        // world, step at lr(global_iter).
+        std::span<float> flat;
+        std::vector<float> flat_own;
+        if (overlap) {
+          flat = overlap->finish();
+        } else {
+          flat_own = net->flatten_grads();
+          flat = flat_own;
           obs::ScopedSpan sp("phase.allreduce", obs::cat::kPhase);
           sp.set_bytes(static_cast<std::int64_t>(flat.size()) * 4);
-          comm.allreduce_sum(flat, options.algo);
+          if (topt.bucket_bytes > 0) {
+            const auto bucket = static_cast<std::size_t>(topt.bucket_bytes / 4);
+            std::span<float> rest(flat);
+            while (!rest.empty()) {
+              const auto n = std::min(bucket, rest.size());
+              comm.allreduce_sum(rest.subspan(0, n), options.algo);
+              rest = rest.subspan(n);
+            }
+          } else {
+            comm.allreduce_sum(flat, options.algo);
+          }
         }
         {
           obs::ScopedSpan sp("phase.step", obs::cat::kPhase);

@@ -1,5 +1,6 @@
 #include "train/trainer.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
+#include "train/overlap.hpp"
 
 namespace minsgd::train {
 namespace {
@@ -137,6 +139,19 @@ DistResult train_sync_data_parallel(
     throw std::invalid_argument(
         "train_sync_data_parallel: global_batch % world != 0");
   }
+  // Validate the bucket configuration up front, before any cluster thread
+  // is spawned — a bad value used to surface only once the bucket loop ran.
+  if (options.bucket_bytes < 0 ||
+      (options.bucket_bytes > 0 && options.bucket_bytes < 4)) {
+    throw std::invalid_argument(
+        "train_sync_data_parallel: bucket_bytes must be 0 (single bucket) "
+        "or >= 4");
+  }
+  if (options.overlap_comm && options.compress_one_bit) {
+    throw std::invalid_argument(
+        "train_sync_data_parallel: overlap_comm is incompatible with "
+        "compress_one_bit");
+  }
   comm::SimCluster cluster(world);
   DistResult out;
   std::mutex result_mu;
@@ -160,6 +175,12 @@ DistResult train_sync_data_parallel(
       compressor = std::make_unique<comm::OneBitCompressor>(
           static_cast<std::size_t>(net->num_params()));
     }
+    std::unique_ptr<OverlapAllreducer> overlap;
+    if (options.overlap_comm) {
+      overlap = std::make_unique<OverlapAllreducer>(
+          *net, comm, options.bucket_bytes, algo);
+    }
+    std::int64_t serial_comm_ns = 0;  // gradient-allreduce time, serial path
 
     TrainResult res;
     double first_loss = -1.0;
@@ -183,52 +204,63 @@ DistResult train_sync_data_parallel(
           net->forward(batch.x, logits, /*training=*/true);
           lres = loss.forward_backward(logits, batch.labels, &dlogits);
         }
+        if (overlap) overlap->begin_iteration();
         {
           obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
+          // With overlap on, the gradient-ready hook fires in here: each
+          // finalized layer is copied into the flat buffer and full buckets
+          // launch on the comm worker while later layers still compute.
           net->backward(batch.x, logits, dlogits, dx);
         }
 
         // Sum gradients across ranks, then average: each local gradient is
         // the mean over the local shard, so the global-batch mean is the
         // rank-sum divided by world.
-        auto flat = net->flatten_grads();
-        obs::ScopedSpan sp_comm;
-        if (obs::tracer().enabled()) {
-          sp_comm.start("phase.allreduce", obs::cat::kPhase);
-          sp_comm.set_bytes(static_cast<std::int64_t>(flat.size()) * 4);
-        }
-        if (compressor) {
-          // 1-bit SGD: compress locally (error feedback), allgather the
-          // payloads, reconstruct and sum every rank's contribution.
-          const auto payload = compressor->compress(flat);
-          std::vector<float> all(payload.size() *
-                                 static_cast<std::size_t>(world));
-          comm.allgather(payload, all);
-          std::fill(flat.begin(), flat.end(), 0.0f);
-          for (int r = 0; r < world; ++r) {
-            comm::OneBitCompressor::decompress_add(
-                std::span<const float>(all).subspan(
-                    static_cast<std::size_t>(r) * payload.size(),
-                    payload.size()),
-                flat);
-          }
-        } else if (options.bucket_bytes > 0) {
-          const auto bucket =
-              static_cast<std::size_t>(options.bucket_bytes / 4);
-          if (bucket == 0) {
-            throw std::invalid_argument(
-                "train_sync_data_parallel: bucket_bytes < 4");
-          }
-          std::span<float> rest(flat);
-          while (!rest.empty()) {
-            const auto n = std::min(bucket, rest.size());
-            comm.allreduce_sum(rest.subspan(0, n), algo);
-            rest = rest.subspan(n);
-          }
+        std::span<float> flat;
+        std::vector<float> flat_own;  // storage for the serial paths
+        if (overlap) {
+          flat = overlap->finish();  // wait on all in-flight buckets
         } else {
-          comm.allreduce_sum(flat, algo);
+          flat_own = net->flatten_grads();
+          flat = flat_own;
+          obs::ScopedSpan sp_comm;
+          if (obs::tracer().enabled()) {
+            sp_comm.start("phase.allreduce", obs::cat::kPhase);
+            sp_comm.set_bytes(static_cast<std::int64_t>(flat.size()) * 4);
+          }
+          const auto comm_t0 = std::chrono::steady_clock::now();
+          if (compressor) {
+            // 1-bit SGD: compress locally (error feedback), allgather the
+            // payloads, reconstruct and sum every rank's contribution.
+            const auto payload = compressor->compress(flat);
+            std::vector<float> all(payload.size() *
+                                   static_cast<std::size_t>(world));
+            comm.allgather(payload, all);
+            std::fill(flat.begin(), flat.end(), 0.0f);
+            for (int r = 0; r < world; ++r) {
+              comm::OneBitCompressor::decompress_add(
+                  std::span<const float>(all).subspan(
+                      static_cast<std::size_t>(r) * payload.size(),
+                      payload.size()),
+                  flat);
+            }
+          } else if (options.bucket_bytes > 0) {
+            const auto bucket =
+                static_cast<std::size_t>(options.bucket_bytes / 4);
+            std::span<float> rest(flat);
+            while (!rest.empty()) {
+              const auto n = std::min(bucket, rest.size());
+              comm.allreduce_sum(rest.subspan(0, n), algo);
+              rest = rest.subspan(n);
+            }
+          } else {
+            comm.allreduce_sum(flat, algo);
+          }
+          serial_comm_ns +=
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - comm_t0)
+                  .count();
         }
-        sp_comm.stop();
         {
           obs::ScopedSpan sp("phase.step", obs::cat::kPhase);
           scale(inv_world, flat);
@@ -275,6 +307,9 @@ DistResult train_sync_data_parallel(
       std::lock_guard lk(result_mu);
       out.result = std::move(res);
       out.iterations = global_iter;
+      out.final_weights = net->flatten_params();
+      out.exposed_comm_ns = overlap ? overlap->exposed_ns() : serial_comm_ns;
+      out.total_comm_ns = overlap ? overlap->comm_ns() : serial_comm_ns;
     }
   });
 
@@ -284,6 +319,10 @@ DistResult train_sync_data_parallel(
   auto& reg = obs::metrics();
   reg.counter("train.traffic.messages").add(out.traffic.messages);
   reg.counter("train.traffic.bytes").add(out.traffic.bytes);
+  // Exposed vs total gradient-allreduce time: with overlap_comm the gap is
+  // the communication the backward pass hid.
+  reg.counter("train.allreduce.exposed_ns").add(out.exposed_comm_ns);
+  reg.counter("train.allreduce.total_ns").add(out.total_comm_ns);
   for (const auto& [op, st] : cluster.traffic_by_op()) {
     reg.counter("train.traffic." + op + ".messages").add(st.messages);
     reg.counter("train.traffic." + op + ".bytes").add(st.bytes);

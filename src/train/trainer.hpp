@@ -46,6 +46,15 @@ struct TrainOptions {
   /// 2017); here it trades per-iteration message count against pipeline
   /// granularity, observable through the traffic meter.
   std::int64_t bucket_bytes = 0;
+  /// Overlap gradient allreduce with backward compute: each bucket's
+  /// allreduce launches on a per-rank comm worker thread the moment
+  /// backward has finalized every gradient in it, and the optimizer step
+  /// waits on all of them. Bucket boundaries and reduction order are
+  /// identical to the serial bucketed path, so with the same seed and
+  /// bucket_bytes the trained weights are bit-identical to overlap off —
+  /// the overlap determinism tests enforce exactly that. Incompatible with
+  /// compress_one_bit. Ignored by train_single.
+  bool overlap_comm = false;
   /// 1-bit SGD gradient compression with error feedback (Seide et al.
   /// 2014), the bandwidth-side baseline the paper contrasts with its
   /// latency-side approach. Each rank quantizes its local gradient to sign
@@ -73,6 +82,15 @@ struct DistResult {
   TrainResult result;           // metrics from rank 0's replica
   comm::TrafficStats traffic;   // total wire traffic of the run
   std::int64_t iterations = 0;  // global iterations executed
+  /// Rank 0's replica weights after the final step (flatten_params()
+  /// layout) — the bit-exactness witness the determinism tests compare.
+  std::vector<float> final_weights;
+  /// Rank 0, summed over iterations: gradient-allreduce time the iteration
+  /// actually waited on (exposed), and total collective execution time
+  /// (hidden + exposed). Equal when overlap_comm is off; their ratio is
+  /// the exposed-communication fraction bench_ablation_overlap reports.
+  std::int64_t exposed_comm_ns = 0;
+  std::int64_t total_comm_ns = 0;
 };
 
 /// Synchronous data-parallel trainer over `world` simulated ranks.

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <mutex>
 #include <numeric>
+#include <span>
 #include <tuple>
 #include <vector>
 
@@ -334,6 +338,143 @@ TEST(Traffic, BarrierIsFree) {
   SimCluster cluster(4);
   cluster.run([](Communicator& comm) { comm.barrier(); });
   EXPECT_EQ(cluster.total_traffic().messages, 0);
+}
+
+// ---------------- property-based allreduce trials ----------------
+//
+// Randomized sweep over (world, payload length, algorithm): every trial
+// checks the two properties any allreduce must satisfy —
+//   1. agreement: all ranks end with bit-identical vectors, and
+//   2. correctness: that vector matches the sequential sum of the inputs
+//      to within float tolerance.
+// Lengths deliberately include the degenerate cases (0, 1) and values that
+// are not multiples of any world size, so chunked algorithms exercise their
+// uneven-split paths.
+
+constexpr AllreduceAlgo kAllAlgos[] = {
+    AllreduceAlgo::kStar, AllreduceAlgo::kRing, AllreduceAlgo::kTree,
+    AllreduceAlgo::kRecursiveHalving};
+
+/// Deterministic per-(trial, rank) input so failures replay exactly.
+std::vector<float> property_input(std::uint64_t trial, int rank,
+                                  std::size_t n) {
+  Rng rng(trial * 1000003ull + static_cast<std::uint64_t>(rank) * 7919ull + 1);
+  std::vector<float> v(n);
+  rng.fill_uniform(v, -8.0f, 8.0f);
+  return v;
+}
+
+/// Runs one allreduce on `world` ranks and returns every rank's output.
+std::vector<std::vector<float>> run_allreduce_trial(std::uint64_t trial,
+                                                    int world, std::size_t n,
+                                                    AllreduceAlgo algo) {
+  SimCluster cluster(world);
+  std::vector<std::vector<float>> outs(static_cast<std::size_t>(world));
+  std::mutex mu;
+  cluster.run([&](Communicator& comm) {
+    auto data = property_input(trial, comm.rank(), n);
+    comm.allreduce_sum(data, algo);
+    std::lock_guard lk(mu);
+    outs[static_cast<std::size_t>(comm.rank())] = std::move(data);
+  });
+  return outs;
+}
+
+class AllreduceProperty : public ::testing::TestWithParam<AllreduceAlgo> {};
+
+TEST_P(AllreduceProperty, RandomTrialsAgreeAndMatchSequentialSum) {
+  const AllreduceAlgo algo = GetParam();
+  // Fixed edge lengths every trial pool draws from, plus random ones.
+  const std::size_t edge_lengths[] = {0, 1, 2, 3, 5, 7, 17, 33, 129, 257};
+  Rng meta(0xA11Eu);  // drives the trial shapes, not the payloads
+  for (std::uint64_t trial = 0; trial < 24; ++trial) {
+    const int world = 1 + static_cast<int>(meta.uniform_int(8));  // 1..8
+    std::size_t n;
+    if (trial < std::size(edge_lengths)) {
+      n = edge_lengths[trial];  // guarantee every edge case is covered
+    } else {
+      n = static_cast<std::size_t>(meta.uniform_int(1000));
+    }
+    SCOPED_TRACE(::testing::Message() << "trial=" << trial << " world=" << world
+                                      << " n=" << n << " algo="
+                                      << comm::to_string(algo));
+
+    const auto outs = run_allreduce_trial(trial, world, n, algo);
+
+    // Property 1: every rank holds the bit-identical result.
+    for (int r = 1; r < world; ++r) {
+      EXPECT_EQ(outs[static_cast<std::size_t>(r)], outs[0]) << "rank " << r;
+    }
+    // Property 2: the result is the sequential sum, within float tolerance
+    // (reduction order differs per algorithm, so NEAR not EQ).
+    std::vector<float> expected(n, 0.0f);
+    for (int r = 0; r < world; ++r) {
+      const auto in = property_input(trial, r, n);
+      for (std::size_t i = 0; i < n; ++i) expected[i] += in[i];
+    }
+    ASSERT_EQ(outs[0].size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(outs[0][i], expected[i], 1e-3) << "i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, AllreduceProperty,
+                         ::testing::ValuesIn(kAllAlgos));
+
+TEST(AllreduceProperty, BucketedSweepMatchesWholeVectorPerBucket) {
+  // Splitting a payload into arbitrary buckets and allreducing each must
+  // give, per bucket, exactly the result of allreducing that bucket alone —
+  // the invariant the overlap engine's bit-exactness argument rests on.
+  Rng meta(0xB0C4E7u);
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    const int world = 2 + static_cast<int>(meta.uniform_int(7));  // 2..8
+    const std::size_t n = 64 + static_cast<std::size_t>(meta.uniform_int(192));
+    const std::size_t bucket = 1 + static_cast<std::size_t>(meta.uniform_int(49));
+    SCOPED_TRACE(::testing::Message() << "trial=" << trial << " world=" << world
+                                      << " n=" << n << " bucket=" << bucket);
+
+    SimCluster cluster(world);
+    std::vector<std::vector<float>> outs(static_cast<std::size_t>(world));
+    std::mutex mu;
+    cluster.run([&](Communicator& comm) {
+      auto data = property_input(trial + 100, comm.rank(), n);
+      std::span<float> rest(data);
+      while (!rest.empty()) {
+        const std::size_t take = std::min(bucket, rest.size());
+        comm.allreduce_sum(rest.subspan(0, take), AllreduceAlgo::kRing);
+        rest = rest.subspan(take);
+      }
+      std::lock_guard lk(mu);
+      outs[static_cast<std::size_t>(comm.rank())] = std::move(data);
+    });
+
+    // Reference: each bucket allreduced in its own single-collective run.
+    std::size_t off = 0;
+    std::vector<float> ref;
+    while (off < n) {
+      const std::size_t take = std::min(bucket, n - off);
+      SimCluster sub(world);
+      std::vector<float> piece;
+      std::mutex mu2;
+      sub.run([&](Communicator& comm) {
+        const auto full = property_input(trial + 100, comm.rank(), n);
+        std::vector<float> local(full.begin() + static_cast<std::ptrdiff_t>(off),
+                                 full.begin() +
+                                     static_cast<std::ptrdiff_t>(off + take));
+        comm.allreduce_sum(local, AllreduceAlgo::kRing);
+        if (comm.rank() == 0) {
+          std::lock_guard lk(mu2);
+          piece = std::move(local);
+        }
+      });
+      ref.insert(ref.end(), piece.begin(), piece.end());
+      off += take;
+    }
+    for (int r = 0; r < world; ++r) {
+      EXPECT_EQ(outs[static_cast<std::size_t>(r)], ref) << "rank " << r;
+    }
+  }
 }
 
 }  // namespace

@@ -176,6 +176,28 @@ TEST(TrainDistributed, RejectsIndivisibleBatch) {
       std::invalid_argument);
 }
 
+TEST(TrainDistributed, BucketBytesValidatedUpFront) {
+  // Regression: bucket_bytes used to be validated inside the iteration
+  // loop, so a bad value surfaced only after a full forward/backward (and
+  // not at all on empty runs). It must throw before any work happens.
+  data::SyntheticImageNet ds(tiny_data_cfg());
+  optim::ConstantLr lr(0.01);
+  auto run = [&](std::int64_t bucket_bytes) {
+    train::TrainOptions options;
+    options.global_batch = 32;
+    options.epochs = 1;
+    options.bucket_bytes = bucket_bytes;
+    return train::train_sync_data_parallel(
+        [] { return det_model(); },
+        [] { return std::make_unique<optim::Sgd>(); }, lr, ds, options, 2);
+  };
+  EXPECT_THROW(run(1), std::invalid_argument);   // < one float
+  EXPECT_THROW(run(3), std::invalid_argument);   // still < one float
+  EXPECT_THROW(run(-8), std::invalid_argument);  // negative
+  EXPECT_GT(run(0).iterations, 0);               // 0 = single bucket, valid
+  EXPECT_GT(run(4).iterations, 0);               // minimum legal bucket
+}
+
 TEST(TrainAsync, ParameterServerLearnsOnEasyTask) {
   data::SyntheticImageNet ds(tiny_data_cfg());
   train::TrainOptions options;
