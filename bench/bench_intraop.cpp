@@ -1,0 +1,146 @@
+// bench_intraop: intra-op scaling of the ComputeContext batch-parallel
+// kernels — the measured counterpart of the paper's Figure 3 single-node
+// throughput argument ("use large batch to keep each node busy").
+//
+// Sweeps thread budget x local batch over a ResNet-style residual block
+// (conv3x3 -> BN -> ReLU -> conv3x3 -> BN, identity shortcut) and reports
+// forward+backward throughput in images/s plus the speedup over the
+// 1-thread baseline at the same batch. Because chunking is deterministic,
+// the logits checksum must be identical across the whole sweep — printed so
+// a regression is visible right in the bench output.
+//
+// Results land in bench_results/intraop.csv. Note: on a machine with fewer
+// physical cores than the thread budget, extra threads time-share one core
+// and the speedup column measures oversubscription overhead instead of
+// scaling; the CSV records hardware_concurrency so readers can tell.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv.hpp"
+#include "nn/network.hpp"
+#include "nn/norm.hpp"
+#include "nn/residual.hpp"
+#include "tensor/context.hpp"
+#include "tensor/rng.hpp"
+
+namespace minsgd {
+namespace {
+
+std::unique_ptr<nn::Network> resnet_block() {
+  auto net = std::make_unique<nn::Network>("resnet_block");
+  auto branch = std::make_unique<nn::Network>("branch");
+  branch->emplace<nn::Conv2d>(16, 16, 3, 1, 1);
+  branch->emplace<nn::BatchNorm2d>(16);
+  branch->emplace<nn::ReLU>();
+  branch->emplace<nn::Conv2d>(16, 16, 3, 1, 1);
+  branch->emplace<nn::BatchNorm2d>(16);
+  net->emplace<nn::ResidualBlock>(std::move(branch));
+  return net;
+}
+
+Tensor random_input(std::int64_t batch, std::uint64_t seed) {
+  Tensor x({batch, 16, 16, 16});
+  Rng rng(seed);
+  rng.fill_normal(x.span(), 0.0f, 0.5f);
+  return x;
+}
+
+double checksum(std::span<const float> v) {
+  double s = 0.0;
+  for (float f : v) s += static_cast<double>(f);
+  return s;
+}
+
+struct Cell {
+  std::int64_t batch = 0;
+  std::size_t threads = 0;
+  double images_per_sec = 0.0;
+  double speedup = 1.0;
+  double check = 0.0;
+};
+
+Cell measure(std::int64_t batch, std::size_t threads) {
+  const ComputeContext ctx(threads);
+  auto net = resnet_block();
+  Rng init_rng(42);
+  net->init(init_rng);
+  const Tensor x = random_input(batch, 7);
+  Tensor y, dx;
+  net->forward(x, y, /*training=*/true, ctx);
+  Tensor dy(y.shape());
+  Rng dy_rng(11);
+  dy_rng.fill_normal(dy.span(), 0.0f, 0.1f);
+
+  // Warm-up, then time enough iterations for a stable per-image figure.
+  for (int i = 0; i < 2; ++i) {
+    net->zero_grad();
+    net->forward(x, y, /*training=*/true, ctx);
+    net->backward(x, y, dy, dx, ctx);
+  }
+  const int iters = 10;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    net->zero_grad();
+    net->forward(x, y, /*training=*/true, ctx);
+    net->backward(x, y, dy, dx, ctx);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  Cell c;
+  c.batch = batch;
+  c.threads = threads;
+  c.images_per_sec = static_cast<double>(batch) * iters / secs;
+  c.check = checksum(y.span());
+  return c;
+}
+
+}  // namespace
+}  // namespace minsgd
+
+int main() {
+  using namespace minsgd;
+  const unsigned hw = std::thread::hardware_concurrency();
+  bench::banner("bench_intraop: intra-op thread scaling (Figure 3 counterpart)",
+                "per-node throughput must scale with intra-node parallelism "
+                "for large-batch training to pay off");
+  std::printf("hardware_concurrency: %u\n", hw);
+
+  const std::vector<std::int64_t> batches = {8, 32, 64};
+  const std::vector<std::size_t> threads = {1, 2, 4, 8};
+
+  core::CsvWriter csv(bench::csv_path("intraop"),
+                      {"batch", "threads", "hw_threads", "images_per_sec",
+                       "speedup_vs_1t", "logits_checksum"});
+
+  for (const auto batch : batches) {
+    bench::section("local batch " + std::to_string(batch));
+    std::printf("%8s %14s %12s %20s\n", "threads", "images/s", "speedup",
+                "logits checksum");
+    double base_ips = 0.0;
+    double base_check = 0.0;
+    for (const auto t : threads) {
+      Cell c = measure(batch, t);
+      if (t == 1) {
+        base_ips = c.images_per_sec;
+        base_check = c.check;
+      }
+      c.speedup = c.images_per_sec / base_ips;
+      const bool same = c.check == base_check;
+      std::printf("%8zu %14.1f %11.2fx %20.10g%s\n", c.threads,
+                  c.images_per_sec, c.speedup, c.check,
+                  same ? "" : "  <-- CHECKSUM MISMATCH");
+      csv.row(c.batch, static_cast<std::int64_t>(c.threads),
+              static_cast<std::int64_t>(hw), c.images_per_sec, c.speedup,
+              c.check);
+    }
+  }
+  std::printf("\nCSV: %s\n", bench::csv_path("intraop").c_str());
+  return 0;
+}

@@ -2,8 +2,10 @@
 # Tier-2 ThreadSanitizer gate: rebuild the thread-heavy test binaries with
 # MINSGD_SANITIZE=thread and run everything labeled tier2-tsan. The async
 # collective engine adds a per-rank comm worker thread to the SimCluster
-# rank threads, so test_comm / test_train / test_overlap must stay
-# TSan-clean for the overlap path to be trusted.
+# rank threads, and each rank now drives its own ComputeContext worker
+# pool (nested parallelism), so test_comm / test_train / test_overlap /
+# test_context / test_determinism must stay TSan-clean for the overlap and
+# intra-op paths to be trusted.
 #
 # Usage: scripts/tsan_tier2.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -16,7 +18,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DMINSGD_SANITIZE=thread
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_comm test_train test_overlap
+  --target test_comm test_train test_overlap test_context test_determinism
 
 # TSan findings must fail the gate, not just print.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 exitcode=66}"

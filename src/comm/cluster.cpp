@@ -1,5 +1,6 @@
 #include "comm/cluster.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <sstream>
 #include <stdexcept>
@@ -130,14 +131,30 @@ void AbortableBarrier::reset() {
 // ---------------------------------------------------------------------------
 // SimCluster
 
-SimCluster::SimCluster(int world)
-    : world_(checked_world(world)),
+SimCluster::SimCluster(const ClusterOptions& options)
+    : world_(checked_world(options.world)),
       meter_(static_cast<std::size_t>(world_)),
       barrier_(world_) {
-  mailboxes_.reserve(static_cast<std::size_t>(world));
-  for (int r = 0; r < world; ++r) {
+  // Split the global intra-op budget across ranks so total live worker
+  // threads stay <= budget no matter how large the simulated world is.
+  const std::size_t budget = options.compute_threads != 0
+                                 ? options.compute_threads
+                                 : ComputeContext::default_threads();
+  const std::size_t per_rank =
+      std::max<std::size_t>(1, budget / static_cast<std::size_t>(world_));
+  rank_contexts_.reserve(static_cast<std::size_t>(world_));
+  mailboxes_.reserve(static_cast<std::size_t>(world_));
+  for (int r = 0; r < world_; ++r) {
+    rank_contexts_.push_back(std::make_unique<ComputeContext>(per_rank));
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
+}
+
+const ComputeContext& SimCluster::rank_context(int rank) const {
+  if (rank < 0 || rank >= world_) {
+    throw std::invalid_argument("SimCluster::rank_context: rank out of range");
+  }
+  return *rank_contexts_[static_cast<std::size_t>(rank)];
 }
 
 SimCluster::~SimCluster() {
@@ -182,6 +199,22 @@ void SimCluster::register_metrics(obs::MetricsRegistry& registry,
       out.push_back({prefix + ".faults.crashes",
                      static_cast<double>(f.crashes), Kind::kCounter});
     }
+    // Intra-op pool activity summed across ranks: are the per-rank compute
+    // budgets actually being exercised, and is work queuing up?
+    std::size_t workers = 0;
+    std::int64_t tasks = 0, depth = 0;
+    for (const auto& c : rank_contexts_) {
+      const PoolStats ps = c->pool_stats();
+      workers += ps.workers;
+      tasks += ps.tasks_executed;
+      depth += ps.queue_depth;
+    }
+    out.push_back({prefix + ".pool.workers", static_cast<double>(workers),
+                   Kind::kGauge});
+    out.push_back({prefix + ".pool.tasks_executed", static_cast<double>(tasks),
+                   Kind::kCounter});
+    out.push_back({prefix + ".pool.queue_depth", static_cast<double>(depth),
+                   Kind::kGauge});
     return out;
   });
 }

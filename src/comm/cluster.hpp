@@ -25,6 +25,7 @@
 #include "comm/mailbox.hpp"
 #include "comm/traffic.hpp"
 #include "obs/metrics.hpp"
+#include "tensor/context.hpp"
 
 namespace minsgd::comm {
 
@@ -53,11 +54,27 @@ class AbortableBarrier {
   bool aborted_ = false;
 };
 
+/// Construction options for SimCluster. `compute_threads` is the *global*
+/// intra-op thread budget the P rank threads split: each rank gets a
+/// ComputeContext with max(1, compute_threads / world) threads, so the total
+/// number of live worker threads never exceeds the budget regardless of
+/// world size (the fix for P ranks oversubscribing one shared global pool).
+/// 0 means ComputeContext::default_threads() (MINSGD_THREADS env var, else
+/// hardware concurrency).
+struct ClusterOptions {
+  int world = 1;
+  std::size_t compute_threads = 0;
+};
+
 class SimCluster {
  public:
-  explicit SimCluster(int world);
+  explicit SimCluster(int world) : SimCluster(ClusterOptions{world, 0}) {}
+  explicit SimCluster(const ClusterOptions& options);
 
   int world() const { return world_; }
+
+  /// The rank's private compute context (budget = max(1, global/world)).
+  const ComputeContext& rank_context(int rank) const;
 
   /// Runs `fn(comm)` on every rank concurrently and joins. If any rank
   /// throws, the cluster aborts so every peer unwinds promptly; after the
@@ -124,6 +141,7 @@ class SimCluster {
   AbortableBarrier& barrier_sync() { return barrier_; }
 
   int world_;
+  std::vector<std::unique_ptr<ComputeContext>> rank_contexts_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   TrafficMeter meter_;
   AbortableBarrier barrier_;

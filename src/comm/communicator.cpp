@@ -62,6 +62,10 @@ Communicator::Communicator(SimCluster& cluster, int rank, int channel)
 
 int Communicator::world() const { return cluster_.world(); }
 
+const ComputeContext& Communicator::ctx() const {
+  return cluster_.rank_context(rank_);
+}
+
 void Communicator::send(int dst, std::int64_t tag,
                         std::span<const float> data) {
   if (dst < 0 || dst >= world()) {

@@ -18,6 +18,10 @@
 
 #include "comm/traffic.hpp"
 
+namespace minsgd {
+class ComputeContext;
+}
+
 namespace minsgd::comm {
 
 class SimCluster;
@@ -43,6 +47,11 @@ class Communicator {
   int rank() const { return rank_; }
   int world() const;
   SimCluster& cluster() const { return cluster_; }
+
+  /// This rank's compute context (its slice of the cluster's global intra-op
+  /// thread budget). Rank code must use this — never the process default —
+  /// so total worker threads stay bounded.
+  const ComputeContext& ctx() const;
 
   // -- point to point ----------------------------------------------------
   /// Buffered, non-blocking send (never deadlocks on unmatched recv order).

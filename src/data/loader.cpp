@@ -34,11 +34,13 @@ std::int64_t ShardedLoader::iterations_per_epoch() const {
   return dataset_.train_size() / global_batch_;
 }
 
-Batch ShardedLoader::load_train(std::int64_t epoch, std::int64_t iter) const {
+Batch ShardedLoader::load_train(std::int64_t epoch, std::int64_t iter,
+                                const ComputeContext& ctx) const {
   if (epoch < 0 || iter < 0) {
     throw std::invalid_argument("ShardedLoader::load_train: negative index");
   }
   obs::ScopedSpan span("data.load_train", obs::cat::kData);
+  span.set_threads(static_cast<int>(ctx.threads()));
   iter %= iterations_per_epoch();
 
   // Deterministic epoch permutation (Fisher-Yates from a per-epoch stream).
@@ -59,21 +61,31 @@ Batch ShardedLoader::load_train(std::int64_t epoch, std::int64_t iter) const {
   b.x = Tensor({lb, 3, r, r});
   b.labels.resize(static_cast<std::size_t>(lb));
   const std::int64_t base = iter * global_batch_ + rank_ * lb;
-  for (std::int64_t i = 0; i < lb; ++i) {
-    const std::int64_t global_pos = base + i;  // position in the global batch order
-    const std::int64_t sample = perm[static_cast<std::size_t>(global_pos)];
-    auto out = std::span<float>(b.x.data() + i * img,
-                                static_cast<std::size_t>(img));
-    b.labels[static_cast<std::size_t>(i)] = dataset_.get_train(sample, out);
-    if (augment_) {
-      // Keyed by (epoch, sample): independent of rank/world so a world=1 run
-      // sees byte-identical data to the union of P shards.
-      Rng aug_rng(dataset_.config().seed ^
-                  (static_cast<std::uint64_t>(epoch) * 0x9e3779b97f4a7c15ull) ^
-                  (static_cast<std::uint64_t>(sample) + 0x51ull));
-      augment_image(out, r, *augment_, aug_rng);
-    }
-  }
+  // Each sample writes a disjoint slice of b.x and draws from its own
+  // (epoch, sample)-keyed RNG, so batch-parallel materialization is safe and
+  // thread-count-invariant.
+  ctx.parallel_for(
+      0, lb,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const std::int64_t global_pos = base + i;  // global batch position
+          const std::int64_t sample = perm[static_cast<std::size_t>(global_pos)];
+          auto out = std::span<float>(b.x.data() + i * img,
+                                      static_cast<std::size_t>(img));
+          b.labels[static_cast<std::size_t>(i)] =
+              dataset_.get_train(sample, out);
+          if (augment_) {
+            // Keyed by (epoch, sample): independent of rank/world so a
+            // world=1 run sees byte-identical data to the union of P shards.
+            Rng aug_rng(
+                dataset_.config().seed ^
+                (static_cast<std::uint64_t>(epoch) * 0x9e3779b97f4a7c15ull) ^
+                (static_cast<std::uint64_t>(sample) + 0x51ull));
+            augment_image(out, r, *augment_, aug_rng);
+          }
+        }
+      },
+      /*grain=*/1);
   return b;
 }
 

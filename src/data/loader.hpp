@@ -13,6 +13,7 @@
 
 #include "data/augment.hpp"
 #include "data/synthetic.hpp"
+#include "tensor/context.hpp"
 #include "tensor/tensor.hpp"
 
 namespace minsgd::data {
@@ -37,8 +38,13 @@ class ShardedLoader {
   std::int64_t global_batch() const { return global_batch_; }
 
   /// Materializes this rank's slice of global batch `iter` of `epoch`.
-  /// Iterations wrap modulo iterations_per_epoch().
-  Batch load_train(std::int64_t epoch, std::int64_t iter) const;
+  /// Iterations wrap modulo iterations_per_epoch(). Per-sample generation +
+  /// augmentation run batch-parallel on `ctx`; the augmentation RNG is keyed
+  /// by (epoch, sample), so the batch bytes are identical for any thread
+  /// count (and any rank/world split).
+  Batch load_train(
+      std::int64_t epoch, std::int64_t iter,
+      const ComputeContext& ctx = ComputeContext::default_ctx()) const;
 
   /// Sequential test batches (no sharding, no augmentation); `start` is the
   /// first test index, count capped at the split size.

@@ -6,19 +6,24 @@
 
 namespace minsgd::nn {
 
-void ReLU::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+void ReLU::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
+                      const ComputeContext& ctx) {
   y.resize(x.shape());
-  copy(x.span(), y.span());
-  relu_inplace(y.span());
+  ctx.parallel_for(0, x.numel(), [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+    }
+  });
 }
 
-void ReLU::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                    Tensor& dx) {
+void ReLU::do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                       Tensor& dx, const ComputeContext& ctx) {
   dx.resize(x.shape());
-  const auto n = y.numel();
-  for (std::int64_t i = 0; i < n; ++i) {
-    dx[i] = y[i] > 0.0f ? dy[i] : 0.0f;
-  }
+  ctx.parallel_for(0, y.numel(), [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      dx[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+    }
+  });
 }
 
 Shape Flatten::output_shape(const Shape& input) const {
@@ -28,15 +33,17 @@ Shape Flatten::output_shape(const Shape& input) const {
   return {input[0], input.numel() / input[0]};
 }
 
-void Flatten::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+void Flatten::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
+                         const ComputeContext& ctx) {
   y.resize(output_shape(x.shape()));
-  copy(x.span(), y.span());
+  copy(ctx, x.span(), y.span());
 }
 
-void Flatten::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
-                       Tensor& dx) {
+void Flatten::do_backward(const Tensor& x, const Tensor& /*y*/,
+                          const Tensor& dy, Tensor& dx,
+                          const ComputeContext& ctx) {
   dx.resize(x.shape());
-  copy(dy.span(), dx.span());
+  copy(ctx, dy.span(), dx.span());
 }
 
 }  // namespace minsgd::nn

@@ -11,9 +11,12 @@ class ReLU final : public Layer {
  public:
   std::string name() const override { return "relu"; }
   Shape output_shape(const Shape& input) const override { return input; }
-  void forward(const Tensor& x, Tensor& y, bool training) override;
-  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                Tensor& dx) override;
+
+ protected:
+  void do_forward(const Tensor& x, Tensor& y, bool training,
+                  const ComputeContext& ctx) override;
+  void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                   Tensor& dx, const ComputeContext& ctx) override;
 };
 
 /// Flatten: NCHW -> (N, C*H*W). Shape-only; data is already contiguous.
@@ -21,9 +24,12 @@ class Flatten final : public Layer {
  public:
   std::string name() const override { return "flatten"; }
   Shape output_shape(const Shape& input) const override;
-  void forward(const Tensor& x, Tensor& y, bool training) override;
-  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                Tensor& dx) override;
+
+ protected:
+  void do_forward(const Tensor& x, Tensor& y, bool training,
+                  const ComputeContext& ctx) override;
+  void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                   Tensor& dx, const ComputeContext& ctx) override;
 };
 
 }  // namespace minsgd::nn

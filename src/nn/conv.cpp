@@ -1,7 +1,9 @@
 #include "nn/conv.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
@@ -99,7 +101,8 @@ void Conv2d::col2im(const float* col, Tensor& dx, std::int64_t n,
   }
 }
 
-void Conv2d::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+void Conv2d::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
+                        const ComputeContext& ctx) {
   const Shape out = output_shape(x.shape());
   y.resize(out);
   const std::int64_t batch = x.shape()[0];
@@ -107,29 +110,37 @@ void Conv2d::forward(const Tensor& x, Tensor& y, bool /*training*/) {
   const std::int64_t spatial = out_h * out_w;
   const std::int64_t kdim = (in_c_ / groups_) * k_ * k_;  // per-group depth
   const std::int64_t g_out = out_c_ / groups_;
-  col_buf_.resize({in_c_ * k_ * k_, spatial});
 
-  for (std::int64_t n = 0; n < batch; ++n) {
-    im2col(x, n, col_buf_.data(), out_h, out_w);
-    for (std::int64_t g = 0; g < groups_; ++g) {
-      // y[n, group g] = W_g (g_out x kdim) * col_g (kdim x spatial)
-      sgemm(Trans::kNo, Trans::kNo, g_out, spatial, kdim, 1.0f,
-            w_.data() + g * g_out * kdim, kdim,
-            col_buf_.data() + g * kdim * spatial, spatial, 0.0f,
-            y.data() + (n * out_c_ + g * g_out) * spatial, spatial);
-    }
-    if (has_bias_) {
-      for (std::int64_t oc = 0; oc < out_c_; ++oc) {
-        float* dst = y.data() + (n * out_c_ + oc) * spatial;
-        const float bv = b_[oc];
-        for (std::int64_t s = 0; s < spatial; ++s) dst[s] += bv;
-      }
-    }
-  }
+  // Batch-parallel with per-chunk im2col scratch; each image's output rows
+  // are disjoint, so no reduction is needed. The inner sgemm runs inline
+  // (nested region).
+  ctx.for_chunks(
+      batch, /*grain=*/1,
+      [&](std::int64_t /*c*/, std::int64_t lo, std::int64_t hi) {
+        std::vector<float> col(
+            static_cast<std::size_t>(in_c_ * k_ * k_ * spatial));
+        for (std::int64_t n = lo; n < hi; ++n) {
+          im2col(x, n, col.data(), out_h, out_w);
+          for (std::int64_t g = 0; g < groups_; ++g) {
+            // y[n, group g] = W_g (g_out x kdim) * col_g (kdim x spatial)
+            sgemm(ctx, Trans::kNo, Trans::kNo, g_out, spatial, kdim, 1.0f,
+                  w_.data() + g * g_out * kdim, kdim,
+                  col.data() + g * kdim * spatial, spatial, 0.0f,
+                  y.data() + (n * out_c_ + g * g_out) * spatial, spatial);
+          }
+          if (has_bias_) {
+            for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+              float* dst = y.data() + (n * out_c_ + oc) * spatial;
+              const float bv = b_[oc];
+              for (std::int64_t s = 0; s < spatial; ++s) dst[s] += bv;
+            }
+          }
+        }
+      });
 }
 
-void Conv2d::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                      Tensor& dx) {
+void Conv2d::do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                         Tensor& dx, const ComputeContext& ctx) {
   const Shape out = y.shape();
   const std::int64_t batch = x.shape()[0];
   const std::int64_t out_h = out[2], out_w = out[3];
@@ -139,30 +150,71 @@ void Conv2d::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
 
   dx.resize(x.shape());
   dx.zero();
-  col_buf_.resize({in_c_ * k_ * k_, spatial});
-  Tensor dcol({in_c_ * k_ * k_, spatial});
 
-  for (std::int64_t n = 0; n < batch; ++n) {
-    im2col(x, n, col_buf_.data(), out_h, out_w);
-    for (std::int64_t g = 0; g < groups_; ++g) {
-      const float* dy_g = dy.data() + (n * out_c_ + g * g_out) * spatial;
-      // dW_g += dy_g (g_out x spatial) * col_g^T (spatial x kdim)
-      sgemm(Trans::kNo, Trans::kYes, g_out, kdim, spatial, 1.0f, dy_g, spatial,
-            col_buf_.data() + g * kdim * spatial, spatial, 1.0f,
-            dw_.data() + g * g_out * kdim, kdim);
-      // dcol_g = W_g^T (kdim x g_out) * dy_g (g_out x spatial)
-      sgemm(Trans::kYes, Trans::kNo, kdim, spatial, g_out, 1.0f,
-            w_.data() + g * g_out * kdim, kdim, dy_g, spatial, 0.0f,
-            dcol.data() + g * kdim * spatial, spatial);
-    }
-    col2im(dcol.data(), dx, n, out_h, out_w);
+  // dx rows are disjoint per image, but dW/db are reductions over the batch:
+  // each chunk accumulates into its own partial, and the partials are folded
+  // into dw_/db_ in fixed chunk order afterwards. The chunk count is derived
+  // from (batch, weight size) only — never the thread count — capping the
+  // partial memory at ~8 MB while keeping results bit-identical.
+  const std::int64_t dw_bytes =
+      static_cast<std::int64_t>(w_.numel() + (has_bias_ ? out_c_ : 0)) * 4;
+  const std::int64_t mem_cap =
+      std::max<std::int64_t>(1, (std::int64_t{8} << 20) / std::max<std::int64_t>(1, dw_bytes));
+  const std::int64_t chunks =
+      std::min(ComputeContext::chunk_count(batch, /*grain=*/1), mem_cap);
+  if (chunks <= 0) return;
+
+  std::vector<Tensor> dw_part(static_cast<std::size_t>(chunks));
+  std::vector<Tensor> db_part(static_cast<std::size_t>(chunks));
+
+  ctx.for_chunks_n(
+      batch, chunks, [&](std::int64_t c, std::int64_t lo, std::int64_t hi) {
+        Tensor& dwp = dw_part[static_cast<std::size_t>(c)];
+        dwp.resize(w_.shape());
+        dwp.zero();
+        Tensor* dbp = nullptr;
+        if (has_bias_) {
+          dbp = &db_part[static_cast<std::size_t>(c)];
+          dbp->resize(b_.shape());
+          dbp->zero();
+        }
+        std::vector<float> col(
+            static_cast<std::size_t>(in_c_ * k_ * k_ * spatial));
+        std::vector<float> dcol(
+            static_cast<std::size_t>(in_c_ * k_ * k_ * spatial));
+        for (std::int64_t n = lo; n < hi; ++n) {
+          im2col(x, n, col.data(), out_h, out_w);
+          for (std::int64_t g = 0; g < groups_; ++g) {
+            const float* dy_g = dy.data() + (n * out_c_ + g * g_out) * spatial;
+            // dW_g(partial) += dy_g (g_out x spatial) * col_g^T (spatial x kdim)
+            sgemm(ctx, Trans::kNo, Trans::kYes, g_out, kdim, spatial, 1.0f,
+                  dy_g, spatial, col.data() + g * kdim * spatial, spatial, 1.0f,
+                  dwp.data() + g * g_out * kdim, kdim);
+            // dcol_g = W_g^T (kdim x g_out) * dy_g (g_out x spatial)
+            sgemm(ctx, Trans::kYes, Trans::kNo, kdim, spatial, g_out, 1.0f,
+                  w_.data() + g * g_out * kdim, kdim, dy_g, spatial, 0.0f,
+                  dcol.data() + g * kdim * spatial, spatial);
+          }
+          col2im(dcol.data(), dx, n, out_h, out_w);
+          if (has_bias_) {
+            for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+              const float* src = dy.data() + (n * out_c_ + oc) * spatial;
+              double acc = 0.0;
+              for (std::int64_t s = 0; s < spatial; ++s) acc += src[s];
+              (*dbp)[oc] += static_cast<float>(acc);
+            }
+          }
+        }
+      });
+
+  // Fixed-order combine on the calling thread.
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    const Tensor& dwp = dw_part[static_cast<std::size_t>(c)];
+    if (dwp.numel() == 0) continue;  // empty trailing chunk never ran
+    for (std::int64_t i = 0; i < w_.numel(); ++i) dw_[i] += dwp[i];
     if (has_bias_) {
-      for (std::int64_t oc = 0; oc < out_c_; ++oc) {
-        const float* src = dy.data() + (n * out_c_ + oc) * spatial;
-        double acc = 0.0;
-        for (std::int64_t s = 0; s < spatial; ++s) acc += src[s];
-        db_[oc] += static_cast<float>(acc);
-      }
+      const Tensor& dbp = db_part[static_cast<std::size_t>(c)];
+      for (std::int64_t i = 0; i < out_c_; ++i) db_[i] += dbp[i];
     }
   }
 }

@@ -21,15 +21,18 @@ class Conv2d final : public Layer {
 
   std::string name() const override;
   Shape output_shape(const Shape& input) const override;
-  void forward(const Tensor& x, Tensor& y, bool training) override;
-  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                Tensor& dx) override;
   std::vector<ParamRef> params() override;
   void init(Rng& rng) override;
   std::int64_t flops(const Shape& input) const override;
 
   Tensor& weight() { return w_; }
   Tensor& bias() { return b_; }
+
+ protected:
+  void do_forward(const Tensor& x, Tensor& y, bool training,
+                  const ComputeContext& ctx) override;
+  void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                   Tensor& dx, const ComputeContext& ctx) override;
 
  private:
   void im2col(const Tensor& x, std::int64_t n, float* col,
@@ -40,7 +43,6 @@ class Conv2d final : public Layer {
   std::int64_t in_c_, out_c_, k_, stride_, pad_, groups_;
   bool has_bias_;
   Tensor w_, b_, dw_, db_;
-  Tensor col_buf_;  // scratch: (in_c*k*k) x (out_h*out_w), reused per image
 };
 
 }  // namespace minsgd::nn

@@ -16,32 +16,37 @@ std::string Dropout::name() const {
   return "dropout(p=" + std::to_string(p_) + ")";
 }
 
-void Dropout::forward(const Tensor& x, Tensor& y, bool training) {
+void Dropout::do_forward(const Tensor& x, Tensor& y, bool training,
+                         const ComputeContext& ctx) {
   y.resize(x.shape());
   last_was_training_ = training;
   if (!training || p_ == 0.0f) {
-    copy(x.span(), y.span());
+    copy(ctx, x.span(), y.span());
     return;
   }
   mask_.resize(x.shape());
   const float keep = 1.0f - p_;
   const float inv_keep = 1.0f / keep;
   const std::int64_t n = x.numel();
+  // The mask draws must consume the sequential RNG stream in element order
+  // (bit-exact resume depends on it), so mask generation stays serial; only
+  // the apply is parallel.
   for (std::int64_t i = 0; i < n; ++i) {
     const bool kept = rng_.uniform() >= p_;
     mask_[i] = kept ? inv_keep : 0.0f;
-    y[i] = x[i] * mask_[i];
   }
+  hadamard(ctx, x.span(), mask_.span(), y.span());
 }
 
-void Dropout::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
-                       Tensor& dx) {
+void Dropout::do_backward(const Tensor& x, const Tensor& /*y*/,
+                          const Tensor& dy, Tensor& dx,
+                          const ComputeContext& ctx) {
   dx.resize(x.shape());
   if (!last_was_training_ || p_ == 0.0f) {
-    copy(dy.span(), dx.span());
+    copy(ctx, dy.span(), dx.span());
     return;
   }
-  hadamard(dy.span(), mask_.span(), dx.span());
+  hadamard(ctx, dy.span(), mask_.span(), dx.span());
 }
 
 }  // namespace minsgd::nn

@@ -13,14 +13,17 @@ class Dropout final : public Layer {
 
   std::string name() const override;
   Shape output_shape(const Shape& input) const override { return input; }
-  void forward(const Tensor& x, Tensor& y, bool training) override;
-  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                Tensor& dx) override;
 
   /// Reseeds the mask stream (used to keep data-parallel replicas identical).
   void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
 
   std::vector<Rng*> rng_streams() override { return {&rng_}; }
+
+ protected:
+  void do_forward(const Tensor& x, Tensor& y, bool training,
+                  const ComputeContext& ctx) override;
+  void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                   Tensor& dx, const ComputeContext& ctx) override;
 
  private:
   float p_;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/context.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/shape.hpp"
 #include "tensor/tensor.hpp"
@@ -52,12 +53,19 @@ class Layer {
   virtual Shape output_shape(const Shape& input) const = 0;
 
   /// y = f(x). `training` toggles train-time behaviour (dropout, BN stats).
-  virtual void forward(const Tensor& x, Tensor& y, bool training) = 0;
+  /// `ctx` supplies the intra-op thread budget; results are bit-identical
+  /// for any thread count (see tensor/context.hpp for the chunking rules).
+  void forward(const Tensor& x, Tensor& y, bool training,
+               const ComputeContext& ctx = ComputeContext::default_ctx()) {
+    do_forward(x, y, training, ctx);
+  }
 
   /// Given dL/dy, accumulates parameter gradients and writes dL/dx.
   /// Must be called with the same (x, y) the preceding forward produced.
-  virtual void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                        Tensor& dx) = 0;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy, Tensor& dx,
+                const ComputeContext& ctx = ComputeContext::default_ctx()) {
+    do_backward(x, y, dy, dx, ctx);
+  }
 
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<ParamRef> params() { return {}; }
@@ -80,6 +88,15 @@ class Layer {
     (void)input;
     return 0;
   }
+
+ protected:
+  /// Implementation hooks behind the non-virtual forward/backward above.
+  /// Implementations must honour the determinism contract: parallelism only
+  /// via `ctx`, reductions in fixed chunk order.
+  virtual void do_forward(const Tensor& x, Tensor& y, bool training,
+                          const ComputeContext& ctx) = 0;
+  virtual void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                           Tensor& dx, const ComputeContext& ctx) = 0;
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -30,36 +30,52 @@ Shape Linear::output_shape(const Shape& input) const {
   return {input[0], out_};
 }
 
-void Linear::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+void Linear::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
+                        const ComputeContext& ctx) {
   const Shape out = output_shape(x.shape());
   y.resize(out);
   const std::int64_t batch = x.shape()[0];
   // y (batch x out) = x (batch x in) * W^T (in x out)
-  sgemm(Trans::kNo, Trans::kYes, batch, out_, in_, 1.0f, x.data(), in_,
+  sgemm(ctx, Trans::kNo, Trans::kYes, batch, out_, in_, 1.0f, x.data(), in_,
         w_.data(), in_, 0.0f, y.data(), out_);
   if (has_bias_) {
-    for (std::int64_t n = 0; n < batch; ++n) {
-      float* row = y.data() + n * out_;
-      for (std::int64_t o = 0; o < out_; ++o) row[o] += b_[o];
-    }
+    ctx.parallel_for(
+        0, batch,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t n = lo; n < hi; ++n) {
+            float* row = y.data() + n * out_;
+            for (std::int64_t o = 0; o < out_; ++o) row[o] += b_[o];
+          }
+        },
+        /*grain=*/1);
   }
 }
 
-void Linear::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
-                      Tensor& dx) {
+void Linear::do_backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
+                         Tensor& dx, const ComputeContext& ctx) {
   const std::int64_t batch = x.shape()[0];
   dx.resize(x.shape());
   // dW (out x in) += dy^T (out x batch) * x (batch x in)
-  sgemm(Trans::kYes, Trans::kNo, out_, in_, batch, 1.0f, dy.data(), out_,
+  sgemm(ctx, Trans::kYes, Trans::kNo, out_, in_, batch, 1.0f, dy.data(), out_,
         x.data(), in_, 1.0f, dw_.data(), in_);
   // dx (batch x in) = dy (batch x out) * W (out x in)
-  sgemm(Trans::kNo, Trans::kNo, batch, in_, out_, 1.0f, dy.data(), out_,
+  sgemm(ctx, Trans::kNo, Trans::kNo, batch, in_, out_, 1.0f, dy.data(), out_,
         w_.data(), in_, 0.0f, dx.data(), in_);
   if (has_bias_) {
-    for (std::int64_t n = 0; n < batch; ++n) {
-      const float* row = dy.data() + n * out_;
-      for (std::int64_t o = 0; o < out_; ++o) db_[o] += row[o];
-    }
+    // Parallel over output features: each feature's batch reduction stays
+    // serial (and in batch order), so db_ is thread-count-invariant.
+    ctx.parallel_for(
+        0, out_,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t o = lo; o < hi; ++o) {
+            float acc = db_[o];
+            for (std::int64_t n = 0; n < batch; ++n) {
+              acc += dy.data()[n * out_ + o];
+            }
+            db_[o] = acc;
+          }
+        },
+        /*grain=*/16);
   }
 }
 

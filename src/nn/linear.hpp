@@ -15,15 +15,18 @@ class Linear final : public Layer {
 
   std::string name() const override;
   Shape output_shape(const Shape& input) const override;
-  void forward(const Tensor& x, Tensor& y, bool training) override;
-  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                Tensor& dx) override;
   std::vector<ParamRef> params() override;
   void init(Rng& rng) override;
   std::int64_t flops(const Shape& input) const override;
 
   Tensor& weight() { return w_; }
   Tensor& bias() { return b_; }
+
+ protected:
+  void do_forward(const Tensor& x, Tensor& y, bool training,
+                  const ComputeContext& ctx) override;
+  void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                   Tensor& dx, const ComputeContext& ctx) override;
 
  private:
   std::int64_t in_, out_;

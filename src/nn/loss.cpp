@@ -8,7 +8,7 @@ namespace minsgd::nn {
 
 LossResult SoftmaxCrossEntropy::forward_backward(
     const Tensor& logits, std::span<const std::int32_t> labels,
-    Tensor* dlogits) const {
+    Tensor* dlogits, const ComputeContext& ctx) const {
   if (logits.shape().rank() != 2) {
     throw std::invalid_argument("SoftmaxCrossEntropy: logits must be 2-D");
   }
@@ -18,36 +18,54 @@ LossResult SoftmaxCrossEntropy::forward_backward(
     throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
   }
   if (dlogits) dlogits->resize(logits.shape());
+  if (batch == 0) return {};
+
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  // Per-chunk loss/top-1 partials, combined in chunk order below; dlogits
+  // rows are disjoint per sample.
+  double loss_part[ComputeContext::kMaxChunks] = {};
+  std::int64_t correct_part[ComputeContext::kMaxChunks] = {};
+  const std::int64_t chunks = ComputeContext::chunk_count(batch, /*grain=*/1);
+  ctx.for_chunks_n(batch, chunks, [&](std::int64_t ci, std::int64_t lo,
+                                      std::int64_t hi) {
+    double loss = 0.0;
+    std::int64_t correct = 0;
+    for (std::int64_t n = lo; n < hi; ++n) {
+      const float* row = logits.data() + n * classes;
+      const std::int32_t label = labels[static_cast<std::size_t>(n)];
+      if (label < 0 || label >= classes) {
+        throw std::out_of_range("SoftmaxCrossEntropy: label out of range");
+      }
+      // Stable log-sum-exp.
+      float m = row[0];
+      std::int64_t argmax = 0;
+      for (std::int64_t c = 1; c < classes; ++c) {
+        if (row[c] > m) {
+          m = row[c];
+          argmax = c;
+        }
+      }
+      double denom = 0.0;
+      for (std::int64_t c = 0; c < classes; ++c) denom += std::exp(row[c] - m);
+      const double log_denom = std::log(denom);
+      loss += log_denom + m - row[label];
+      if (argmax == label) ++correct;
+      if (dlogits) {
+        float* g = dlogits->data() + n * classes;
+        for (std::int64_t c = 0; c < classes; ++c) {
+          const auto p = static_cast<float>(std::exp(row[c] - m) / denom);
+          g[c] = (p - (c == label ? 1.0f : 0.0f)) * inv_batch;
+        }
+      }
+    }
+    loss_part[ci] = loss;
+    correct_part[ci] = correct;
+  });
 
   LossResult res;
-  const float inv_batch = 1.0f / static_cast<float>(batch);
-  for (std::int64_t n = 0; n < batch; ++n) {
-    const float* row = logits.data() + n * classes;
-    const std::int32_t label = labels[static_cast<std::size_t>(n)];
-    if (label < 0 || label >= classes) {
-      throw std::out_of_range("SoftmaxCrossEntropy: label out of range");
-    }
-    // Stable log-sum-exp.
-    float m = row[0];
-    std::int64_t argmax = 0;
-    for (std::int64_t c = 1; c < classes; ++c) {
-      if (row[c] > m) {
-        m = row[c];
-        argmax = c;
-      }
-    }
-    double denom = 0.0;
-    for (std::int64_t c = 0; c < classes; ++c) denom += std::exp(row[c] - m);
-    const double log_denom = std::log(denom);
-    res.loss += log_denom + m - row[label];
-    if (argmax == label) ++res.correct;
-    if (dlogits) {
-      float* g = dlogits->data() + n * classes;
-      for (std::int64_t c = 0; c < classes; ++c) {
-        const auto p = static_cast<float>(std::exp(row[c] - m) / denom);
-        g[c] = (p - (c == label ? 1.0f : 0.0f)) * inv_batch;
-      }
-    }
+  for (std::int64_t c = 0; c < chunks; ++c) {
+    res.loss += loss_part[c];
+    res.correct += correct_part[c];
   }
   res.loss /= static_cast<double>(batch);
   return res;

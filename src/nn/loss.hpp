@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 
+#include "tensor/context.hpp"
 #include "tensor/tensor.hpp"
 
 namespace minsgd::nn {
@@ -22,9 +23,13 @@ struct LossResult {
 class SoftmaxCrossEntropy {
  public:
   /// Computes loss/top-1 and, if `dlogits` is non-null, the gradient.
-  LossResult forward_backward(const Tensor& logits,
-                              std::span<const std::int32_t> labels,
-                              Tensor* dlogits) const;
+  /// Batch rows are processed in deterministic chunks on `ctx` with the loss
+  /// / top-1 partials combined in fixed chunk order, so the result is
+  /// bit-identical for any thread count.
+  LossResult forward_backward(
+      const Tensor& logits, std::span<const std::int32_t> labels,
+      Tensor* dlogits,
+      const ComputeContext& ctx = ComputeContext::default_ctx()) const;
 };
 
 }  // namespace minsgd::nn

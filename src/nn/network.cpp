@@ -21,7 +21,8 @@ Shape Network::output_shape(const Shape& input) const {
   return s;
 }
 
-void Network::forward(const Tensor& x, Tensor& y, bool training) {
+void Network::do_forward(const Tensor& x, Tensor& y, bool training,
+                         const ComputeContext& ctx) {
   if (layers_.empty()) throw std::logic_error("Network::forward: empty net");
   // Span names are built only when tracing is on; the disabled path costs
   // one atomic load per layer.
@@ -29,14 +30,18 @@ void Network::forward(const Tensor& x, Tensor& y, bool training) {
   obs::ScopedSpan outer;
   if (traced) {
     outer.start("forward." + label_, obs::cat::kCompute);
+    outer.set_threads(static_cast<int>(ctx.threads()));
   }
   acts_.resize(layers_.size());
   const Tensor* cur = &x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     Tensor& out = (i + 1 == layers_.size()) ? y : acts_[i];
     obs::ScopedSpan sp;
-    if (traced) sp.start("fwd." + layers_[i]->name(), obs::cat::kCompute);
-    layers_[i]->forward(*cur, out, training);
+    if (traced) {
+      sp.start("fwd." + layers_[i]->name(), obs::cat::kCompute);
+      sp.set_threads(static_cast<int>(ctx.threads()));
+    }
+    layers_[i]->forward(*cur, out, training, ctx);
     cur = &out;
   }
   // Keep the final output cached too, so backward() has the (x, y) pair for
@@ -44,8 +49,9 @@ void Network::forward(const Tensor& x, Tensor& y, bool training) {
   acts_.back() = y;
 }
 
-void Network::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
-                       Tensor& dx) {
+void Network::do_backward(const Tensor& x, const Tensor& /*y*/,
+                          const Tensor& dy, Tensor& dx,
+                          const ComputeContext& ctx) {
   if (acts_.size() != layers_.size()) {
     throw std::logic_error("Network::backward without forward");
   }
@@ -53,6 +59,7 @@ void Network::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
   obs::ScopedSpan outer;
   if (traced) {
     outer.start("backward." + label_, obs::cat::kCompute);
+    outer.set_threads(static_cast<int>(ctx.threads()));
   }
   dacts_.resize(layers_.size());
   const Tensor* cur_dy = &dy;
@@ -61,8 +68,11 @@ void Network::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
     Tensor& out_dx = (i == 0) ? dx : dacts_[i - 1];
     {
       obs::ScopedSpan sp;
-      if (traced) sp.start("bwd." + layers_[i]->name(), obs::cat::kCompute);
-      layers_[i]->backward(input, acts_[i], *cur_dy, out_dx);
+      if (traced) {
+        sp.start("bwd." + layers_[i]->name(), obs::cat::kCompute);
+        sp.set_threads(static_cast<int>(ctx.threads()));
+      }
+      layers_[i]->backward(input, acts_[i], *cur_dy, out_dx, ctx);
     }
     if (grad_ready_hook_) grad_ready_hook_(i, *layers_[i]);
     cur_dy = &out_dx;

@@ -37,9 +37,6 @@ class Network final : public Layer {
   // Layer interface -----------------------------------------------------
   std::string name() const override;
   Shape output_shape(const Shape& input) const override;
-  void forward(const Tensor& x, Tensor& y, bool training) override;
-  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                Tensor& dx) override;
   std::vector<ParamRef> params() override;
   std::vector<BufferRef> buffers() override;
   std::vector<Rng*> rng_streams() override;
@@ -80,6 +77,12 @@ class Network final : public Layer {
   void set_grad_ready_hook(GradReadyHook hook) {
     grad_ready_hook_ = std::move(hook);
   }
+
+ protected:
+  void do_forward(const Tensor& x, Tensor& y, bool training,
+                  const ComputeContext& ctx) override;
+  void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                   Tensor& dx, const ComputeContext& ctx) override;
 
  private:
   std::string label_ = "net";

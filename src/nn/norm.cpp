@@ -23,7 +23,8 @@ std::string BatchNorm2d::name() const {
   return "bn(" + std::to_string(c_) + ")";
 }
 
-void BatchNorm2d::forward(const Tensor& x, Tensor& y, bool training) {
+void BatchNorm2d::do_forward(const Tensor& x, Tensor& y, bool training,
+                             const ComputeContext& ctx) {
   if (x.shape().rank() != 4 || x.shape()[1] != c_) {
     throw std::invalid_argument("BatchNorm2d " + name() + ": bad input " +
                                 x.shape().str());
@@ -34,7 +35,11 @@ void BatchNorm2d::forward(const Tensor& x, Tensor& y, bool training) {
   const std::int64_t m = batch * spatial;  // samples per channel
   if (training) xhat_.resize(x.shape());
 
-  for (std::int64_t c = 0; c < c_; ++c) {
+  // Parallel over channels: each channel's statistics and normalization are
+  // fully serial (double accumulators in fixed batch order), so results are
+  // independent of the thread count.
+  ctx.parallel_for(0, c_, [&](std::int64_t c_lo, std::int64_t c_hi) {
+  for (std::int64_t c = c_lo; c < c_hi; ++c) {
     float mean, var;
     if (training) {
       double acc = 0.0;
@@ -72,10 +77,12 @@ void BatchNorm2d::forward(const Tensor& x, Tensor& y, bool training) {
       }
     }
   }
+  }, /*grain=*/1);
 }
 
-void BatchNorm2d::backward(const Tensor& x, const Tensor& /*y*/,
-                           const Tensor& dy, Tensor& dx) {
+void BatchNorm2d::do_backward(const Tensor& x, const Tensor& /*y*/,
+                              const Tensor& dy, Tensor& dx,
+                              const ComputeContext& ctx) {
   if (xhat_.shape() != x.shape()) {
     throw std::logic_error(
         "BatchNorm2d::backward without a preceding training forward");
@@ -86,7 +93,8 @@ void BatchNorm2d::backward(const Tensor& x, const Tensor& /*y*/,
   const std::int64_t m = batch * spatial;
   const float inv_m = 1.0f / static_cast<float>(m);
 
-  for (std::int64_t c = 0; c < c_; ++c) {
+  ctx.parallel_for(0, c_, [&](std::int64_t c_lo, std::int64_t c_hi) {
+  for (std::int64_t c = c_lo; c < c_hi; ++c) {
     double sum_dy = 0.0, sum_dy_xhat = 0.0;
     for (std::int64_t n = 0; n < batch; ++n) {
       const float* g = dy.data() + (n * c_ + c) * spatial;
@@ -110,6 +118,7 @@ void BatchNorm2d::backward(const Tensor& x, const Tensor& /*y*/,
       }
     }
   }
+  }, /*grain=*/1);
 }
 
 std::vector<ParamRef> BatchNorm2d::params() {
@@ -140,7 +149,8 @@ LRN::LRN(std::int64_t local_size, float alpha, float beta, float k)
 
 std::string LRN::name() const { return "lrn(n=" + std::to_string(n_) + ")"; }
 
-void LRN::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+void LRN::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
+                     const ComputeContext& ctx) {
   if (x.shape().rank() != 4) {
     throw std::invalid_argument("LRN: input must be NCHW");
   }
@@ -150,7 +160,8 @@ void LRN::forward(const Tensor& x, Tensor& y, bool /*training*/) {
   const std::int64_t spatial = x.shape()[2] * x.shape()[3];
   const std::int64_t half = n_ / 2;
   const float a = alpha_ / static_cast<float>(n_);
-  for (std::int64_t n = 0; n < batch; ++n) {
+  ctx.parallel_for(0, batch, [&](std::int64_t n_lo, std::int64_t n_hi) {
+  for (std::int64_t n = n_lo; n < n_hi; ++n) {
     for (std::int64_t s = 0; s < spatial; ++s) {
       for (std::int64_t c = 0; c < ch; ++c) {
         double acc = 0.0;
@@ -167,10 +178,11 @@ void LRN::forward(const Tensor& x, Tensor& y, bool /*training*/) {
       }
     }
   }
+  }, /*grain=*/1);
 }
 
-void LRN::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                   Tensor& dx) {
+void LRN::do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                      Tensor& dx, const ComputeContext& ctx) {
   dx.resize(x.shape());
   const std::int64_t batch = x.shape()[0], ch = x.shape()[1];
   const std::int64_t spatial = x.shape()[2] * x.shape()[3];
@@ -178,7 +190,8 @@ void LRN::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
   const float a = alpha_ / static_cast<float>(n_);
   // dx_i = dy_i * scale_i^{-beta}
   //        - 2*(alpha/n)*beta * x_i * sum_{j: i in window(j)} dy_j*y_j/scale_j
-  for (std::int64_t n = 0; n < batch; ++n) {
+  ctx.parallel_for(0, batch, [&](std::int64_t n_lo, std::int64_t n_hi) {
+  for (std::int64_t n = n_lo; n < n_hi; ++n) {
     for (std::int64_t s = 0; s < spatial; ++s) {
       for (std::int64_t c = 0; c < ch; ++c) {
         const std::int64_t idx = (n * ch + c) * spatial + s;
@@ -196,6 +209,7 @@ void LRN::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
       }
     }
   }
+  }, /*grain=*/1);
 }
 
 }  // namespace minsgd::nn

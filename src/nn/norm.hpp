@@ -20,15 +20,18 @@ class BatchNorm2d final : public Layer {
 
   std::string name() const override;
   Shape output_shape(const Shape& input) const override { return input; }
-  void forward(const Tensor& x, Tensor& y, bool training) override;
-  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                Tensor& dx) override;
   std::vector<ParamRef> params() override;
   std::vector<BufferRef> buffers() override;
   void init(Rng& rng) override;
 
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
+
+ protected:
+  void do_forward(const Tensor& x, Tensor& y, bool training,
+                  const ComputeContext& ctx) override;
+  void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                   Tensor& dx, const ComputeContext& ctx) override;
 
  private:
   std::int64_t c_;
@@ -49,9 +52,12 @@ class LRN final : public Layer {
 
   std::string name() const override;
   Shape output_shape(const Shape& input) const override { return input; }
-  void forward(const Tensor& x, Tensor& y, bool training) override;
-  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                Tensor& dx) override;
+
+ protected:
+  void do_forward(const Tensor& x, Tensor& y, bool training,
+                  const ComputeContext& ctx) override;
+  void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                   Tensor& dx, const ComputeContext& ctx) override;
 
  private:
   std::int64_t n_;

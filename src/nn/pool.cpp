@@ -38,17 +38,19 @@ Shape MaxPool2d::output_shape(const Shape& input) const {
   return pooled_shape(input, k_, stride_, pad_, "MaxPool2d");
 }
 
-void MaxPool2d::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+void MaxPool2d::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
+                           const ComputeContext& ctx) {
   const Shape out = output_shape(x.shape());
   y.resize(out);
   argmax_.assign(static_cast<std::size_t>(out.numel()), -1);
   const std::int64_t batch = out[0], ch = out[1], oh = out[2], ow = out[3];
   const std::int64_t h = x.shape()[2], w = x.shape()[3];
-  std::int64_t oi = 0;
-  for (std::int64_t n = 0; n < batch; ++n) {
+  ctx.parallel_for(0, batch, [&](std::int64_t n_lo, std::int64_t n_hi) {
+  for (std::int64_t n = n_lo; n < n_hi; ++n) {
     for (std::int64_t c = 0; c < ch; ++c) {
       for (std::int64_t i = 0; i < oh; ++i) {
-        for (std::int64_t j = 0; j < ow; ++j, ++oi) {
+        for (std::int64_t j = 0; j < ow; ++j) {
+          const std::int64_t oi = ((n * ch + c) * oh + i) * ow + j;
           float best = -std::numeric_limits<float>::infinity();
           std::int64_t best_idx = -1;
           for (std::int64_t ki = 0; ki < k_; ++ki) {
@@ -70,17 +72,26 @@ void MaxPool2d::forward(const Tensor& x, Tensor& y, bool /*training*/) {
       }
     }
   }
+  }, /*grain=*/1);
 }
 
-void MaxPool2d::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                         Tensor& dx) {
+void MaxPool2d::do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                            Tensor& dx, const ComputeContext& ctx) {
   dx.resize(x.shape());
   dx.zero();
-  const std::int64_t n = y.numel();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const std::int64_t src = argmax_[static_cast<std::size_t>(i)];
-    if (src >= 0) dx[src] += dy[i];
-  }
+  // Parallel over the batch only: every argmax index of image n lies inside
+  // image n's slice of dx, so chunks write disjoint ranges.
+  const std::int64_t batch = y.shape()[0];
+  const std::int64_t per_img = y.numel() / std::max<std::int64_t>(1, batch);
+  ctx.parallel_for(
+      0, batch,
+      [&](std::int64_t n_lo, std::int64_t n_hi) {
+        for (std::int64_t i = n_lo * per_img; i < n_hi * per_img; ++i) {
+          const std::int64_t src = argmax_[static_cast<std::size_t>(i)];
+          if (src >= 0) dx[src] += dy[i];
+        }
+      },
+      /*grain=*/1);
 }
 
 AvgPool2d::AvgPool2d(std::int64_t kernel, std::int64_t stride, std::int64_t pad)
@@ -98,13 +109,15 @@ Shape AvgPool2d::output_shape(const Shape& input) const {
   return pooled_shape(input, k_, stride_, pad_, "AvgPool2d");
 }
 
-void AvgPool2d::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+void AvgPool2d::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
+                           const ComputeContext& ctx) {
   const Shape out = output_shape(x.shape());
   y.resize(out);
   const std::int64_t batch = out[0], ch = out[1], oh = out[2], ow = out[3];
   const std::int64_t h = x.shape()[2], w = x.shape()[3];
   const float inv = 1.0f / static_cast<float>(k_ * k_);
-  for (std::int64_t n = 0; n < batch; ++n) {
+  ctx.parallel_for(0, batch, [&](std::int64_t n_lo, std::int64_t n_hi) {
+  for (std::int64_t n = n_lo; n < n_hi; ++n) {
     for (std::int64_t c = 0; c < ch; ++c) {
       for (std::int64_t i = 0; i < oh; ++i) {
         for (std::int64_t j = 0; j < ow; ++j) {
@@ -123,17 +136,19 @@ void AvgPool2d::forward(const Tensor& x, Tensor& y, bool /*training*/) {
       }
     }
   }
+  }, /*grain=*/1);
 }
 
-void AvgPool2d::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                         Tensor& dx) {
+void AvgPool2d::do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                            Tensor& dx, const ComputeContext& ctx) {
   dx.resize(x.shape());
   dx.zero();
   const Shape out = y.shape();
   const std::int64_t batch = out[0], ch = out[1], oh = out[2], ow = out[3];
   const std::int64_t h = x.shape()[2], w = x.shape()[3];
   const float inv = 1.0f / static_cast<float>(k_ * k_);
-  for (std::int64_t n = 0; n < batch; ++n) {
+  ctx.parallel_for(0, batch, [&](std::int64_t n_lo, std::int64_t n_hi) {
+  for (std::int64_t n = n_lo; n < n_hi; ++n) {
     for (std::int64_t c = 0; c < ch; ++c) {
       for (std::int64_t i = 0; i < oh; ++i) {
         for (std::int64_t j = 0; j < ow; ++j) {
@@ -151,6 +166,7 @@ void AvgPool2d::backward(const Tensor& x, const Tensor& y, const Tensor& dy,
       }
     }
   }
+  }, /*grain=*/1);
 }
 
 Shape GlobalAvgPool::output_shape(const Shape& input) const {
@@ -160,35 +176,47 @@ Shape GlobalAvgPool::output_shape(const Shape& input) const {
   return {input[0], input[1]};
 }
 
-void GlobalAvgPool::forward(const Tensor& x, Tensor& y, bool /*training*/) {
+void GlobalAvgPool::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
+                               const ComputeContext& ctx) {
   const Shape out = output_shape(x.shape());
   y.resize(out);
   const std::int64_t batch = out[0], ch = out[1];
   const std::int64_t spatial = x.shape()[2] * x.shape()[3];
   const float inv = 1.0f / static_cast<float>(spatial);
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t c = 0; c < ch; ++c) {
-      const float* src = x.data() + (n * ch + c) * spatial;
-      double acc = 0.0;
-      for (std::int64_t s = 0; s < spatial; ++s) acc += src[s];
-      y.at(n, c) = static_cast<float>(acc) * inv;
-    }
-  }
+  ctx.parallel_for(
+      0, batch,
+      [&](std::int64_t n_lo, std::int64_t n_hi) {
+        for (std::int64_t n = n_lo; n < n_hi; ++n) {
+          for (std::int64_t c = 0; c < ch; ++c) {
+            const float* src = x.data() + (n * ch + c) * spatial;
+            double acc = 0.0;
+            for (std::int64_t s = 0; s < spatial; ++s) acc += src[s];
+            y.at(n, c) = static_cast<float>(acc) * inv;
+          }
+        }
+      },
+      /*grain=*/1);
 }
 
-void GlobalAvgPool::backward(const Tensor& x, const Tensor& /*y*/,
-                             const Tensor& dy, Tensor& dx) {
+void GlobalAvgPool::do_backward(const Tensor& x, const Tensor& /*y*/,
+                                const Tensor& dy, Tensor& dx,
+                                const ComputeContext& ctx) {
   dx.resize(x.shape());
   const std::int64_t batch = x.shape()[0], ch = x.shape()[1];
   const std::int64_t spatial = x.shape()[2] * x.shape()[3];
   const float inv = 1.0f / static_cast<float>(spatial);
-  for (std::int64_t n = 0; n < batch; ++n) {
-    for (std::int64_t c = 0; c < ch; ++c) {
-      float* dst = dx.data() + (n * ch + c) * spatial;
-      const float g = dy.at(n, c) * inv;
-      for (std::int64_t s = 0; s < spatial; ++s) dst[s] = g;
-    }
-  }
+  ctx.parallel_for(
+      0, batch,
+      [&](std::int64_t n_lo, std::int64_t n_hi) {
+        for (std::int64_t n = n_lo; n < n_hi; ++n) {
+          for (std::int64_t c = 0; c < ch; ++c) {
+            float* dst = dx.data() + (n * ch + c) * spatial;
+            const float g = dy.at(n, c) * inv;
+            for (std::int64_t s = 0; s < spatial; ++s) dst[s] = g;
+          }
+        }
+      },
+      /*grain=*/1);
 }
 
 }  // namespace minsgd::nn

@@ -15,9 +15,12 @@ class MaxPool2d final : public Layer {
 
   std::string name() const override;
   Shape output_shape(const Shape& input) const override;
-  void forward(const Tensor& x, Tensor& y, bool training) override;
-  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                Tensor& dx) override;
+
+ protected:
+  void do_forward(const Tensor& x, Tensor& y, bool training,
+                  const ComputeContext& ctx) override;
+  void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                   Tensor& dx, const ComputeContext& ctx) override;
 
  private:
   std::int64_t k_, stride_, pad_;
@@ -32,9 +35,12 @@ class AvgPool2d final : public Layer {
 
   std::string name() const override;
   Shape output_shape(const Shape& input) const override;
-  void forward(const Tensor& x, Tensor& y, bool training) override;
-  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                Tensor& dx) override;
+
+ protected:
+  void do_forward(const Tensor& x, Tensor& y, bool training,
+                  const ComputeContext& ctx) override;
+  void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                   Tensor& dx, const ComputeContext& ctx) override;
 
  private:
   std::int64_t k_, stride_, pad_;
@@ -45,9 +51,12 @@ class GlobalAvgPool final : public Layer {
  public:
   std::string name() const override { return "gap"; }
   Shape output_shape(const Shape& input) const override;
-  void forward(const Tensor& x, Tensor& y, bool training) override;
-  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                Tensor& dx) override;
+
+ protected:
+  void do_forward(const Tensor& x, Tensor& y, bool training,
+                  const ComputeContext& ctx) override;
+  void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                   Tensor& dx, const ComputeContext& ctx) override;
 };
 
 }  // namespace minsgd::nn

@@ -26,40 +26,43 @@ Shape ResidualBlock::output_shape(const Shape& input) const {
   return b;
 }
 
-void ResidualBlock::forward(const Tensor& x, Tensor& y, bool training) {
-  branch_->forward(x, branch_out_, training);
+void ResidualBlock::do_forward(const Tensor& x, Tensor& y, bool training,
+                               const ComputeContext& ctx) {
+  branch_->forward(x, branch_out_, training, ctx);
   const Tensor* sc = &x;
   if (shortcut_) {
-    shortcut_->forward(x, shortcut_out_, training);
+    shortcut_->forward(x, shortcut_out_, training, ctx);
     sc = &shortcut_out_;
   }
   if (branch_out_.shape() != sc->shape()) {
     throw std::logic_error("ResidualBlock: shape mismatch at add");
   }
   sum_out_.resize(branch_out_.shape());
-  add(branch_out_.span(), sc->span(), sum_out_.span());
+  add(ctx, branch_out_.span(), sc->span(), sum_out_.span());
   y.resize(sum_out_.shape());
-  copy(sum_out_.span(), y.span());
-  relu_inplace(y.span());
+  copy(ctx, sum_out_.span(), y.span());
+  relu_inplace(ctx, y.span());
 }
 
-void ResidualBlock::backward(const Tensor& x, const Tensor& y,
-                             const Tensor& dy, Tensor& dx) {
+void ResidualBlock::do_backward(const Tensor& x, const Tensor& y,
+                                const Tensor& dy, Tensor& dx,
+                                const ComputeContext& ctx) {
   // Through the final ReLU: pass gradient where y > 0.
   d_sum_.resize(y.shape());
-  const std::int64_t n = y.numel();
-  for (std::int64_t i = 0; i < n; ++i) {
-    d_sum_[i] = y[i] > 0.0f ? dy[i] : 0.0f;
-  }
+  ctx.parallel_for(0, y.numel(), [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      d_sum_[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+    }
+  });
   // The add fans the gradient out to both the branch and the shortcut.
-  branch_->backward(x, branch_out_, d_sum_, d_branch_in_);
+  branch_->backward(x, branch_out_, d_sum_, d_branch_in_, ctx);
   if (shortcut_) {
-    shortcut_->backward(x, shortcut_out_, d_sum_, d_shortcut_in_);
+    shortcut_->backward(x, shortcut_out_, d_sum_, d_shortcut_in_, ctx);
     dx.resize(x.shape());
-    add(d_branch_in_.span(), d_shortcut_in_.span(), dx.span());
+    add(ctx, d_branch_in_.span(), d_shortcut_in_.span(), dx.span());
   } else {
     dx.resize(x.shape());
-    add(d_branch_in_.span(), d_sum_.span(), dx.span());
+    add(ctx, d_branch_in_.span(), d_sum_.span(), dx.span());
   }
 }
 

@@ -19,14 +19,17 @@ class ResidualBlock final : public Layer {
 
   std::string name() const override;
   Shape output_shape(const Shape& input) const override;
-  void forward(const Tensor& x, Tensor& y, bool training) override;
-  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                Tensor& dx) override;
   std::vector<ParamRef> params() override;
   std::vector<BufferRef> buffers() override;
   std::vector<Rng*> rng_streams() override;
   void init(Rng& rng) override;
   std::int64_t flops(const Shape& input) const override;
+
+ protected:
+  void do_forward(const Tensor& x, Tensor& y, bool training,
+                  const ComputeContext& ctx) override;
+  void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                   Tensor& dx, const ComputeContext& ctx) override;
 
  private:
   std::unique_ptr<Network> branch_;

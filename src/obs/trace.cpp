@@ -178,6 +178,10 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
       out << "\"";
       first_arg = false;
     }
+    if (s.threads >= 0) {
+      out << (first_arg ? "" : ",") << "\"threads\":" << s.threads;
+      first_arg = false;
+    }
     out << (first_arg ? "" : ",") << "\"depth\":" << s.depth << "}}";
     first = false;
   }

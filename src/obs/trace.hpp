@@ -55,6 +55,7 @@ struct Span {
   int depth = 0;
   std::uint32_t tid = 0;
   std::int64_t bytes = -1;
+  int threads = -1;  // intra-op thread budget for parallel-kernel spans
   std::string label;
 };
 
@@ -164,6 +165,7 @@ class ScopedSpan {
   void stop() {}
   void set_bytes(std::int64_t) {}
   void set_label(std::string) {}
+  void set_threads(int) {}
   bool active() const { return false; }
   ~ScopedSpan() = default;
 #else
@@ -180,6 +182,7 @@ class ScopedSpan {
   }
   void set_bytes(std::int64_t bytes) { span_.bytes = bytes; }
   void set_label(std::string label) { span_.label = std::move(label); }
+  void set_threads(int threads) { span_.threads = threads; }
   bool active() const { return active_; }
   /// Records the span now instead of at scope exit; idempotent.
   void stop();

@@ -20,7 +20,8 @@ Lars::Lars(LarsConfig config) : config_(config) {
   }
 }
 
-void Lars::step(std::span<nn::ParamRef> params, double lr) {
+void Lars::do_step(std::span<nn::ParamRef> params, double lr,
+                   const ComputeContext& ctx) {
   if (velocity_.empty()) {
     velocity_.reserve(params.size());
     for (const auto& p : params) velocity_.emplace_back(p.value->shape());
@@ -30,7 +31,10 @@ void Lars::step(std::span<nn::ParamRef> params, double lr) {
   }
   const bool traced = obs::tracer().enabled();
   obs::ScopedSpan span;
-  if (traced) span.start("optim.lars", obs::cat::kCompute);
+  if (traced) {
+    span.start("optim.lars", obs::cat::kCompute);
+    span.set_threads(static_cast<int>(ctx.threads()));
+  }
   last_local_.assign(params.size(), 0.0);
   const auto m = static_cast<float>(config_.momentum);
   for (std::size_t i = 0; i < params.size(); ++i) {
@@ -41,8 +45,8 @@ void Lars::step(std::span<nn::ParamRef> params, double lr) {
 
     double local = 1.0;
     if (adapt) {
-      const double w_norm = l2_norm(p.value->span());
-      const double g_norm = l2_norm(p.grad->span());
+      const double w_norm = l2_norm(ctx, p.value->span());
+      const double g_norm = l2_norm(ctx, p.grad->span());
       local = config_.trust_coeff * w_norm /
               (g_norm + wd * w_norm + config_.eps);
       // A freshly zero-initialized tensor (w_norm == 0) gets local == 0 and
@@ -64,10 +68,15 @@ void Lars::step(std::span<nn::ParamRef> params, double lr) {
     float* w = p.value->data();
     const float* g = p.grad->data();
     float* vel = v.data();
-    for (std::int64_t j = 0; j < n; ++j) {
-      vel[j] = m * vel[j] + eff * (g[j] + fwd * w[j]);
-      w[j] -= vel[j];
-    }
+    ctx.parallel_for(
+        0, n,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t j = lo; j < hi; ++j) {
+            vel[j] = m * vel[j] + eff * (g[j] + fwd * w[j]);
+            w[j] -= vel[j];
+          }
+        },
+        /*grain=*/8192);
   }
 }
 

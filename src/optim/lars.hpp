@@ -41,7 +41,6 @@ class Lars final : public Optimizer {
  public:
   explicit Lars(LarsConfig config = {});
 
-  void step(std::span<nn::ParamRef> params, double lr) override;
   void reset() override;
   void save_state(std::ostream& out) const override;
   void load_state(std::istream& in) override;
@@ -51,6 +50,10 @@ class Lars final : public Optimizer {
   /// Trust ratios from the most recent step (one per param tensor, 0 for
   /// non-adapted ones). Exposed for instrumentation / the ablation bench.
   const std::vector<double>& last_local_lrs() const { return last_local_; }
+
+ protected:
+  void do_step(std::span<nn::ParamRef> params, double lr,
+               const ComputeContext& ctx) override;
 
  private:
   LarsConfig config_;

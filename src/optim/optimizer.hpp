@@ -18,8 +18,12 @@ class Optimizer {
  public:
   virtual ~Optimizer() = default;
 
-  /// Applies one update with global learning rate `lr`.
-  virtual void step(std::span<nn::ParamRef> params, double lr) = 0;
+  /// Applies one update with global learning rate `lr`. `ctx` supplies the
+  /// intra-op thread budget; updates are bit-identical for any thread count.
+  void step(std::span<nn::ParamRef> params, double lr,
+            const ComputeContext& ctx = ComputeContext::default_ctx()) {
+    do_step(params, lr, ctx);
+  }
 
   /// Clears internal state (momentum buffers).
   virtual void reset() = 0;
@@ -33,6 +37,11 @@ class Optimizer {
   /// Restores state written by save_state. The next step() must use the
   /// same parameter sequence as when the state was saved.
   virtual void load_state(std::istream& in) = 0;
+
+ protected:
+  /// Implementation hook behind the non-virtual step() above.
+  virtual void do_step(std::span<nn::ParamRef> params, double lr,
+                       const ComputeContext& ctx) = 0;
 };
 
 namespace detail {

@@ -15,7 +15,8 @@ Sgd::Sgd(SgdConfig config) : config_(config) {
   }
 }
 
-void Sgd::step(std::span<nn::ParamRef> params, double lr) {
+void Sgd::do_step(std::span<nn::ParamRef> params, double lr,
+                  const ComputeContext& ctx) {
   if (velocity_.empty()) {
     velocity_.reserve(params.size());
     for (const auto& p : params) velocity_.emplace_back(p.value->shape());
@@ -24,6 +25,7 @@ void Sgd::step(std::span<nn::ParamRef> params, double lr) {
     throw std::invalid_argument("Sgd::step: param list changed size");
   }
   obs::ScopedSpan span("optim.sgd", obs::cat::kCompute);
+  span.set_threads(static_cast<int>(ctx.threads()));
   const auto m = static_cast<float>(config_.momentum);
   const auto flr = static_cast<float>(lr);
   for (std::size_t i = 0; i < params.size(); ++i) {
@@ -35,10 +37,16 @@ void Sgd::step(std::span<nn::ParamRef> params, double lr) {
     float* w = p.value->data();
     const float* g = p.grad->data();
     float* vel = v.data();
-    for (std::int64_t j = 0; j < n; ++j) {
-      vel[j] = m * vel[j] + (g[j] + wd * w[j]);
-      w[j] -= flr * vel[j];
-    }
+    // Pure elementwise update: disjoint writes, no reduction.
+    ctx.parallel_for(
+        0, n,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t j = lo; j < hi; ++j) {
+            vel[j] = m * vel[j] + (g[j] + wd * w[j]);
+            w[j] -= flr * vel[j];
+          }
+        },
+        /*grain=*/8192);
   }
 }
 

@@ -20,12 +20,15 @@ class Sgd final : public Optimizer {
  public:
   explicit Sgd(SgdConfig config = {});
 
-  void step(std::span<nn::ParamRef> params, double lr) override;
   void reset() override;
   void save_state(std::ostream& out) const override;
   void load_state(std::istream& in) override;
 
   const SgdConfig& config() const { return config_; }
+
+ protected:
+  void do_step(std::span<nn::ParamRef> params, double lr,
+               const ComputeContext& ctx) override;
 
  private:
   SgdConfig config_;

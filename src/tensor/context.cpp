@@ -1,0 +1,148 @@
+#include "tensor/context.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace minsgd {
+
+ComputeContext::ComputeContext(std::size_t threads)
+    : threads_(threads == 0 ? default_threads() : threads) {
+  if (threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+  }
+}
+
+ComputeContext::~ComputeContext() = default;
+
+PoolStats ComputeContext::pool_stats() const {
+  if (!pool_) return {};
+  return {pool_->size(), pool_->tasks_executed(), pool_->queue_depth()};
+}
+
+std::int64_t ComputeContext::chunk_count(std::int64_t n, std::int64_t grain) {
+  if (n <= 0) return 0;
+  if (grain < 1) grain = 1;
+  return std::min<std::int64_t>(kMaxChunks, (n + grain - 1) / grain);
+}
+
+std::pair<std::int64_t, std::int64_t> ComputeContext::chunk_bounds(
+    std::int64_t n, std::int64_t num_chunks, std::int64_t c) {
+  const std::int64_t step = (n + num_chunks - 1) / num_chunks;
+  const std::int64_t lo = std::min(n, c * step);
+  const std::int64_t hi = std::min(n, lo + step);
+  return {lo, hi};
+}
+
+void ComputeContext::for_chunks(
+    std::int64_t n, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn)
+    const {
+  for_chunks_n(n, chunk_count(n, grain), fn);
+}
+
+void ComputeContext::for_chunks_n(
+    std::int64_t n, std::int64_t num_chunks,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn)
+    const {
+  if (n <= 0) return;
+  const std::int64_t chunks = std::clamp<std::int64_t>(num_chunks, 1, n);
+
+  // Inline path: single chunk, no pool, or already inside a parallel region
+  // (nested regions must not re-enter a pool).
+  if (chunks == 1 || !pool_ || detail::in_parallel_region()) {
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const auto [lo, hi] = chunk_bounds(n, chunks, c);
+      if (lo < hi) fn(c, lo, hi);
+    }
+    return;
+  }
+
+  // Work-stealing over a shared cursor: helpers and the caller all pull the
+  // next chunk index. The chunk *geometry* is fixed; only the executing
+  // thread varies.
+  std::atomic<std::int64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  auto run_chunks = [&] {
+    try {
+      std::int64_t c;
+      while (!failed.load(std::memory_order_relaxed) &&
+             (c = next.fetch_add(1, std::memory_order_relaxed)) < chunks) {
+        const auto [lo, hi] = chunk_bounds(n, chunks, c);
+        if (lo < hi) fn(c, lo, hi);
+      }
+    } catch (...) {
+      failed.store(true, std::memory_order_relaxed);
+      std::lock_guard lk(error_mu);
+      if (!error) error = std::current_exception();
+    }
+  };
+
+  const std::int64_t helpers =
+      std::min<std::int64_t>(static_cast<std::int64_t>(pool_->size()),
+                             chunks - 1);
+  std::int64_t done = 0;  // guarded by mu
+  std::mutex mu;
+  std::condition_variable cv;
+  for (std::int64_t h = 0; h < helpers; ++h) {
+    pool_->submit([&] {
+      run_chunks();
+      // A helper's LAST access to this stack frame must happen under mu:
+      // the caller cannot observe done == helpers and destroy the frame
+      // until the lock is released.
+      std::lock_guard lk(mu);
+      if (++done == helpers) cv.notify_one();
+    });
+  }
+  {
+    // The caller participates; nested parallel calls inside fn run inline.
+    detail::ParallelRegionGuard in_region;
+    run_chunks();
+  }
+  {
+    std::unique_lock lk(mu);
+    cv.wait(lk, [&] { return done == helpers; });
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ComputeContext::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    std::int64_t grain) const {
+  if (end <= begin) return;
+  for_chunks(end - begin, grain,
+             [&](std::int64_t, std::int64_t lo, std::int64_t hi) {
+               fn(begin + lo, begin + hi);
+             });
+}
+
+ComputeContext& ComputeContext::default_ctx() {
+  static ComputeContext ctx;
+  return ctx;
+}
+
+std::size_t ComputeContext::default_threads() {
+  if (const char* env = std::getenv("MINSGD_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+// Legacy entry point kept for callers that have no context to thread
+// through; chunking and nesting behaviour now match the context policy.
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t, std::int64_t)>& fn,
+                  std::int64_t grain) {
+  ComputeContext::default_ctx().parallel_for(begin, end, fn, grain);
+}
+
+}  // namespace minsgd

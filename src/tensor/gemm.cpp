@@ -5,7 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "tensor/threadpool.hpp"
+#include "tensor/context.hpp"
 
 namespace minsgd {
 namespace {
@@ -80,9 +80,10 @@ void gemm_small(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
 
 }  // namespace
 
-void sgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
-           float alpha, const float* a, std::int64_t lda, const float* b,
-           std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+void sgemm(const ComputeContext& ctx, Trans ta, Trans tb, std::int64_t m,
+           std::int64_t n, std::int64_t k, float alpha, const float* a,
+           std::int64_t lda, const float* b, std::int64_t ldb, float beta,
+           float* c, std::int64_t ldc) {
   if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("sgemm: bad dims");
   if (m == 0 || n == 0) return;
 
@@ -105,7 +106,9 @@ void sgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
   }
 
   // Parallelize over row-blocks of C; each task packs its own A/B blocks.
-  parallel_for(
+  // Each row-block is serial within itself, so results do not depend on the
+  // thread count.
+  ctx.parallel_for(
       0, (m + kMC - 1) / kMC,
       [&](std::int64_t blk_lo, std::int64_t blk_hi) {
         std::vector<float> apack(static_cast<std::size_t>(kMC * kKC));
@@ -138,6 +141,13 @@ void sgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
         }
       },
       /*grain=*/1);
+}
+
+void sgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+           float alpha, const float* a, std::int64_t lda, const float* b,
+           std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  sgemm(ComputeContext::default_ctx(), ta, tb, m, n, k, alpha, a, lda, b, ldb,
+        beta, c, ldc);
 }
 
 void sgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,

@@ -9,6 +9,8 @@
 
 namespace minsgd {
 
+class ComputeContext;
+
 enum class Trans { kNo, kYes };
 
 /// Row-major sgemm. A is (M x K) if ta==kNo else (K x M); B is (K x N) if
@@ -17,6 +19,14 @@ enum class Trans { kNo, kYes };
 void sgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
            float alpha, const float* a, std::int64_t lda, const float* b,
            std::int64_t ldb, float beta, float* c, std::int64_t ldc);
+
+/// Context-aware sgemm: row-blocks of C run on `ctx`. Each row-block is
+/// computed serially within itself, so the result is bit-identical for any
+/// thread count; inside an outer parallel region the whole call runs inline.
+void sgemm(const ComputeContext& ctx, Trans ta, Trans tb, std::int64_t m,
+           std::int64_t n, std::int64_t k, float alpha, const float* a,
+           std::int64_t lda, const float* b, std::int64_t ldb, float beta,
+           float* c, std::int64_t ldc);
 
 /// Convenience overload with packed leading dimensions.
 void sgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,

@@ -6,11 +6,16 @@
 #include <string>
 #include <stdexcept>
 
+#include "tensor/context.hpp"
+
 namespace minsgd {
 namespace {
 void check_same_size(std::size_t a, std::size_t b, const char* what) {
   if (a != b) throw std::invalid_argument(std::string(what) + ": size mismatch");
 }
+
+// Elementwise ops amortize fork-join over this many elements per chunk.
+constexpr std::int64_t kElemGrain = 16384;
 }  // namespace
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
@@ -94,6 +99,114 @@ bool all_finite(std::span<const float> x) {
     if (!std::isfinite(v)) return false;
   }
   return true;
+}
+
+void axpy(const ComputeContext& ctx, float alpha, std::span<const float> x,
+          std::span<float> y) {
+  check_same_size(x.size(), y.size(), "axpy");
+  ctx.parallel_for(
+      0, static_cast<std::int64_t>(x.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
+      },
+      kElemGrain);
+}
+
+void scale(const ComputeContext& ctx, float alpha, std::span<float> x) {
+  ctx.parallel_for(
+      0, static_cast<std::int64_t>(x.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) x[i] *= alpha;
+      },
+      kElemGrain);
+}
+
+double dot(const ComputeContext& ctx, std::span<const float> x,
+           std::span<const float> y) {
+  check_same_size(x.size(), y.size(), "dot");
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  const std::int64_t chunks = ComputeContext::chunk_count(n, kElemGrain);
+  if (chunks <= 0) return 0.0;
+  double partial[ComputeContext::kMaxChunks] = {};
+  ctx.for_chunks_n(n, chunks,
+                   [&](std::int64_t c, std::int64_t lo, std::int64_t hi) {
+                     double acc = 0.0;
+                     for (std::int64_t i = lo; i < hi; ++i) {
+                       acc += static_cast<double>(x[i]) *
+                              static_cast<double>(y[i]);
+                     }
+                     partial[c] = acc;
+                   });
+  double acc = 0.0;
+  for (std::int64_t c = 0; c < chunks; ++c) acc += partial[c];
+  return acc;
+}
+
+double sum(const ComputeContext& ctx, std::span<const float> x) {
+  const std::int64_t n = static_cast<std::int64_t>(x.size());
+  const std::int64_t chunks = ComputeContext::chunk_count(n, kElemGrain);
+  if (chunks <= 0) return 0.0;
+  double partial[ComputeContext::kMaxChunks] = {};
+  ctx.for_chunks_n(n, chunks,
+                   [&](std::int64_t c, std::int64_t lo, std::int64_t hi) {
+                     double acc = 0.0;
+                     for (std::int64_t i = lo; i < hi; ++i) acc += x[i];
+                     partial[c] = acc;
+                   });
+  double acc = 0.0;
+  for (std::int64_t c = 0; c < chunks; ++c) acc += partial[c];
+  return acc;
+}
+
+double l2_norm(const ComputeContext& ctx, std::span<const float> x) {
+  return std::sqrt(dot(ctx, x, x));
+}
+
+void copy(const ComputeContext& ctx, std::span<const float> x,
+          std::span<float> y) {
+  check_same_size(x.size(), y.size(), "copy");
+  ctx.parallel_for(
+      0, static_cast<std::int64_t>(x.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        std::memcpy(y.data() + lo, x.data() + lo,
+                    static_cast<std::size_t>(hi - lo) * sizeof(float));
+      },
+      kElemGrain);
+}
+
+void add(const ComputeContext& ctx, std::span<const float> x,
+         std::span<const float> y, std::span<float> z) {
+  check_same_size(x.size(), y.size(), "add");
+  check_same_size(x.size(), z.size(), "add");
+  ctx.parallel_for(
+      0, static_cast<std::int64_t>(x.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) z[i] = x[i] + y[i];
+      },
+      kElemGrain);
+}
+
+void hadamard(const ComputeContext& ctx, std::span<const float> x,
+              std::span<const float> y, std::span<float> z) {
+  check_same_size(x.size(), y.size(), "hadamard");
+  check_same_size(x.size(), z.size(), "hadamard");
+  ctx.parallel_for(
+      0, static_cast<std::int64_t>(x.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) z[i] = x[i] * y[i];
+      },
+      kElemGrain);
+}
+
+void relu_inplace(const ComputeContext& ctx, std::span<float> x) {
+  ctx.parallel_for(
+      0, static_cast<std::int64_t>(x.size()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+        }
+      },
+      kElemGrain);
 }
 
 }  // namespace minsgd

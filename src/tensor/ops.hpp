@@ -9,6 +9,8 @@
 
 namespace minsgd {
 
+class ComputeContext;
+
 /// y += alpha * x  (sizes must match).
 void axpy(float alpha, std::span<const float> x, std::span<float> y);
 
@@ -47,5 +49,25 @@ void softmax_rows(std::span<float> x, std::int64_t rows, std::int64_t cols);
 
 /// True iff every element is finite.
 bool all_finite(std::span<const float> x);
+
+// Context-aware overloads. Elementwise ops write disjoint ranges so they
+// parallelize freely; the reductions (sum/dot/l2_norm) keep one double
+// partial per deterministic chunk and combine partials in chunk order, so
+// all of these are bit-identical for any thread count.
+
+void axpy(const ComputeContext& ctx, float alpha, std::span<const float> x,
+          std::span<float> y);
+void scale(const ComputeContext& ctx, float alpha, std::span<float> x);
+double dot(const ComputeContext& ctx, std::span<const float> x,
+           std::span<const float> y);
+double l2_norm(const ComputeContext& ctx, std::span<const float> x);
+double sum(const ComputeContext& ctx, std::span<const float> x);
+void copy(const ComputeContext& ctx, std::span<const float> x,
+          std::span<float> y);
+void add(const ComputeContext& ctx, std::span<const float> x,
+         std::span<const float> y, std::span<float> z);
+void hadamard(const ComputeContext& ctx, std::span<const float> x,
+              std::span<const float> y, std::span<float> z);
+void relu_inplace(const ComputeContext& ctx, std::span<float> x);
 
 }  // namespace minsgd

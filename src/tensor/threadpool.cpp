@@ -1,15 +1,27 @@
 #include "tensor/threadpool.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 namespace minsgd {
 namespace {
-// Set while executing inside a pool worker; nested parallel_for calls run
-// inline instead of re-entering the pool (which could deadlock if every
-// worker blocked waiting for its own sub-chunks).
-thread_local bool g_inside_pool_worker = false;
+// Set while executing inside a parallel region (worker task or caller
+// participation); nested parallel constructs run inline instead of
+// re-entering a pool (which could deadlock if every worker blocked waiting
+// for its own sub-chunks).
+thread_local bool g_in_parallel_region = false;
 }  // namespace
+
+namespace detail {
+
+bool in_parallel_region() { return g_in_parallel_region; }
+
+ParallelRegionGuard::ParallelRegionGuard() : prev_(g_in_parallel_region) {
+  g_in_parallel_region = true;
+}
+
+ParallelRegionGuard::~ParallelRegionGuard() { g_in_parallel_region = prev_; }
+
+}  // namespace detail
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -44,6 +56,11 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
 }
 
+std::int64_t ThreadPool::queue_depth() const {
+  std::lock_guard lk(mu_);
+  return static_cast<std::int64_t>(tasks_.size());
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -54,52 +71,17 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    g_inside_pool_worker = true;
-    task();
-    g_inside_pool_worker = false;
+    {
+      detail::ParallelRegionGuard in_region;
+      task();
+    }
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard lk(mu_);
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }
   }
-}
-
-ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
-}
-
-void parallel_for(std::int64_t begin, std::int64_t end,
-                  const std::function<void(std::int64_t, std::int64_t)>& fn,
-                  std::int64_t grain) {
-  if (end <= begin) return;
-  const std::int64_t n = end - begin;
-  auto& pool = ThreadPool::global();
-  const auto num_workers = static_cast<std::int64_t>(pool.size());
-  if (n <= grain || num_workers <= 1 || g_inside_pool_worker) {
-    fn(begin, end);
-    return;
-  }
-  const std::int64_t chunks = std::min(num_workers, (n + grain - 1) / grain);
-  const std::int64_t step = (n + chunks - 1) / chunks;
-  const std::int64_t total = (n + step - 1) / step;
-  std::atomic<std::int64_t> done{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  for (std::int64_t c = begin; c < end; c += step) {
-    const std::int64_t lo = c;
-    const std::int64_t hi = std::min(end, c + step);
-    pool.submit([&, lo, hi] {
-      fn(lo, hi);
-      if (done.fetch_add(1) + 1 == total) {
-        std::lock_guard lk(mu);
-        cv.notify_one();
-      }
-    });
-  }
-  std::unique_lock lk(mu);
-  cv.wait(lk, [&] { return done.load() == total; });
 }
 
 }  // namespace minsgd

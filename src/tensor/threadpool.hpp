@@ -1,11 +1,14 @@
-// ThreadPool / parallel_for: intra-op parallelism for kernels.
+// ThreadPool: the fixed-size worker pool ComputeContext builds on.
 //
-// A fixed-size pool with a blocking task queue plus a fork-join
-// parallel_for that chunks an index range across workers. On a 1-core
-// machine this degenerates to serial execution with negligible overhead;
-// kernels are written against parallel_for so they scale when cores exist.
+// A pool with a blocking task queue plus the thread-local "in parallel
+// region" flag that makes nested parallel constructs run inline. Kernels do
+// not use the pool directly anymore — they go through ComputeContext
+// (tensor/context.hpp), which owns a pool per thread budget and adds the
+// deterministic chunking policy. On a 1-core machine everything degenerates
+// to serial execution with negligible overhead.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -35,23 +38,52 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
-  /// Process-wide default pool (lazily constructed).
-  static ThreadPool& global();
+  /// Tasks completed since construction (metrics gauge feed).
+  std::int64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks queued but not yet picked up by a worker.
+  std::int64_t queue_depth() const;
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::atomic<std::int64_t> tasks_executed_{0};
 };
 
-/// Runs fn(i) for i in [begin, end), chunked over the pool.
-/// `grain` is the minimum chunk size; small ranges run inline.
+namespace detail {
+
+/// True while the calling thread executes inside a parallel region — a pool
+/// worker task, or a caller thread participating in its own region. Nested
+/// parallel constructs check this and run inline (re-entering a pool from a
+/// worker could deadlock; re-entering from a rank thread oversubscribes).
+bool in_parallel_region();
+
+/// RAII marker for a caller thread's participation in a region.
+class ParallelRegionGuard {
+ public:
+  ParallelRegionGuard();
+  ~ParallelRegionGuard();
+  ParallelRegionGuard(const ParallelRegionGuard&) = delete;
+  ParallelRegionGuard& operator=(const ParallelRegionGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace detail
+
+/// Runs fn(lo, hi) over [begin, end) using the process-wide default
+/// ComputeContext. Kept for callers with no context to thread through;
+/// defined in context.cpp.
 void parallel_for(std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t, std::int64_t)>& fn,
                   std::int64_t grain = 1024);

@@ -1,5 +1,6 @@
 #include "train/async_trainer.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <stdexcept>
@@ -38,9 +39,18 @@ AsyncResult train_async_param_server(
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(workers));
 
+  // Worker threads split one global intra-op budget, mirroring SimCluster's
+  // per-rank arithmetic: total pool workers stay <= budget.
+  const std::size_t budget = options.compute_threads != 0
+                                 ? options.compute_threads
+                                 : ComputeContext::default_threads();
+  const std::size_t per_worker =
+      std::max<std::size_t>(1, budget / static_cast<std::size_t>(workers));
+
   for (int w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
       obs::set_thread_rank(w);  // trace lane per worker
+      const ComputeContext ctx(per_worker);
       auto net = model_factory();
       Rng worker_init(options.init_seed);
       net->init(worker_init);  // allocate param storage; overwritten by pull
@@ -62,18 +72,18 @@ AsyncResult train_async_param_server(
           data::Batch batch;
           {
             obs::ScopedSpan sp("phase.data", obs::cat::kPhase);
-            batch = loader.load_train(epoch, it);
+            batch = loader.load_train(epoch, it, ctx);
           }
           net->zero_grad();
           nn::LossResult lres;
           {
             obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
-            net->forward(batch.x, logits, /*training=*/true);
-            lres = loss.forward_backward(logits, batch.labels, &dlogits);
+            net->forward(batch.x, logits, /*training=*/true, ctx);
+            lres = loss.forward_backward(logits, batch.labels, &dlogits, ctx);
           }
           {
             obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
-            net->backward(batch.x, logits, dlogits, dx);
+            net->backward(batch.x, logits, dlogits, dx, ctx);
           }
           const double lr = schedule.lr(server.updates_applied());
           auto grad = net->flatten_grads();

@@ -1,5 +1,6 @@
 #include "train/easgd.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <mutex>
@@ -40,11 +41,20 @@ EasgdResult train_easgd(
   std::atomic<bool> abort{false};
   std::atomic<double> last_loss{0.0};
 
+  // Worker threads split one global intra-op budget, mirroring SimCluster's
+  // per-rank arithmetic: total pool workers stay <= budget.
+  const std::size_t budget = options.compute_threads != 0
+                                 ? options.compute_threads
+                                 : ComputeContext::default_threads();
+  const std::size_t per_worker =
+      std::max<std::size_t>(1, budget / static_cast<std::size_t>(workers));
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
       obs::set_thread_rank(w);  // trace lane per worker
+      const ComputeContext ctx(per_worker);
       auto net = model_factory();
       Rng wrng(options.init_seed);
       net->init(wrng);  // all workers start at the center
@@ -66,22 +76,22 @@ EasgdResult train_easgd(
           data::Batch batch;
           {
             obs::ScopedSpan sp("phase.data", obs::cat::kPhase);
-            batch = loader.load_train(epoch, it);
+            batch = loader.load_train(epoch, it, ctx);
           }
           net->zero_grad();
           nn::LossResult lres;
           {
             obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
-            net->forward(batch.x, logits, /*training=*/true);
-            lres = loss.forward_backward(logits, batch.labels, &dlogits);
+            net->forward(batch.x, logits, /*training=*/true, ctx);
+            lres = loss.forward_backward(logits, batch.labels, &dlogits, ctx);
           }
           {
             obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
-            net->backward(batch.x, logits, dlogits, dx);
+            net->backward(batch.x, logits, dlogits, dx, ctx);
           }
           {
             obs::ScopedSpan sp("phase.step", obs::cat::kPhase);
-            sgd.step(params, schedule.lr(step));
+            sgd.step(params, schedule.lr(step), ctx);
           }
           last_loss.store(lres.loss, std::memory_order_relaxed);
           if (first_loss < 0) first_loss = lres.loss;

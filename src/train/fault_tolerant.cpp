@@ -75,6 +75,8 @@ FaultTolerantResult train_sync_fault_tolerant(
 
   auto rank_fn = [&](comm::Communicator& comm) {
     const int rank = comm.rank();
+    // This rank's slice of the cluster-wide compute budget.
+    const ComputeContext& ctx = comm.ctx();
     auto net = model_factory();
     Rng rng(topt.init_seed);
     net->init(rng);
@@ -120,19 +122,19 @@ FaultTolerantResult train_sync_fault_tolerant(
         data::Batch batch;
         {
           obs::ScopedSpan sp("phase.data", obs::cat::kPhase);
-          batch = loader.load_train(epoch, it);
+          batch = loader.load_train(epoch, it, ctx);
         }
         net->zero_grad();
         nn::LossResult lres;
         {
           obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
-          net->forward(batch.x, logits, /*training=*/true);
-          lres = loss.forward_backward(logits, batch.labels, &dlogits);
+          net->forward(batch.x, logits, /*training=*/true, ctx);
+          lres = loss.forward_backward(logits, batch.labels, &dlogits, ctx);
         }
         if (overlap) overlap->begin_iteration();
         {
           obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
-          net->backward(batch.x, logits, dlogits, dx);
+          net->backward(batch.x, logits, dlogits, dx, ctx);
         }
 
         // Identical update sequence to train_sync_data_parallel: rank-sum
@@ -162,9 +164,9 @@ FaultTolerantResult train_sync_fault_tolerant(
         }
         {
           obs::ScopedSpan sp("phase.step", obs::cat::kPhase);
-          scale(inv_world, flat);
+          scale(ctx, inv_world, flat);
           net->unflatten_grads(flat);
-          opt->step(params, schedule.lr(global_iter));
+          opt->step(params, schedule.lr(global_iter), ctx);
         }
 
         float stats[2] = {static_cast<float>(lres.loss),
@@ -211,7 +213,7 @@ FaultTolerantResult train_sync_fault_tolerant(
       if (rank == 0) {
         const bool eval_now = (epoch % topt.eval_every == 0) ||
                               (epoch + 1 == topt.epochs) || stop;
-        rec.test_acc = eval_now ? evaluate(*net, dataset) : 0.0;
+        rec.test_acc = eval_now ? evaluate(*net, dataset, 256, ctx) : 0.0;
         if (topt.verbose) {
           std::printf(
               "epoch %3lld  lr %.5f  loss %.4f  train_acc %.4f  test_acc "
@@ -235,7 +237,8 @@ FaultTolerantResult train_sync_fault_tolerant(
   };
 
   for (int attempt = 0;; ++attempt) {
-    comm::SimCluster cluster(world);
+    comm::SimCluster cluster(
+        comm::ClusterOptions{world, topt.compute_threads});
     if (options.recv_timeout.count() > 0) {
       cluster.set_recv_timeout(options.recv_timeout);
     }

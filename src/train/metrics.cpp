@@ -14,8 +14,9 @@
 namespace minsgd::train {
 
 double evaluate(nn::Network& net, const data::SyntheticImageNet& dataset,
-                std::int64_t eval_batch) {
+                std::int64_t eval_batch, const ComputeContext& ctx) {
   obs::ScopedSpan span("phase.eval", obs::cat::kEval);
+  span.set_threads(static_cast<int>(ctx.threads()));
   data::ShardedLoader loader(dataset, std::min<std::int64_t>(
                                            eval_batch, dataset.train_size()));
   nn::SoftmaxCrossEntropy loss;
@@ -24,8 +25,8 @@ double evaluate(nn::Network& net, const data::SyntheticImageNet& dataset,
   for (std::int64_t start = 0; start < dataset.test_size();
        start += eval_batch) {
     const auto batch = loader.load_test(start, eval_batch);
-    net.forward(batch.x, logits, /*training=*/false);
-    const auto res = loss.forward_backward(logits, batch.labels, nullptr);
+    net.forward(batch.x, logits, /*training=*/false, ctx);
+    const auto res = loss.forward_backward(logits, batch.labels, nullptr, ctx);
     correct += res.correct;
   }
   return static_cast<double>(correct) /
@@ -66,8 +67,9 @@ std::int64_t top_k_correct(const Tensor& logits,
 
 double evaluate_top_k(nn::Network& net,
                       const data::SyntheticImageNet& dataset, std::int64_t k,
-                      std::int64_t eval_batch) {
+                      std::int64_t eval_batch, const ComputeContext& ctx) {
   obs::ScopedSpan span("phase.eval", obs::cat::kEval);
+  span.set_threads(static_cast<int>(ctx.threads()));
   data::ShardedLoader loader(dataset, std::min<std::int64_t>(
                                           eval_batch, dataset.train_size()));
   Tensor logits;
@@ -75,7 +77,7 @@ double evaluate_top_k(nn::Network& net,
   for (std::int64_t start = 0; start < dataset.test_size();
        start += eval_batch) {
     const auto batch = loader.load_test(start, eval_batch);
-    net.forward(batch.x, logits, /*training=*/false);
+    net.forward(batch.x, logits, /*training=*/false, ctx);
     correct += top_k_correct(logits, batch.labels, k);
   }
   return static_cast<double>(correct) /

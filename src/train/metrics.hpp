@@ -9,6 +9,7 @@
 
 #include "data/synthetic.hpp"
 #include "nn/network.hpp"
+#include "tensor/context.hpp"
 
 namespace minsgd::train {
 
@@ -32,7 +33,8 @@ struct TrainResult {
 
 /// Top-1 accuracy of `net` on the dataset's test split (eval mode).
 double evaluate(nn::Network& net, const data::SyntheticImageNet& dataset,
-                std::int64_t eval_batch = 256);
+                std::int64_t eval_batch = 256,
+                const ComputeContext& ctx = ComputeContext::default_ctx());
 
 /// Top-k hits over a batch of logits: a sample counts if its label is among
 /// the k largest logits. k = 1 reproduces the loss head's `correct`.
@@ -43,7 +45,8 @@ std::int64_t top_k_correct(const Tensor& logits,
 /// Top-k accuracy on the test split.
 double evaluate_top_k(nn::Network& net,
                       const data::SyntheticImageNet& dataset, std::int64_t k,
-                      std::int64_t eval_batch = 256);
+                      std::int64_t eval_batch = 256,
+                      const ComputeContext& ctx = ComputeContext::default_ctx());
 
 // -- training-curve export --------------------------------------------------
 // The paper's accuracy claims are curves (Figures 1, 4, 5); these dump any

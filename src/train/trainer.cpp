@@ -42,6 +42,10 @@ TrainResult train_single(nn::Network& net, optim::Optimizer& opt,
   }
   Rng init_rng(options.init_seed);
   net.init(init_rng);
+  // The single-process trainer owns the whole intra-op budget.
+  const ComputeContext ctx(options.compute_threads != 0
+                               ? options.compute_threads
+                               : ComputeContext::default_threads());
   data::ShardedLoader loader(dataset, options.global_batch, 0, 1,
                              options.augment);
   nn::SoftmaxCrossEntropy loss;
@@ -70,17 +74,17 @@ TrainResult train_single(nn::Network& net, optim::Optimizer& opt,
         data::Batch batch;
         {
           obs::ScopedSpan sp("phase.data", obs::cat::kPhase);
-          batch = loader.load_train(epoch, it * accum + micro);
+          batch = loader.load_train(epoch, it * accum + micro, ctx);
         }
         nn::LossResult lres;
         {
           obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
-          net.forward(batch.x, logits, /*training=*/true);
-          lres = loss.forward_backward(logits, batch.labels, &dlogits);
+          net.forward(batch.x, logits, /*training=*/true, ctx);
+          lres = loss.forward_backward(logits, batch.labels, &dlogits, ctx);
         }
         {
           obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
-          net.backward(batch.x, logits, dlogits, dx);
+          net.backward(batch.x, logits, dlogits, dx, ctx);
         }
         step_loss += lres.loss;
         epoch_correct += lres.correct;
@@ -91,9 +95,9 @@ TrainResult train_single(nn::Network& net, optim::Optimizer& opt,
         if (accum > 1) {
           // Average the accumulated micro-batch gradients so the update is
           // the mean over the effective batch.
-          for (auto& p : params) scale(inv_accum, p.grad->span());
+          for (auto& p : params) scale(ctx, inv_accum, p.grad->span());
         }
-        opt.step(params, schedule.lr(global_iter));
+        opt.step(params, schedule.lr(global_iter), ctx);
       }
       epoch_loss += step_loss;
       ++res.iterations_run;
@@ -103,7 +107,7 @@ TrainResult train_single(nn::Network& net, optim::Optimizer& opt,
            step_loss > options.divergence_factor * first_loss)) {
         res.diverged = true;
         EpochRecord rec{epoch, epoch_lr, step_loss,
-                        0.0, evaluate(net, dataset)};
+                        0.0, evaluate(net, dataset, 256, ctx)};
         res.epochs.push_back(rec);
         maybe_print(options, rec);
         finalize(res);
@@ -119,7 +123,7 @@ TrainResult train_single(nn::Network& net, optim::Optimizer& opt,
         static_cast<double>(iters * accum * options.global_batch);
     const bool eval_now = (epoch % options.eval_every == 0) ||
                           (epoch + 1 == options.epochs);
-    rec.test_acc = eval_now ? evaluate(net, dataset) : 0.0;
+    rec.test_acc = eval_now ? evaluate(net, dataset, 256, ctx) : 0.0;
     res.epochs.push_back(rec);
     maybe_print(options, rec);
   }
@@ -152,11 +156,16 @@ DistResult train_sync_data_parallel(
         "train_sync_data_parallel: overlap_comm is incompatible with "
         "compress_one_bit");
   }
-  comm::SimCluster cluster(world);
+  // The P rank threads split one global intra-op budget between them
+  // instead of oversubscribing P copies of a process-wide pool.
+  comm::SimCluster cluster(
+      comm::ClusterOptions{world, options.compute_threads});
   DistResult out;
   std::mutex result_mu;
 
   cluster.run([&](comm::Communicator& comm) {
+    // This rank's slice of the cluster-wide compute budget.
+    const ComputeContext& ctx = comm.ctx();
     // Every rank builds an identical replica (same init seed).
     auto net = model_factory();
     Rng init_rng(options.init_seed);
@@ -195,14 +204,14 @@ DistResult train_sync_data_parallel(
         data::Batch batch;
         {
           obs::ScopedSpan sp("phase.data", obs::cat::kPhase);
-          batch = loader.load_train(epoch, it);
+          batch = loader.load_train(epoch, it, ctx);
         }
         net->zero_grad();
         nn::LossResult lres;
         {
           obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
-          net->forward(batch.x, logits, /*training=*/true);
-          lres = loss.forward_backward(logits, batch.labels, &dlogits);
+          net->forward(batch.x, logits, /*training=*/true, ctx);
+          lres = loss.forward_backward(logits, batch.labels, &dlogits, ctx);
         }
         if (overlap) overlap->begin_iteration();
         {
@@ -210,7 +219,7 @@ DistResult train_sync_data_parallel(
           // With overlap on, the gradient-ready hook fires in here: each
           // finalized layer is copied into the flat buffer and full buckets
           // launch on the comm worker while later layers still compute.
-          net->backward(batch.x, logits, dlogits, dx);
+          net->backward(batch.x, logits, dlogits, dx, ctx);
         }
 
         // Sum gradients across ranks, then average: each local gradient is
@@ -263,9 +272,9 @@ DistResult train_sync_data_parallel(
         }
         {
           obs::ScopedSpan sp("phase.step", obs::cat::kPhase);
-          scale(inv_world, flat);
+          scale(ctx, inv_world, flat);
           net->unflatten_grads(flat);
-          opt->step(params, schedule.lr(global_iter));
+          opt->step(params, schedule.lr(global_iter), ctx);
         }
 
         // Aggregate the loss/accuracy scalars for reporting.
@@ -295,7 +304,7 @@ DistResult train_sync_data_parallel(
       if (comm.rank() == 0) {
         const bool eval_now = (epoch % options.eval_every == 0) ||
                               (epoch + 1 == options.epochs) || stop;
-        rec.test_acc = eval_now ? evaluate(*net, dataset) : 0.0;
+        rec.test_acc = eval_now ? evaluate(*net, dataset, 256, ctx) : 0.0;
         maybe_print(options, rec);
       }
       res.epochs.push_back(rec);

@@ -70,6 +70,14 @@ struct TrainOptions {
   /// epoch permutation makes consecutive micro-batches exactly the large
   /// batch's shards).
   std::int64_t accumulation_steps = 1;
+  /// Intra-op compute thread budget. train_single gives the whole budget to
+  /// its one replica; train_sync_data_parallel (and the other multi-replica
+  /// trainers) split it across rank/worker threads via ClusterOptions so the
+  /// total number of live pool workers never exceeds it. 0 means
+  /// ComputeContext::default_threads() (MINSGD_THREADS env var, else
+  /// hardware concurrency). Chunking is thread-count-invariant, so trained
+  /// weights are bit-identical for any value.
+  std::size_t compute_threads = 0;
 };
 
 /// Sequential reference trainer.
