@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# check_all.sh — the full verification matrix in one command:
+#
+#   lint         tools/lint/minsgd_lint.py over src/ tests/ bench/ examples/
+#                plus its fixture self-test
+#   build        default (RelWithDebInfo) configure + build
+#   tier1        full ctest suite in the default build
+#   asan-ubsan   rebuild with MINSGD_SANITIZE=address,undefined
+#                (-fno-sanitize-recover=all, no suppression files) and run
+#                the full tier-1 suite under it
+#   tier2-tsan   scripts/tsan_tier2.sh: thread-heavy suites under
+#                MINSGD_SANITIZE=thread (ctest -L tier2-tsan)
+#
+# Every stage runs even if an earlier one fails (so one invocation reports
+# the whole matrix); the exit code is non-zero if any stage failed.
+#
+# Usage: scripts/check_all.sh [--skip-tsan] [--skip-asan]
+set -u
+
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+SKIP_ASAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-asan) SKIP_ASAN=1 ;;
+    *) echo "usage: $0 [--skip-tsan] [--skip-asan]" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc)"
+declare -a STAGE_NAMES=()
+declare -a STAGE_RESULTS=()
+
+run_stage() {
+  local name="$1"
+  shift
+  echo
+  echo "=== stage: $name ==="
+  if "$@"; then
+    STAGE_NAMES+=("$name"); STAGE_RESULTS+=("pass")
+    return 0
+  else
+    STAGE_NAMES+=("$name"); STAGE_RESULTS+=("FAIL")
+    return 1
+  fi
+}
+
+skip_stage() {
+  STAGE_NAMES+=("$1"); STAGE_RESULTS+=("skipped")
+}
+
+lint_stage() {
+  python3 tools/lint/minsgd_lint.py src tests bench examples &&
+    python3 tools/lint/minsgd_lint.py --self-test
+}
+
+build_stage() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
+    cmake --build build -j"$JOBS"
+}
+
+tier1_stage() {
+  ctest --test-dir build -j"$JOBS" --output-on-failure
+}
+
+asan_ubsan_stage() {
+  # MINSGD_DCHECK=ON arms the debug invariant layer (tensor bounds, layer
+  # contracts) in the same run that arms ASan+UBSan.
+  cmake -B build-asan-ubsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMINSGD_SANITIZE=address,undefined \
+    -DMINSGD_DCHECK=ON &&
+    cmake --build build-asan-ubsan -j"$JOBS" &&
+    ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    ctest --test-dir build-asan-ubsan -j"$JOBS" --output-on-failure
+}
+
+tsan_stage() {
+  scripts/tsan_tier2.sh
+}
+
+FAILED=0
+run_stage "lint" lint_stage || FAILED=1
+if run_stage "build" build_stage; then
+  run_stage "tier1" tier1_stage || FAILED=1
+else
+  FAILED=1
+  skip_stage "tier1"
+fi
+if [ "$SKIP_ASAN" -eq 1 ]; then
+  skip_stage "asan-ubsan"
+else
+  run_stage "asan-ubsan" asan_ubsan_stage || FAILED=1
+fi
+if [ "$SKIP_TSAN" -eq 1 ]; then
+  skip_stage "tier2-tsan"
+else
+  run_stage "tier2-tsan" tsan_stage || FAILED=1
+fi
+
+echo
+echo "=== check_all summary ==="
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '  %-12s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+done
+if [ "$FAILED" -ne 0 ]; then
+  echo "check_all: FAILED"
+  exit 1
+fi
+echo "check_all: all stages passed"

@@ -5,6 +5,7 @@
 
 #include "comm/cluster.hpp"
 #include "comm/fault.hpp"
+#include "core/check.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
@@ -51,12 +52,14 @@ WireOp wire_op(AllreduceAlgo algo) {
 
 Communicator::Communicator(SimCluster& cluster, int rank, int channel)
     : cluster_(cluster), rank_(rank) {
-  if (rank < 0 || rank >= cluster.world()) {
-    throw std::invalid_argument("Communicator: rank out of range");
-  }
-  if (channel < 0 || channel >= kMaxChannels) {
-    throw std::invalid_argument("Communicator: channel out of range");
-  }
+  // Construction is cluster-internal (SimCluster::run, the async engine);
+  // a bad rank or channel is a wiring bug, not recoverable input.
+  MINSGD_CHECK(rank >= 0 && rank < cluster.world(),
+               "Communicator: rank ", rank, " outside world ",
+               cluster.world());
+  MINSGD_CHECK(channel >= 0 && channel < kMaxChannels,
+               "Communicator: channel ", channel, " outside [0, ",
+               kMaxChannels, ")");
   tag_base_ = kCollectiveBase + channel * kChannelStride;
 }
 
@@ -68,6 +71,13 @@ const ComputeContext& Communicator::ctx() const {
 
 void Communicator::send(int dst, std::int64_t tag,
                         std::span<const float> data) {
+  // Tag-space discipline: non-negative, and below the end of the channelized
+  // collective space. P2P callers must stay under kCollectiveBase; the only
+  // tags at or above it are minted by next_collective_tag (lint rule
+  // `collective-tag` keeps it that way).
+  MINSGD_CHECK(tag >= 0 && tag < kCollectiveBase + std::int64_t{kMaxChannels} *
+                                                       kChannelStride,
+               "Communicator::send: tag ", tag, " outside the tag space");
   if (dst < 0 || dst >= world()) {
     throw std::invalid_argument("Communicator::send: bad destination");
   }
@@ -106,6 +116,9 @@ std::vector<float> Communicator::recv(int src, std::int64_t tag) {
 
 std::vector<float> Communicator::recv_for(int src, std::int64_t tag,
                                           std::chrono::milliseconds timeout) {
+  MINSGD_CHECK(tag >= 0 && tag < kCollectiveBase + std::int64_t{kMaxChannels} *
+                                                       kChannelStride,
+               "Communicator::recv: tag ", tag, " outside the tag space");
   if (src < 0 || src >= world()) {
     throw std::invalid_argument("Communicator::recv: bad source");
   }
@@ -141,9 +154,11 @@ void Communicator::broadcast(std::span<float> data, int root) {
     if (vrank & mask) {
       const int vsrc = vrank - mask;
       auto payload = recv((vsrc + root) % p, tag);
-      if (payload.size() != data.size()) {
-        throw std::logic_error("broadcast: payload size mismatch");
-      }
+      // All ranks pass same-shaped buffers to a collective; a mismatch means
+      // the SPMD program diverged, which no rank can recover from.
+      MINSGD_CHECK(payload.size() == data.size(),
+                   "broadcast: payload size mismatch (", payload.size(),
+                   " vs ", data.size(), ")");
       std::copy(payload.begin(), payload.end(), data.begin());
       break;
     }
@@ -172,9 +187,9 @@ void Communicator::reduce_sum(std::span<float> data, int root) {
     if ((vrank & mask) == 0) {
       if (vrank + mask < p) {
         auto payload = recv(((vrank + mask) + root) % p, tag);
-        if (payload.size() != data.size()) {
-          throw std::logic_error("reduce_sum: payload size mismatch");
-        }
+        MINSGD_CHECK(payload.size() == data.size(),
+                     "reduce_sum: payload size mismatch (", payload.size(),
+                     " vs ", data.size(), ")");
         axpy(1.0f, payload, data);
       }
     } else {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/check.hpp"
 #include "tensor/context.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/shape.hpp"
@@ -55,15 +56,24 @@ class Layer {
   /// y = f(x). `training` toggles train-time behaviour (dropout, BN stats).
   /// `ctx` supplies the intra-op thread budget; results are bit-identical
   /// for any thread count (see tensor/context.hpp for the chunking rules).
+  /// Precondition (checked): x is non-empty.
   void forward(const Tensor& x, Tensor& y, bool training,
                const ComputeContext& ctx = ComputeContext::default_ctx()) {
+    MINSGD_CHECK(!x.empty(), name(), "::forward: empty input");
     do_forward(x, y, training, ctx);
   }
 
   /// Given dL/dy, accumulates parameter gradients and writes dL/dx.
   /// Must be called with the same (x, y) the preceding forward produced.
+  /// Preconditions (checked): dy is shaped like y, and x matches what the
+  /// preceding forward consumed (dy.shape == y.shape is the generic part;
+  /// layers check their own cached-state contracts).
   void backward(const Tensor& x, const Tensor& y, const Tensor& dy, Tensor& dx,
                 const ComputeContext& ctx = ComputeContext::default_ctx()) {
+    MINSGD_CHECK(!x.empty(), name(), "::backward: empty input");
+    MINSGD_CHECK(dy.shape() == y.shape(), name(),
+                 "::backward: dy/y shape mismatch (", dy.numel(), " vs ",
+                 y.numel(), " elements)");
     do_backward(x, y, dy, dx, ctx);
   }
 

@@ -8,29 +8,27 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/io.hpp"
+
 namespace minsgd::nn {
 namespace {
 
 constexpr char kMagic[4] = {'M', 'S', 'G', 'D'};
 
-void write_u32(std::ostream& out, std::uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+void write_u32(std::ostream& out, std::uint32_t v) { core::write_pod(out, v); }
 
-void write_u64(std::ostream& out, std::uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
+void write_u64(std::ostream& out, std::uint64_t v) { core::write_pod(out, v); }
 
 std::uint32_t read_u32(std::istream& in) {
   std::uint32_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  core::read_pod(in, v);
   if (!in) throw std::runtime_error("checkpoint: truncated (u32)");
   return v;
 }
 
 std::uint64_t read_u64(std::istream& in) {
   std::uint64_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  core::read_pod(in, v);
   if (!in) throw std::runtime_error("checkpoint: truncated (u64)");
   return v;
 }
@@ -62,8 +60,7 @@ void save_checkpoint(Network& net, std::ostream& out, std::uint32_t version) {
     write_u64(out, e.name.size());
     out.write(e.name.data(), static_cast<std::streamsize>(e.name.size()));
     write_u64(out, static_cast<std::uint64_t>(e.value->numel()));
-    out.write(reinterpret_cast<const char*>(e.value->data()),
-              static_cast<std::streamsize>(e.value->numel() * sizeof(float)));
+    core::write_f32(out, e.value->span());
   }
   if (!out) throw std::runtime_error("checkpoint: write failed");
 }
@@ -109,8 +106,7 @@ void load_checkpoint(Network& net, std::istream& in) {
       throw std::runtime_error("checkpoint: size mismatch for '" + name +
                                "'");
     }
-    in.read(reinterpret_cast<char*>(it->second->data()),
-            static_cast<std::streamsize>(numel * sizeof(float)));
+    core::read_f32(in, it->second->span());
     if (!in) throw std::runtime_error("checkpoint: truncated (data)");
   }
 }

@@ -5,33 +5,31 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/io.hpp"
+
 namespace minsgd::optim::detail {
 
 void save_tensor_vector(std::ostream& out, const std::vector<Tensor>& v) {
-  const auto count = static_cast<std::uint64_t>(v.size());
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  core::write_pod(out, static_cast<std::uint64_t>(v.size()));
   for (const auto& t : v) {
-    const auto n = static_cast<std::uint64_t>(t.numel());
-    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
-    out.write(reinterpret_cast<const char*>(t.data()),
-              static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    core::write_pod(out, static_cast<std::uint64_t>(t.numel()));
+    core::write_f32(out, t.span());
   }
   if (!out) throw std::runtime_error("optimizer state: write failed");
 }
 
 void load_tensor_vector(std::istream& in, std::vector<Tensor>& v) {
   std::uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  core::read_pod(in, count);
   if (!in) throw std::runtime_error("optimizer state: truncated");
   v.clear();
   v.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     std::uint64_t n = 0;
-    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    core::read_pod(in, n);
     if (!in) throw std::runtime_error("optimizer state: truncated");
     Tensor t({static_cast<std::int64_t>(n)});
-    in.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(n * sizeof(float)));
+    core::read_f32(in, t.span());
     if (!in) throw std::runtime_error("optimizer state: truncated");
     v.push_back(std::move(t));
   }

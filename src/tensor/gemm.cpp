@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
-#include <stdexcept>
 #include <vector>
 
+#include "core/check.hpp"
 #include "tensor/context.hpp"
 
 namespace minsgd {
@@ -84,8 +84,15 @@ void sgemm(const ComputeContext& ctx, Trans ta, Trans tb, std::int64_t m,
            std::int64_t n, std::int64_t k, float alpha, const float* a,
            std::int64_t lda, const float* b, std::int64_t ldb, float beta,
            float* c, std::int64_t ldc) {
-  if (m < 0 || n < 0 || k < 0) throw std::invalid_argument("sgemm: bad dims");
+  MINSGD_CHECK(m >= 0 && n >= 0 && k >= 0, "sgemm: bad dims (m=", m, " n=", n,
+               " k=", k, ")");
   if (m == 0 || n == 0) return;
+  MINSGD_DCHECK(c != nullptr, "sgemm: null C with m=", m, " n=", n);
+  MINSGD_DCHECK(k == 0 || (a != nullptr && b != nullptr),
+                "sgemm: null A/B with k=", k);
+  MINSGD_DCHECK(lda >= 1 && ldb >= 1 && ldc >= n,
+                "sgemm: bad leading dims (lda=", lda, " ldb=", ldb,
+                " ldc=", ldc, ", n=", n, ")");
 
   // Scale C by beta once, up front.
   if (beta == 0.0f) {

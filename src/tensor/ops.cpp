@@ -4,14 +4,17 @@
 #include <cmath>
 #include <cstring>
 #include <string>
-#include <stdexcept>
 
+#include "core/check.hpp"
 #include "tensor/context.hpp"
 
 namespace minsgd {
 namespace {
+// BLAS-1 span-size agreement is a caller invariant (layers pass views of
+// tensors they shaped themselves), so violations abort via the check layer
+// rather than throwing.
 void check_same_size(std::size_t a, std::size_t b, const char* what) {
-  if (a != b) throw std::invalid_argument(std::string(what) + ": size mismatch");
+  MINSGD_CHECK(a == b, what, ": size mismatch (", a, " vs ", b, ")");
 }
 
 // Elementwise ops amortize fork-join over this many elements per chunk.
@@ -49,7 +52,7 @@ double sum(std::span<const float> x) {
 }
 
 float max_value(std::span<const float> x) {
-  if (x.empty()) throw std::invalid_argument("max_value: empty span");
+  MINSGD_CHECK(!x.empty(), "max_value: empty span");
   return *std::max_element(x.begin(), x.end());
 }
 
@@ -77,9 +80,9 @@ void relu_inplace(std::span<float> x) {
 }
 
 void softmax_rows(std::span<float> x, std::int64_t rows, std::int64_t cols) {
-  if (static_cast<std::int64_t>(x.size()) != rows * cols) {
-    throw std::invalid_argument("softmax_rows: size mismatch");
-  }
+  MINSGD_CHECK(static_cast<std::int64_t>(x.size()) == rows * cols,
+               "softmax_rows: size mismatch (", x.size(), " vs ", rows, "x",
+               cols, ")");
   for (std::int64_t r = 0; r < rows; ++r) {
     float* row = x.data() + r * cols;
     float m = row[0];

@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "core/check.hpp"
 #include "tensor/shape.hpp"
 
 namespace minsgd {
@@ -38,25 +39,47 @@ class Tensor {
   std::span<float> span() { return {data_.data(), data_.size()}; }
   std::span<const float> span() const { return {data_.data(), data_.size()}; }
 
-  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
-  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+  // Indexing is the innermost-loop hot path, so bounds checks are
+  // MINSGD_DCHECK: free in release builds, armed in Debug or with
+  // -DMINSGD_DCHECK=ON (scripts/check_all.sh arms them in the
+  // address,undefined tier).
+  float& operator[](std::int64_t i) {
+    MINSGD_DCHECK(i >= 0 && i < numel(), "Tensor[", i, "] of ", numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](std::int64_t i) const {
+    MINSGD_DCHECK(i >= 0 && i < numel(), "Tensor[", i, "] of ", numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
 
   /// 2-D indexing (rows, cols) for matrices.
   float& at(std::int64_t r, std::int64_t c) {
-    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+    const std::int64_t i = r * shape_[1] + c;
+    MINSGD_DCHECK(i >= 0 && i < numel(),
+                  "Tensor::at(", r, ",", c, ") out of bounds");
+    return data_[static_cast<std::size_t>(i)];
   }
   float at(std::int64_t r, std::int64_t c) const {
-    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+    const std::int64_t i = r * shape_[1] + c;
+    MINSGD_DCHECK(i >= 0 && i < numel(),
+                  "Tensor::at(", r, ",", c, ") out of bounds");
+    return data_[static_cast<std::size_t>(i)];
   }
 
   /// 4-D NCHW indexing.
   float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
-    return data_[static_cast<std::size_t>(
-        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+    const std::int64_t i =
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+    MINSGD_DCHECK(i >= 0 && i < numel(), "Tensor::at(", n, ",", c, ",", h,
+                  ",", w, ") out of bounds");
+    return data_[static_cast<std::size_t>(i)];
   }
   float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const {
-    return data_[static_cast<std::size_t>(
-        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
+    const std::int64_t i =
+        ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+    MINSGD_DCHECK(i >= 0 && i < numel(), "Tensor::at(", n, ",", c, ",", h,
+                  ",", w, ") out of bounds");
+    return data_[static_cast<std::size_t>(i)];
   }
 
   /// Sets every element to `value`.

@@ -8,6 +8,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/io.hpp"
 #include "nn/serialize.hpp"
 
 namespace minsgd::train {
@@ -19,13 +20,13 @@ constexpr char kModelMagic[4] = {'M', 'S', 'G', 'D'};  // nn::serialize's
 
 template <typename T>
 void write_pod(std::ostream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  core::write_pod(out, v);
 }
 
 template <typename T>
 T read_pod(std::istream& in, const char* what) {
   T v{};
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  core::read_pod(in, v);
   if (!in) {
     throw std::runtime_error(std::string("train checkpoint: truncated (") +
                              what + ")");
@@ -52,6 +53,17 @@ RngState read_rng_state(std::istream& in, const char* what) {
 void save_train_checkpoint(std::ostream& out, nn::Network& net,
                            const optim::Optimizer& opt,
                            const TrainCheckpoint& meta) {
+  // Save-side header fields are produced by the trainer, never by external
+  // input: nonsense here is a trainer bug and would poison every resume, so
+  // it aborts instead of writing a plausible-looking file. (Load-side
+  // validation of the *file* stays exception-based — a corrupt checkpoint is
+  // recoverable input, and the fault-tolerant trainer relies on that.)
+  MINSGD_CHECK(meta.world >= 1, "train checkpoint: world=", meta.world);
+  MINSGD_CHECK(meta.global_batch >= 1,
+               "train checkpoint: global_batch=", meta.global_batch);
+  MINSGD_CHECK(meta.epoch >= 0 && meta.iter >= 0 && meta.global_iter >= 0,
+               "train checkpoint: negative progress (epoch=", meta.epoch,
+               " iter=", meta.iter, " global_iter=", meta.global_iter, ")");
   out.write(kMagic, sizeof(kMagic));
   write_pod(out, kTrainCheckpointVersion);
   write_pod(out, meta.epoch);

@@ -1,0 +1,77 @@
+// MINSGD_CHECK / MINSGD_DCHECK (src/core/check.hpp): death on violation,
+// message content (expression, streamed context, source location), argument
+// evaluation, and the compiled-out DCHECK branch.
+#include "core/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace {
+
+TEST(CheckDeath, FailingCheckAbortsWithExpressionAndLocation) {
+  EXPECT_DEATH(MINSGD_CHECK(1 + 1 == 3),
+               "MINSGD_CHECK failed: 1 \\+ 1 == 3.*test_check\\.cpp:");
+}
+
+TEST(CheckDeath, MessageArgumentsAreStreamedIntoTheFailure) {
+  const std::int64_t got = 7, want = 12;
+  EXPECT_DEATH(
+      MINSGD_CHECK(got == want, "size mismatch: got ", got, ", want ", want),
+      "size mismatch: got 7, want 12");
+}
+
+TEST(Check, PassingCheckIsANoOp) {
+  MINSGD_CHECK(2 + 2 == 4);
+  MINSGD_CHECK(true, "message not evaluated on success");
+  SUCCEED();
+}
+
+TEST(Check, ConditionIsEvaluatedExactlyOnce) {
+  int calls = 0;
+  MINSGD_CHECK([&] {
+    ++calls;
+    return true;
+  }());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, WorksInsideExpressionsWithCommas) {
+  // The variadic macro must swallow commas in both condition parentheses and
+  // message arguments.
+  MINSGD_CHECK(std::max(1, 2) == 2, "max(", 1, ",", 2, ")");
+  SUCCEED();
+}
+
+TEST(DCheckDisabled, OffBranchDoesNotEvaluateArguments) {
+  // MINSGD_DCHECK_DISABLED is the exact expansion DCHECK uses when compiled
+  // out (NDEBUG without MINSGD_DCHECK_ON); neither the condition nor the
+  // message may be evaluated.
+  int evaluations = 0;
+  auto bump = [&] {
+    ++evaluations;
+    return false;  // would abort if evaluated and checked
+  };
+  MINSGD_DCHECK_DISABLED(bump(), "message ", bump());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(DCheck, ActiveBranchMatchesBuildConfiguration) {
+#if MINSGD_DCHECK_ENABLED
+  EXPECT_DEATH(MINSGD_DCHECK(false, "dcheck fires in this build"),
+               "MINSGD_CHECK failed: false.*dcheck fires in this build");
+#else
+  // Compiled out: a false condition must be ignored, not aborted on.
+  MINSGD_DCHECK(false, "dcheck is compiled out in this build");
+  SUCCEED();
+#endif
+}
+
+TEST(DCheck, PassingDCheckIsANoOpInEveryConfiguration) {
+  MINSGD_DCHECK(2 + 2 == 4, "never fails");
+  SUCCEED();
+}
+
+}  // namespace

@@ -50,6 +50,8 @@ TEST(MailboxTimeout, TimesOutOnMissingMessage) {
 
 TEST(MailboxTimeout, DeliveredMessageBeatsDeadline) {
   Mailbox mb;
+  // minsgd-lint: allow(thread-spawn): test needs a raw producer thread to
+  // race a real delivery against the mailbox deadline.
   std::thread producer([&] {
     std::this_thread::sleep_for(10ms);
     mb.deliver(Message{0, 7, {1.0f, 2.0f}});
@@ -62,6 +64,8 @@ TEST(MailboxTimeout, DeliveredMessageBeatsDeadline) {
 
 TEST(MailboxTimeout, AbortWakesWaiter) {
   Mailbox mb;
+  // minsgd-lint: allow(thread-spawn): test needs a raw thread to abort the
+  // mailbox out from under a blocked waiter.
   std::thread aborter([&] {
     std::this_thread::sleep_for(10ms);
     mb.abort();

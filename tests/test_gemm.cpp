@@ -102,10 +102,10 @@ TEST(Gemm, EmptyDimsNoOp) {
   EXPECT_EQ(c[0], 7.0f);
 }
 
-TEST(Gemm, NegativeDimsThrow) {
-  EXPECT_THROW(sgemm(Trans::kNo, Trans::kNo, -1, 2, 2, 1.0f, nullptr, nullptr,
+TEST(GemmDeath, NegativeDimsAbort) {
+  EXPECT_DEATH(sgemm(Trans::kNo, Trans::kNo, -1, 2, 2, 1.0f, nullptr, nullptr,
                      0.0f, nullptr),
-               std::invalid_argument);
+               "sgemm: bad dims \\(m=-1 n=2 k=2\\)");
 }
 
 TEST(Gemm, StridedLeadingDimensions) {

@@ -188,6 +188,8 @@ TEST_F(ObsTest, SummaryGroupsByCategoryAndName) {
 TEST_F(ObsTest, ConcurrentSpansFromThreadPoolProduceValidChromeTrace) {
   obs::tracer().set_enabled(true);
   constexpr int kTasks = 64;
+  // minsgd-lint: allow(thread-spawn): the tracer's per-thread buffers are
+  // exercised from a raw pool here to test cross-thread span collection.
   ThreadPool pool(4);
   for (int t = 0; t < kTasks; ++t) {
     pool.submit([t] {

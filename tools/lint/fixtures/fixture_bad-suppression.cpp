@@ -1,0 +1,5 @@
+// Fixture: allow() naming a rule that does not exist.
+// Expected finding: [bad-suppression]
+
+// minsgd-lint: allow(made-up-rule): justification for a rule nobody defined
+inline int three() { return 3; }

@@ -1,0 +1,7 @@
+// Fixture: hand-minted tag in the reserved collective tag space.
+// Expected finding: [collective-tag]
+#include <cstdint>
+
+std::int64_t my_private_tag(int channel) {
+  return (std::int64_t{1} << 40) + channel;
+}

@@ -1,0 +1,6 @@
+// Fixture: header without #pragma once, with an upward-relative include and
+// a C header spelling. Expected finding: [include-hygiene]
+#include "../tensor/ops.hpp"
+#include <stdint.h>
+
+inline int three() { return 3; }

@@ -1,0 +1,8 @@
+// Fixture: naked assert() where MINSGD_CHECK / MINSGD_DCHECK is required.
+// Expected finding: [naked-assert]
+#include <cassert>
+
+int halve(int n) {
+  assert(n % 2 == 0);
+  return n / 2;
+}

@@ -1,0 +1,8 @@
+// Fixture: std::random_device used outside src/tensor/rng.*.
+// Expected finding: [rng-source]
+#include <random>
+
+unsigned draw() {
+  std::random_device rd;
+  return rd();
+}

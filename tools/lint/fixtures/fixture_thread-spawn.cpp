@@ -1,0 +1,8 @@
+// Fixture: raw std::thread spawn outside the context/comm layer.
+// Expected finding: [thread-spawn]
+#include <thread>
+
+void spawn_worker() {
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,9 @@
+// Fixture: `using namespace` at header scope.
+// Expected finding: [using-namespace-header]
+#pragma once
+
+#include <string>
+
+using namespace std;
+
+inline string greet() { return "hi"; }
