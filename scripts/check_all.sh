@@ -7,9 +7,15 @@
 #   tier1        full ctest suite in the default build
 #   asan-ubsan   rebuild with MINSGD_SANITIZE=address,undefined
 #                (-fno-sanitize-recover=all, no suppression files) and run
-#                the full tier-1 suite under it
+#                the full tier-1 suite under it — includes the elastic
+#                membership suite (test_elastic), whose fault-injected
+#                shrink->grow->shrink soak exercises checkpoint bytes on
+#                the wire and reconfiguration retries under ASan/UBSan
 #   tier2-tsan   scripts/tsan_tier2.sh: thread-heavy suites under
-#                MINSGD_SANITIZE=thread (ctest -L tier2-tsan)
+#                MINSGD_SANITIZE=thread (ctest -L tier2-tsan); test_elastic
+#                runs here too — the coordinator's rendezvous/watchdog and
+#                the overlap comm worker across generation changes must be
+#                TSan-clean
 #
 # Every stage runs even if an earlier one fails (so one invocation reports
 # the whole matrix); the exit code is non-zero if any stage failed.

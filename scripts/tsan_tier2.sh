@@ -5,7 +5,9 @@
 # rank threads, and each rank now drives its own ComputeContext worker
 # pool (nested parallelism), so test_comm / test_train / test_overlap /
 # test_context / test_determinism must stay TSan-clean for the overlap and
-# intra-op paths to be trusted.
+# intra-op paths to be trusted. test_elastic joins the gate: the elastic
+# coordinator's rendezvous/watchdog and communicator re-forms across
+# generations add cross-thread handoffs that must also be race-free.
 #
 # Usage: scripts/tsan_tier2.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -18,7 +20,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DMINSGD_SANITIZE=thread
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_comm test_train test_overlap test_context test_determinism
+  --target test_comm test_train test_overlap test_context test_determinism test_elastic
 
 # TSan findings must fail the gate, not just print.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 exitcode=66}"

@@ -27,6 +27,11 @@ AsyncCollectiveEngine::AsyncCollectiveEngine(SimCluster& cluster, int rank)
   worker_ = std::thread([this] { worker_loop(); });
 }
 
+AsyncCollectiveEngine::AsyncCollectiveEngine(const Communicator& parent)
+    : comm_(parent, /*channel=*/1), rank_(parent.physical_rank()) {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
 AsyncCollectiveEngine::~AsyncCollectiveEngine() { shutdown(); }
 
 void AsyncCollectiveEngine::shutdown() {

@@ -85,6 +85,11 @@ class AllreduceHandle {
 class AsyncCollectiveEngine {
  public:
   AsyncCollectiveEngine(SimCluster& cluster, int rank);
+
+  /// Engine over the same group (membership + generation) as `parent`, on
+  /// the async channel — how gradient overlap follows an elastic
+  /// reconfiguration onto the survivor communicator.
+  explicit AsyncCollectiveEngine(const Communicator& parent);
   ~AsyncCollectiveEngine();
 
   AsyncCollectiveEngine(const AsyncCollectiveEngine&) = delete;

@@ -133,20 +133,44 @@ void AbortableBarrier::reset() {
 
 SimCluster::SimCluster(const ClusterOptions& options)
     : world_(checked_world(options.world)),
+      compute_budget_(options.compute_threads != 0
+                          ? options.compute_threads
+                          : ComputeContext::default_threads()),
       meter_(static_cast<std::size_t>(world_)),
       barrier_(world_) {
   // Split the global intra-op budget across ranks so total live worker
   // threads stay <= budget no matter how large the simulated world is.
-  const std::size_t budget = options.compute_threads != 0
-                                 ? options.compute_threads
-                                 : ComputeContext::default_threads();
-  const std::size_t per_rank =
-      std::max<std::size_t>(1, budget / static_cast<std::size_t>(world_));
+  const std::size_t per_rank = std::max<std::size_t>(
+      1, compute_budget_ / static_cast<std::size_t>(world_));
   rank_contexts_.reserve(static_cast<std::size_t>(world_));
   mailboxes_.reserve(static_cast<std::size_t>(world_));
   for (int r = 0; r < world_; ++r) {
     rank_contexts_.push_back(std::make_unique<ComputeContext>(per_rank));
     mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void SimCluster::reset_transport() {
+  for (auto& mb : mailboxes_) mb->clear();
+  barrier_.reset();
+  aborted_.store(false, std::memory_order_release);
+  std::lock_guard lk(abort_mu_);
+  abort_reason_.clear();
+}
+
+void SimCluster::reshape_compute(const std::vector<int>& active) {
+  const std::size_t members = std::max<std::size_t>(1, active.size());
+  const std::size_t per_rank =
+      std::max<std::size_t>(1, compute_budget_ / members);
+  std::vector<bool> is_active(static_cast<std::size_t>(world_), false);
+  for (int r : active) is_active[static_cast<std::size_t>(r)] = true;
+  for (int r = 0; r < world_; ++r) {
+    const std::size_t want =
+        is_active[static_cast<std::size_t>(r)] ? per_rank : 1;
+    auto& ctx = rank_contexts_[static_cast<std::size_t>(r)];
+    if (ctx->threads() != want) {
+      ctx = std::make_unique<ComputeContext>(want);
+    }
   }
 }
 
@@ -264,13 +288,7 @@ std::string SimCluster::abort_reason() const {
 void SimCluster::run(const std::function<void(Communicator&)>& fn) {
   // A fresh run must not see leftovers of an aborted predecessor: stale
   // undelivered messages would match the new run's collective tags.
-  for (auto& mb : mailboxes_) mb->clear();
-  barrier_.reset();
-  aborted_.store(false, std::memory_order_release);
-  {
-    std::lock_guard lk(abort_mu_);
-    abort_reason_.clear();
-  }
+  reset_transport();
 
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(world_));

@@ -73,6 +73,9 @@ class SimCluster {
 
   int world() const { return world_; }
 
+  /// The global intra-op thread budget the rank contexts split.
+  std::size_t compute_budget() const { return compute_budget_; }
+
   /// The rank's private compute context (budget = max(1, global/world)).
   const ComputeContext& rank_context(int rank) const;
 
@@ -135,12 +138,26 @@ class SimCluster {
 
  private:
   friend class Communicator;
+  friend class ElasticCoordinator;
 
   Mailbox& mailbox(int rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
   TrafficMeter& meter() { return meter_; }
   AbortableBarrier& barrier_sync() { return barrier_; }
 
+  /// Drains every mailbox, re-arms the barrier, and clears the abort state
+  /// — the run() preamble, exposed to the elastic coordinator so it can
+  /// re-form the transport *mid-run*. Callers must guarantee quiescence:
+  /// every live rank parked outside transport calls.
+  void reset_transport();
+
+  /// Re-splits the compute budget: ranks in `active` get max(1,
+  /// budget/active.size()) threads, all others idle at 1. Replaces the
+  /// ComputeContext objects, so references from rank_context() are
+  /// invalidated — same quiescence requirement as reset_transport().
+  void reshape_compute(const std::vector<int>& active);
+
   int world_;
+  std::size_t compute_budget_;
   std::vector<std::unique_ptr<ComputeContext>> rank_contexts_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   TrafficMeter meter_;

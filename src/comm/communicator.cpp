@@ -5,6 +5,7 @@
 
 #include "comm/cluster.hpp"
 #include "comm/fault.hpp"
+#include "comm/membership.hpp"
 #include "core/check.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
@@ -51,7 +52,7 @@ WireOp wire_op(AllreduceAlgo algo) {
 }  // namespace
 
 Communicator::Communicator(SimCluster& cluster, int rank, int channel)
-    : cluster_(cluster), rank_(rank) {
+    : cluster_(cluster), rank_(rank), phys_(rank) {
   // Construction is cluster-internal (SimCluster::run, the async engine);
   // a bad rank or channel is a wiring bug, not recoverable input.
   MINSGD_CHECK(rank >= 0 && rank < cluster.world(),
@@ -63,20 +64,62 @@ Communicator::Communicator(SimCluster& cluster, int rank, int channel)
   tag_base_ = kCollectiveBase + channel * kChannelStride;
 }
 
-int Communicator::world() const { return cluster_.world(); }
+Communicator::Communicator(SimCluster& cluster, int physical_rank,
+                           const MembershipView& view, int channel)
+    : cluster_(cluster),
+      rank_(view.index_of(physical_rank)),
+      members_(view.ranks),
+      phys_(physical_rank),
+      generation_(view.generation) {
+  MINSGD_CHECK(rank_ >= 0, "Communicator: physical rank ", physical_rank,
+               " not a member of generation ", view.generation);
+  MINSGD_CHECK(channel >= 0 && channel < kMaxChannels,
+               "Communicator: channel ", channel, " outside [0, ",
+               kMaxChannels, ")");
+  MINSGD_CHECK(generation_ >= 0 && generation_ < kMaxGenerations,
+               "Communicator: generation ", generation_, " outside [0, ",
+               kMaxGenerations, ")");
+  int prev = -1;
+  for (int r : members_) {
+    MINSGD_CHECK(r > prev && r >= 0 && r < cluster.world(),
+                 "Communicator: view ranks must be ascending physical "
+                 "ranks, got ", r);
+    prev = r;
+  }
+  tag_base_ = kCollectiveBase + channel * kChannelStride +
+              generation_ * kGenerationStride;
+}
+
+Communicator::Communicator(const Communicator& base, int channel)
+    : cluster_(base.cluster_),
+      rank_(base.rank_),
+      members_(base.members_),
+      phys_(base.phys_),
+      generation_(base.generation_) {
+  MINSGD_CHECK(channel >= 0 && channel < kMaxChannels,
+               "Communicator: channel ", channel, " outside [0, ",
+               kMaxChannels, ")");
+  tag_base_ = kCollectiveBase + channel * kChannelStride +
+              generation_ * kGenerationStride;
+}
+
+int Communicator::world() const {
+  return members_.empty() ? cluster_.world()
+                          : static_cast<int>(members_.size());
+}
 
 const ComputeContext& Communicator::ctx() const {
-  return cluster_.rank_context(rank_);
+  return cluster_.rank_context(phys_);
 }
 
 void Communicator::send(int dst, std::int64_t tag,
                         std::span<const float> data) {
-  // Tag-space discipline: non-negative, and below the end of the channelized
-  // collective space. P2P callers must stay under kCollectiveBase; the only
-  // tags at or above it are minted by next_collective_tag (lint rule
-  // `collective-tag` keeps it that way).
-  MINSGD_CHECK(tag >= 0 && tag < kCollectiveBase + std::int64_t{kMaxChannels} *
-                                                       kChannelStride,
+  // Tag-space discipline: non-negative, and below the end of the
+  // generation-prefixed channelized collective space. P2P callers must stay
+  // under kCollectiveBase; the only tags at or above it are minted by
+  // next_collective_tag (lint rule `collective-tag` keeps it that way).
+  MINSGD_CHECK(tag >= 0 &&
+                   tag < kCollectiveBase + kMaxGenerations * kGenerationStride,
                "Communicator::send: tag ", tag, " outside the tag space");
   if (dst < 0 || dst >= world()) {
     throw std::invalid_argument("Communicator::send: bad destination");
@@ -87,27 +130,31 @@ void Communicator::send(int dst, std::int64_t tag,
   if (cluster_.aborted()) {
     throw ClusterAborted("Communicator::send: " + cluster_.abort_reason());
   }
-  Message msg{rank_, tag, std::vector<float>(data.begin(), data.end())};
+  // The wire is addressed by physical rank: group communicators translate
+  // their dense virtual ranks here, so mailboxes, the fault injector, and
+  // the traffic meter all keep one identity per OS thread.
+  const int dphys = to_phys(dst);
+  Message msg{phys_, tag, std::vector<float>(data.begin(), data.end())};
   auto* injector = cluster_.fault_injector();
   SendAction action = SendAction::kDeliver;
   if (injector) {
     // May throw RankFailure (injected crash), sleep (straggler stall), or
     // corrupt the payload in place.
-    action = injector->on_send(rank_, dst, tag, msg.payload);
+    action = injector->on_send(phys_, dphys, tag, msg.payload);
   }
   // Dropped and duplicated messages still went on the wire: the meter
   // counts what the sender emitted, not what arrived.
-  cluster_.meter().record_send(static_cast<std::size_t>(rank_),
+  cluster_.meter().record_send(static_cast<std::size_t>(phys_),
                                static_cast<std::int64_t>(data.size()) * 4,
                                op_);
   if (action == SendAction::kDrop) return;
   if (action == SendAction::kDeliverTwice) {
-    cluster_.meter().record_send(static_cast<std::size_t>(rank_),
+    cluster_.meter().record_send(static_cast<std::size_t>(phys_),
                                  static_cast<std::int64_t>(data.size()) * 4,
                                  op_);
-    cluster_.mailbox(dst).deliver(msg);
+    cluster_.mailbox(dphys).deliver(msg);
   }
-  cluster_.mailbox(dst).deliver(std::move(msg));
+  cluster_.mailbox(dphys).deliver(std::move(msg));
 }
 
 std::vector<float> Communicator::recv(int src, std::int64_t tag) {
@@ -116,19 +163,20 @@ std::vector<float> Communicator::recv(int src, std::int64_t tag) {
 
 std::vector<float> Communicator::recv_for(int src, std::int64_t tag,
                                           std::chrono::milliseconds timeout) {
-  MINSGD_CHECK(tag >= 0 && tag < kCollectiveBase + std::int64_t{kMaxChannels} *
-                                                       kChannelStride,
+  MINSGD_CHECK(tag >= 0 &&
+                   tag < kCollectiveBase + kMaxGenerations * kGenerationStride,
                "Communicator::recv: tag ", tag, " outside the tag space");
   if (src < 0 || src >= world()) {
     throw std::invalid_argument("Communicator::recv: bad source");
   }
-  Mailbox& mb = cluster_.mailbox(rank_);
+  const int sphys = to_phys(src);
+  Mailbox& mb = cluster_.mailbox(phys_);
   Message msg;
-  switch (mb.take_for(src, tag, timeout, msg)) {
+  switch (mb.take_for(sphys, tag, timeout, msg)) {
     case Mailbox::TakeStatus::kOk:
       return std::move(msg.payload);
     case Mailbox::TakeStatus::kTimeout:
-      throw CommTimeout(rank_, src, tag, timeout, mb.snapshot());
+      throw CommTimeout(phys_, sphys, tag, timeout, mb.snapshot());
     case Mailbox::TakeStatus::kAborted:
       throw ClusterAborted("Communicator::recv: " + cluster_.abort_reason());
   }
@@ -137,7 +185,16 @@ std::vector<float> Communicator::recv_for(int src, std::int64_t tag,
 
 void Communicator::barrier() {
   obs::ScopedSpan sp("barrier", obs::cat::kComm);
-  cluster_.barrier_sync().arrive_and_wait();
+  if (members_.empty()) {
+    cluster_.barrier_sync().arrive_and_wait();
+    return;
+  }
+  // The shared-memory cluster barrier is sized to the full world, so a
+  // group rendezvous must go over the wire: a 1-float tree allreduce in the
+  // group's own tag space. (Test Traffic.BarrierIsFree pins the full-world
+  // barrier to the message-free path above.)
+  float token = 0.0f;
+  allreduce_sum(std::span<float>(&token, 1), AllreduceAlgo::kTree);
 }
 
 void Communicator::broadcast(std::span<float> data, int root) {

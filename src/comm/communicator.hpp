@@ -25,6 +25,7 @@ class ComputeContext;
 namespace minsgd::comm {
 
 class SimCluster;
+struct MembershipView;
 
 enum class AllreduceAlgo {
   kStar,              // everyone -> root, root sums, root -> everyone
@@ -37,15 +38,38 @@ const char* to_string(AllreduceAlgo algo);
 
 class Communicator {
  public:
-  /// `channel` selects a disjoint collective-tag space. Channel 0 is the
-  /// default rank-facing channel; the async collective engine's worker
-  /// thread uses channel 1 so its collectives can run concurrently with
-  /// the main channel's without tag collisions. All ranks of a collective
-  /// must use the same channel.
+  /// Reserved channels. Channel 0 is the default rank-facing channel; the
+  /// async collective engine's worker thread uses channel 1 so its
+  /// collectives can run concurrently with the main channel's without tag
+  /// collisions; the elastic membership wire round uses channel 2 so a
+  /// proposed view can be proven live without touching training channels.
+  static constexpr int kMembershipChannel = 2;
+
+  /// Full-world communicator over the cluster (generation 0, virtual rank
+  /// == physical rank). `channel` selects a disjoint collective-tag space;
+  /// all ranks of a collective must use the same channel.
   Communicator(SimCluster& cluster, int rank, int channel = 0);
 
+  /// Group communicator over the members of `view`. This rank's virtual
+  /// rank is its dense index in the view; collective tags carry the view's
+  /// generation as a prefix, so in-flight traffic from an older generation
+  /// can never match (see membership.hpp). `physical_rank` must be a
+  /// member of the view.
+  Communicator(SimCluster& cluster, int physical_rank,
+               const MembershipView& view, int channel = 0);
+
+  /// Same membership and generation as `base`, different channel.
+  Communicator(const Communicator& base, int channel);
+
+  /// Virtual rank: this rank's dense index among the group members (equal
+  /// to the physical rank for a full-world communicator).
   int rank() const { return rank_; }
+  /// Members of this communicator's group (the cluster world when full).
   int world() const;
+  /// The underlying cluster thread identity, regardless of group.
+  int physical_rank() const { return phys_; }
+  /// Membership generation whose tag space this communicator speaks.
+  std::int64_t generation() const { return generation_; }
   SimCluster& cluster() const { return cluster_; }
 
   /// This rank's compute context (its slice of the cluster's global intra-op
@@ -118,14 +142,26 @@ class Communicator {
   /// sequence per channel, so matching counters yield matching tags.
   std::int64_t next_collective_tag() { return tag_base_ + seq_++; }
 
+  /// Physical rank behind group-virtual rank `v`.
+  int to_phys(int v) const {
+    return members_.empty() ? v : members_[static_cast<std::size_t>(v)];
+  }
+
   static constexpr std::int64_t kCollectiveBase = std::int64_t{1} << 40;
   /// Tag distance between channels; collective sequence numbers never get
   /// anywhere near this.
   static constexpr std::int64_t kChannelStride = std::int64_t{1} << 36;
   static constexpr int kMaxChannels = 8;
+  /// Tag distance between membership generations, above the channel space,
+  /// so {generation, channel, seq} tags are all mutually disjoint.
+  static constexpr std::int64_t kGenerationStride = std::int64_t{1} << 43;
+  static constexpr std::int64_t kMaxGenerations = std::int64_t{1} << 19;
 
   SimCluster& cluster_;
-  int rank_;
+  int rank_;  // virtual rank within members_ (== phys_ when full-world)
+  std::vector<int> members_;  // ascending physical ranks; empty = full world
+  int phys_;
+  std::int64_t generation_ = 0;
   std::int64_t tag_base_ = kCollectiveBase;
   std::int64_t seq_ = 0;
   WireOp op_ = WireOp::kP2P;

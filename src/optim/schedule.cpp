@@ -68,6 +68,28 @@ double WarmupLr::lr(std::int64_t iter) const {
   return inner_->lr(iter);
 }
 
+ElasticLrScale::ElasticLrScale(const LrSchedule& base, std::int64_t base_batch)
+    : base_(base), base_batch_(base_batch), batch_(base_batch) {
+  if (base_batch <= 0) {
+    throw std::invalid_argument("ElasticLrScale: base_batch <= 0");
+  }
+}
+
+void ElasticLrScale::set_batch(std::int64_t batch) {
+  if (batch <= 0) throw std::invalid_argument("ElasticLrScale: batch <= 0");
+  batch_ = batch;
+}
+
+double ElasticLrScale::lr(std::int64_t iter) const {
+  const double base = base_.lr(iter);
+  // Equal batches return the base lr verbatim (bit-exact); the scaled path
+  // inlines the linear rule because base may legitimately be 0 here (poly
+  // decay past max_iter), which linear_scaled_lr rejects.
+  if (batch_ == base_batch_) return base;
+  return base * (static_cast<double>(batch_) /
+                 static_cast<double>(base_batch_));
+}
+
 double linear_scaled_lr(double base_lr, std::int64_t base_batch,
                         std::int64_t batch) {
   if (base_lr <= 0 || base_batch <= 0 || batch <= 0) {

@@ -89,6 +89,29 @@ class WarmupLr final : public LrSchedule {
 double linear_scaled_lr(double base_lr, std::int64_t base_batch,
                         std::int64_t batch);
 
+/// Elastic-training LR hook: wraps a base schedule authored for
+/// `base_batch` and applies the linear scaling rule for the *current*
+/// effective global batch, which changes whenever the world resizes.
+/// While batch == base_batch the scale factor is exactly 1.0 (an int64
+/// ratio of equal values), so a run that never resizes is bit-identical to
+/// the unwrapped schedule. Not owning; the base schedule must outlive it.
+class ElasticLrScale final : public LrSchedule {
+ public:
+  ElasticLrScale(const LrSchedule& base, std::int64_t base_batch);
+  double lr(std::int64_t iter) const override;
+
+  /// Called after a membership change commits, with the new world's
+  /// effective global batch.
+  void set_batch(std::int64_t batch);
+  std::int64_t batch() const { return batch_; }
+  std::int64_t base_batch() const { return base_batch_; }
+
+ private:
+  const LrSchedule& base_;
+  std::int64_t base_batch_;
+  std::int64_t batch_;
+};
+
 /// Iterations for a fixed-epoch budget: ceil(epochs * dataset_size / batch).
 /// The paper's central bookkeeping identity (Table 2, Figures 8-10).
 std::int64_t iterations_for_epochs(std::int64_t epochs,

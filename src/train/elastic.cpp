@@ -1,0 +1,522 @@
+#include "train/elastic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/check.hpp"
+#include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/ops.hpp"
+#include "train/checkpoint.hpp"
+#include "train/overlap.hpp"
+
+namespace minsgd::train {
+namespace {
+
+/// Window-aggregated metrics (a "window" is one base-geometry epoch:
+/// train_size / base_global_batch iterations, fixed across resizes so the
+/// records of runs with different membership histories line up).
+struct WindowAgg {
+  double lr = 0.0;
+  double loss_sum = 0.0;
+  std::int64_t correct = 0;
+  std::int64_t iters = 0;     // iterations actually booked (faults may skip)
+  std::int64_t examples = 0;  // global-batch sizes summed over booked iters
+  double test_acc = 0.0;
+};
+
+struct SharedState {
+  std::mutex mu;
+  std::map<std::int64_t, WindowAgg> windows;
+  bool diverged = false;
+  std::vector<float> final_weights;
+  std::string final_state;
+  std::int64_t iterations = 0;
+};
+
+/// Broadcasts the root's serialized v2 checkpoint (plus the divergence
+/// baseline) over the group and loads it on every other member. Raw bytes
+/// ride in floats via memcpy; the 4-float header carries the byte length as
+/// hi*65536 + lo (both < 2^24, so exact in float) and the baseline. The
+/// root does not round-trip its own state: serialize/deserialize is exact,
+/// so skipping the reload preserves bit-identity trivially.
+void broadcast_state(comm::Communicator& gc, int root, nn::Network& net,
+                     optim::Optimizer& opt, TrainCheckpoint& meta,
+                     bool& has_first, double& first_loss) {
+  std::string bytes;
+  if (gc.rank() == root) {
+    std::ostringstream os;
+    save_train_checkpoint(os, net, opt, meta);
+    bytes = os.str();
+  }
+  float hdr[4] = {static_cast<float>(bytes.size() / 65536),
+                  static_cast<float>(bytes.size() % 65536),
+                  has_first ? 1.0f : 0.0f, static_cast<float>(first_loss)};
+  gc.broadcast(std::span<float>(hdr, 4), root);
+  const std::size_t len = static_cast<std::size_t>(hdr[0]) * 65536 +
+                          static_cast<std::size_t>(hdr[1]);
+  std::vector<float> payload((len + 3) / 4, 0.0f);
+  if (gc.rank() == root) {
+    std::memcpy(payload.data(), bytes.data(), bytes.size());
+  }
+  if (!payload.empty()) {
+    gc.broadcast(payload, root);
+  }
+  if (gc.rank() != root) {
+    std::string raw(len, '\0');
+    std::memcpy(raw.data(), payload.data(), len);
+    std::istringstream is(raw);
+    load_train_checkpoint(is, net, opt, meta, /*expect_world=*/0);
+    has_first = hdr[2] != 0.0f;
+    // The baseline crossed the wire as a float; every member (including
+    // the root, which rounded at capture) now holds the identical double.
+    first_loss = static_cast<double>(hdr[3]);
+  }
+}
+
+}  // namespace
+
+void ElasticOptions::validate() const {
+  MINSGD_CHECK(local_batch >= 1, "ElasticOptions: local_batch ", local_batch,
+               " < 1");
+  MINSGD_CHECK(initial_world >= 1, "ElasticOptions: initial_world ",
+               initial_world, " < 1");
+  MINSGD_CHECK(max_world >= initial_world, "ElasticOptions: max_world ",
+               max_world, " < initial_world ", initial_world);
+  MINSGD_CHECK(total_iterations >= 0, "ElasticOptions: total_iterations ",
+               total_iterations, " < 0");
+  MINSGD_CHECK(base_global_batch >= 0, "ElasticOptions: base_global_batch ",
+               base_global_batch, " < 0");
+  MINSGD_CHECK(recv_timeout.count() >= 0,
+               "ElasticOptions: recv_timeout < 0");
+  MINSGD_CHECK(round_timeout.count() > 0,
+               "ElasticOptions: round_timeout <= 0");
+  MINSGD_CHECK(rendezvous_timeout.count() > 0,
+               "ElasticOptions: rendezvous_timeout <= 0");
+  MINSGD_CHECK(max_reconfig_rounds >= 1,
+               "ElasticOptions: max_reconfig_rounds ", max_reconfig_rounds,
+               " < 1");
+  MINSGD_CHECK(train.eval_every >= 1, "ElasticOptions: eval_every ",
+               train.eval_every, " < 1");
+  MINSGD_CHECK(train.epochs >= 1, "ElasticOptions: epochs ", train.epochs,
+               " < 1");
+  for (const auto& ev : events) {
+    MINSGD_CHECK(ev.rank >= 0 && ev.rank < max_world,
+                 "ElasticOptions: event rank ", ev.rank,
+                 " outside [0, max_world=", max_world, ")");
+    MINSGD_CHECK(ev.at_iter >= 0, "ElasticOptions: event at_iter ",
+                 ev.at_iter, " < 0");
+  }
+}
+
+ElasticResult train_sync_elastic(
+    const std::function<std::unique_ptr<nn::Network>()>& model_factory,
+    const std::function<std::unique_ptr<optim::Optimizer>()>& opt_factory,
+    const optim::LrSchedule& schedule, const data::SyntheticImageNet& dataset,
+    const ElasticOptions& options,
+    std::shared_ptr<comm::FaultInjector> injector) {
+  options.validate();
+  const TrainOptions& t = options.train;
+  if (t.compress_one_bit) {
+    throw std::invalid_argument(
+        "train_sync_elastic: compress_one_bit is unsupported");
+  }
+  if (t.accumulation_steps != 1) {
+    throw std::invalid_argument(
+        "train_sync_elastic: accumulation_steps is unsupported");
+  }
+  if (t.bucket_bytes < 0 || (t.bucket_bytes > 0 && t.bucket_bytes < 4)) {
+    throw std::invalid_argument(
+        "train_sync_elastic: bucket_bytes must be 0 (single bucket) or >= 4");
+  }
+  const std::int64_t base_gb =
+      options.base_global_batch != 0
+          ? options.base_global_batch
+          : options.local_batch * options.initial_world;
+  if (options.local_batch * options.max_world > dataset.train_size() ||
+      base_gb > dataset.train_size()) {
+    throw std::invalid_argument(
+        "train_sync_elastic: a world's global batch exceeds the training "
+        "set");
+  }
+  // Base-geometry epoch length; the schedule, the eval cadence, and the
+  // derived iteration budget all key off it so runs with different
+  // membership histories stay comparable.
+  const std::int64_t ipw = dataset.train_size() / base_gb;
+  const std::int64_t total_iters = options.total_iterations != 0
+                                       ? options.total_iterations
+                                       : t.epochs * ipw;
+  if (total_iters <= 0) {
+    throw std::invalid_argument("train_sync_elastic: zero-iteration run");
+  }
+
+  comm::SimCluster cluster(
+      comm::ClusterOptions{options.max_world, t.compute_threads});
+  if (injector) cluster.set_fault_injector(std::move(injector));
+  if (options.recv_timeout.count() > 0) {
+    cluster.set_recv_timeout(options.recv_timeout);
+  }
+
+  comm::MembershipView init;
+  init.generation = 0;
+  for (int r = 0; r < options.initial_world; ++r) init.ranks.push_back(r);
+  comm::ElasticCoordinator::Options copts;
+  copts.round_timeout = options.round_timeout;
+  copts.rendezvous_timeout = options.rendezvous_timeout;
+  copts.max_rounds = options.max_reconfig_rounds;
+  comm::ElasticCoordinator coordinator(cluster, init, options.events, copts);
+
+  SharedState shared;
+
+  auto rank_fn = [&](comm::Communicator& comm) {
+    const int phys = comm.rank();  // full-world: physical identity
+    auto net = model_factory();
+    Rng init_rng(t.init_seed);
+    net->init(init_rng);
+    auto opt = opt_factory();
+    auto params = net->params();
+    nn::SoftmaxCrossEntropy loss;
+    optim::ElasticLrScale lrs(schedule, base_gb);
+    Tensor logits, dlogits, dx;
+
+    // Per-generation state, rebuilt by adopt() after every commit.
+    std::unique_ptr<comm::Communicator> gc;
+    std::unique_ptr<data::ShardedLoader> loader;
+    std::unique_ptr<OverlapAllreducer> overlap;
+    const ComputeContext* ctx = nullptr;
+    std::int64_t ipe = 1, gb = 0;
+    float inv_world = 1.0f;
+
+    std::int64_t global_iter = 0;  // next iteration to execute
+    std::int64_t steps_done = 0;   // optimizer steps applied to the replica
+    bool has_state = false;        // replica holds real training state
+    double first_loss = 0.0;       // divergence baseline (float-rounded)
+    bool has_first = false;
+    bool diverged = false;
+    bool active = phys < options.initial_world;
+
+    auto teardown = [&] {
+      overlap.reset();  // joins the comm worker before transport changes
+      loader.reset();
+      gc.reset();
+      ctx = nullptr;
+    };
+
+    auto adopt = [&](const comm::MembershipView& view) {
+      overlap.reset();
+      gc = std::make_unique<comm::Communicator>(cluster, phys, view, 0);
+      ctx = &gc->ctx();
+      gb = options.local_batch * view.world();
+      loader = std::make_unique<data::ShardedLoader>(dataset, gb, gc->rank(),
+                                                     view.world(), t.augment);
+      ipe = loader->iterations_per_epoch();
+      lrs.set_batch(gb);
+      inv_world = 1.0f / static_cast<float>(view.world());
+      if (t.overlap_comm) {
+        overlap = std::make_unique<OverlapAllreducer>(*net, *gc,
+                                                      t.bucket_bytes,
+                                                      options.algo);
+      }
+    };
+
+    auto state_sync = [&](const comm::ReconfigOutcome& oc) {
+      TrainCheckpoint meta;
+      if (oc.is_root) {
+        meta.global_iter = oc.resume_iter;
+        meta.epoch = oc.resume_iter / ipe;
+        meta.iter = oc.resume_iter % ipe;
+        meta.world = gc->world();
+        meta.global_batch = gb;
+        meta.rng = Rng(t.init_seed).state();
+      }
+      broadcast_state(*gc, oc.state_root, *net, *opt, meta, has_first,
+                      first_loss);
+      global_iter = oc.resume_iter;
+      steps_done = oc.resume_iter;
+      has_state = true;
+    };
+
+    // Reconfiguration driver shared by the fault handlers and the
+    // scheduled-event poll. Retries until a committed view either includes
+    // this rank with its state synced (stays active) or excludes it (parks
+    // as standby). Returns false once the rank is no longer active.
+    auto do_reconfig = [&]() -> bool {
+      int sync_failures = 0;
+      for (;;) {
+        overlap.reset();
+        try {
+          const auto oc =
+              coordinator.reconfigure(phys, has_state ? steps_done : -1);
+          if (oc.role != comm::MemberRole::kMember) {
+            teardown();
+            return active = false;
+          }
+          adopt(oc.view);
+          try {
+            state_sync(oc);
+            return active = true;
+          } catch (const comm::RankFailure&) {
+            throw;  // crash during the broadcast: handled below
+          } catch (const std::exception&) {
+            // Torn or corrupted state payload: burn this generation and
+            // re-form. Bounded so a persistent failure cannot spin.
+            if (++sync_failures > options.max_reconfig_rounds) throw;
+            coordinator.report_failure(phys);
+            continue;
+          }
+        } catch (const comm::RankFailure&) {
+          coordinator.report_death(phys);
+          teardown();
+          return active = false;  // the slot parks as a replacement standby
+        } catch (const std::runtime_error&) {
+          teardown();  // run declared failed; unwind via the standby path
+          return active = false;
+        }
+      }
+    };
+
+    if (active) {
+      adopt(coordinator.view());
+      if (!options.resume_state.empty()) {
+        std::istringstream is(options.resume_state);
+        TrainCheckpoint meta;
+        load_train_checkpoint(is, *net, *opt, meta, /*expect_world=*/0);
+        global_iter = meta.global_iter;
+        steps_done = meta.global_iter;
+      }
+      has_state = true;
+    }
+
+    auto one_iteration = [&] {
+      const std::int64_t epoch = global_iter / ipe;
+      const std::int64_t it = global_iter % ipe;
+      data::Batch batch;
+      {
+        obs::ScopedSpan sp("phase.data", obs::cat::kPhase);
+        batch = loader->load_train(epoch, it, *ctx);
+      }
+      net->zero_grad();
+      nn::LossResult lres;
+      {
+        obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
+        net->forward(batch.x, logits, /*training=*/true, *ctx);
+        lres = loss.forward_backward(logits, batch.labels, &dlogits, *ctx);
+      }
+      if (overlap) overlap->begin_iteration();
+      {
+        obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
+        net->backward(batch.x, logits, dlogits, dx, *ctx);
+      }
+      // Sum gradients across the members, then average by the live world.
+      // Bucket boundaries match the fixed trainer's, so a run that never
+      // resizes is bit-identical to train_sync_data_parallel.
+      std::span<float> flat;
+      std::vector<float> flat_own;
+      if (overlap) {
+        flat = overlap->finish();
+      } else {
+        flat_own = net->flatten_grads();
+        flat = flat_own;
+        if (t.bucket_bytes > 0) {
+          const auto bucket = static_cast<std::size_t>(t.bucket_bytes / 4);
+          std::span<float> rest(flat);
+          while (!rest.empty()) {
+            const auto n = std::min(bucket, rest.size());
+            gc->allreduce_sum(rest.subspan(0, n), options.algo);
+            rest = rest.subspan(n);
+          }
+        } else {
+          gc->allreduce_sum(flat, options.algo);
+        }
+      }
+      {
+        obs::ScopedSpan sp("phase.step", obs::cat::kPhase);
+        scale(*ctx, inv_world, flat);
+        net->unflatten_grads(flat);
+        opt->step(params, lrs.lr(global_iter), *ctx);
+      }
+      // The step is applied: the replica's state is now "global_iter done".
+      // Tracked separately from global_iter so a fault later in the
+      // iteration still reports a state-consistent position.
+      ++steps_done;
+
+      float stats[2] = {static_cast<float>(lres.loss),
+                        static_cast<float>(lres.correct)};
+      gc->allreduce_sum(std::span<float>(stats, 2), options.algo);
+      const double mean_loss =
+          stats[0] / static_cast<double>(gc->world());
+      if (!has_first) {
+        // Round through float so members that later receive the baseline
+        // over the wire (joiners) hold the identical double.
+        first_loss = static_cast<double>(static_cast<float>(mean_loss));
+        has_first = true;
+      }
+      if (t.detect_divergence &&
+          (!std::isfinite(mean_loss) ||
+           mean_loss > t.divergence_factor * first_loss)) {
+        diverged = true;  // same scalars everywhere: every member agrees
+      }
+
+      const std::int64_t window = global_iter / ipw;
+      if (gc->rank() == 0) {
+        std::lock_guard lk(shared.mu);
+        WindowAgg& w = shared.windows[window];
+        if (w.iters == 0) w.lr = lrs.lr(window * ipw);
+        w.loss_sum += mean_loss;
+        w.correct += static_cast<std::int64_t>(stats[1]);
+        w.examples += gb;
+        ++w.iters;
+      }
+      ++global_iter;
+
+      const bool boundary = (global_iter % ipw == 0) ||
+                            global_iter >= total_iters || diverged;
+      if (boundary) {
+        if (gc->rank() == 0) {
+          const bool eval_now = (window % t.eval_every == 0) ||
+                                global_iter >= total_iters || diverged;
+          const double acc =
+              eval_now ? evaluate(*net, dataset, 256, *ctx) : 0.0;
+          std::lock_guard lk(shared.mu);
+          shared.windows[window].test_acc = acc;
+          if (t.verbose) {
+            const WindowAgg& w = shared.windows[window];
+            std::printf(
+                "window %3lld  world %d  lr %.5f  loss %.4f  test_acc "
+                "%.4f\n",
+                static_cast<long long>(window), gc->world(), w.lr,
+                w.iters ? w.loss_sum / static_cast<double>(w.iters) : 0.0,
+                acc);
+            std::fflush(stdout);
+          }
+        }
+        gc->barrier();  // keep members aligned across rank 0's evaluation
+      }
+    };
+
+    for (;;) {
+      if (!active) {
+        if (!coordinator.await_admission(phys)) break;
+        try {
+          const auto oc =
+              coordinator.reconfigure(phys, has_state ? steps_done : -1);
+          if (oc.role == comm::MemberRole::kMember) {
+            adopt(oc.view);
+            state_sync(oc);
+            active = true;
+          }
+        } catch (const comm::RankFailure&) {
+          coordinator.report_death(phys);
+          teardown();
+        } catch (const comm::FaultError&) {
+          coordinator.report_failure(phys);
+          teardown();
+        } catch (const std::runtime_error&) {
+          break;  // run declared failed (deadline / attempt budget)
+        }
+        continue;
+      }
+
+      if (diverged || global_iter >= total_iters) {
+        if (gc->rank() == 0) {
+          TrainCheckpoint meta;
+          meta.global_iter = global_iter;
+          meta.epoch = global_iter / ipe;
+          meta.iter = global_iter % ipe;
+          meta.world = gc->world();
+          meta.global_batch = gb;
+          meta.rng = Rng(t.init_seed).state();
+          std::ostringstream os;
+          save_train_checkpoint(os, *net, *opt, meta);
+          std::lock_guard lk(shared.mu);
+          shared.final_state = os.str();
+          shared.final_weights = net->flatten_params();
+          shared.iterations = global_iter;
+          shared.diverged = diverged;
+        }
+        coordinator.finish(phys);
+        break;
+      }
+
+      if (coordinator.reconfig_due(global_iter)) {
+        do_reconfig();
+        continue;
+      }
+
+      try {
+        one_iteration();
+      } catch (const comm::RankFailure&) {
+        coordinator.report_death(phys);
+        teardown();
+        active = false;  // the slot parks as a replacement standby
+      } catch (const comm::CommTimeout&) {
+        coordinator.report_failure(phys);
+        do_reconfig();
+      } catch (const comm::ClusterAborted&) {
+        // A peer observed the fault first; its report is already pending.
+        do_reconfig();
+      }
+    }
+  };
+
+  try {
+    cluster.run(rank_fn);
+  } catch (...) {
+    if (coordinator.run_failed()) {
+      throw std::runtime_error("train_sync_elastic: " +
+                               coordinator.fail_reason());
+    }
+    throw;
+  }
+  if (coordinator.run_failed()) {
+    throw std::runtime_error("train_sync_elastic: " +
+                             coordinator.fail_reason());
+  }
+
+  ElasticResult out;
+  {
+    std::lock_guard lk(shared.mu);
+    out.final_weights = std::move(shared.final_weights);
+    out.final_state = std::move(shared.final_state);
+    out.iterations = shared.iterations;
+    out.result.diverged = shared.diverged;
+    for (const auto& [window, w] : shared.windows) {
+      EpochRecord rec;
+      rec.epoch = window;
+      rec.lr = w.lr;
+      rec.train_loss =
+          w.iters ? w.loss_sum / static_cast<double>(w.iters) : 0.0;
+      rec.train_acc = w.examples ? static_cast<double>(w.correct) /
+                                       static_cast<double>(w.examples)
+                                 : 0.0;
+      rec.test_acc = w.test_acc;
+      out.result.epochs.push_back(rec);
+      out.result.iterations_run += w.iters;
+      if (rec.test_acc > out.result.best_test_acc) {
+        out.result.best_test_acc = rec.test_acc;
+      }
+    }
+    if (!out.result.epochs.empty()) {
+      out.result.final_test_acc = out.result.epochs.back().test_acc;
+    }
+  }
+  out.reconfigs = coordinator.records();
+  out.reconfigurations = static_cast<int>(out.reconfigs.size());
+  out.traffic = cluster.total_traffic();
+  out.faults = cluster.total_faults();
+  // Persist wire traffic past the cluster's lifetime, like the fixed
+  // trainer does, so post-run metric snapshots still see it.
+  auto& reg = obs::metrics();
+  reg.counter("train.traffic.messages").add(out.traffic.messages);
+  reg.counter("train.traffic.bytes").add(out.traffic.bytes);
+  return out;
+}
+
+}  // namespace minsgd::train

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "core/check.hpp"
 #include "data/loader.hpp"
 #include "nn/loss.hpp"
 #include "obs/trace.hpp"
@@ -36,6 +37,13 @@ struct SharedProgress {
 
 }  // namespace
 
+void FaultTolerantOptions::validate() const {
+  MINSGD_CHECK(max_restarts >= 0, "FaultTolerantOptions: max_restarts ",
+               max_restarts, " < 0");
+  MINSGD_CHECK(recv_timeout.count() >= 0,
+               "FaultTolerantOptions: recv_timeout < 0");
+}
+
 FaultTolerantResult train_sync_fault_tolerant(
     const std::function<std::unique_ptr<nn::Network>()>& model_factory,
     const std::function<std::unique_ptr<optim::Optimizer>()>& opt_factory,
@@ -58,9 +66,7 @@ FaultTolerantResult train_sync_fault_tolerant(
     throw std::invalid_argument(
         "train_sync_fault_tolerant: empty checkpoint_path");
   }
-  if (options.max_restarts < 0) {
-    throw std::invalid_argument("train_sync_fault_tolerant: max_restarts < 0");
-  }
+  options.validate();
   if (topt.bucket_bytes < 0 ||
       (topt.bucket_bytes > 0 && topt.bucket_bytes < 4)) {
     throw std::invalid_argument(

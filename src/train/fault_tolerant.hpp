@@ -59,6 +59,12 @@ struct FaultTolerantOptions {
   /// installed).
   std::chrono::milliseconds recv_timeout{0};
   comm::AllreduceAlgo algo = comm::AllreduceAlgo::kRing;
+
+  /// MINSGD_CHECK the self-contained budget fields (max_restarts,
+  /// recv_timeout): a negative budget is a programming error, not
+  /// recoverable input. Dataset/world-dependent geometry stays
+  /// std::invalid_argument in train_sync_fault_tolerant.
+  void validate() const;
 };
 
 struct FaultTolerantResult {

@@ -14,7 +14,7 @@ OverlapAllreducer::OverlapAllreducer(nn::Network& net,
                                      comm::Communicator& comm,
                                      std::int64_t bucket_bytes,
                                      comm::AllreduceAlgo algo)
-    : net_(net), engine_(comm.cluster(), comm.rank()), algo_(algo) {
+    : net_(net), engine_(comm), algo_(algo) {
   if (bucket_bytes < 0 || (bucket_bytes > 0 && bucket_bytes < 4)) {
     throw std::invalid_argument(
         "OverlapAllreducer: bucket_bytes must be 0 (single bucket) or >= 4");

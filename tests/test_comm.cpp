@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "comm/cluster.hpp"
+#include "comm/membership.hpp"
 #include "tensor/rng.hpp"
 
 namespace minsgd {
@@ -473,6 +474,69 @@ TEST(AllreduceProperty, BucketedSweepMatchesWholeVectorPerBucket) {
     }
     for (int r = 0; r < world; ++r) {
       EXPECT_EQ(outs[static_cast<std::size_t>(r)], ref) << "rank " << r;
+    }
+  }
+}
+
+// ---------------- survivor-group allreduce trials ----------------
+//
+// Drop a random rank from worlds 2..8 and run every algorithm over a group
+// Communicator formed from the survivor MembershipView. Because collectives
+// address members by *virtual* rank, the survivor group must produce output
+// bit-identical to a fresh fixed-world cluster of the survivor size fed the
+// same per-virtual-rank inputs — the property elastic shrink determinism
+// rests on.
+
+TEST(SurvivorGroup, AllAlgosBitAgreeWithFixedWorldOfSurvivorSize) {
+  Rng meta(0xE1A57Cu);  // drives (world, dropped rank, payload length)
+  for (std::uint64_t trial = 0; trial < 14; ++trial) {
+    const int world = 2 + static_cast<int>(meta.uniform_int(7));  // 2..8
+    const int dropped = static_cast<int>(meta.uniform_int(world));
+    const std::size_t n = 1 + static_cast<std::size_t>(meta.uniform_int(300));
+    SCOPED_TRACE(::testing::Message() << "trial=" << trial << " world=" << world
+                                      << " dropped=" << dropped << " n=" << n);
+
+    comm::MembershipView view;
+    view.generation = 1;  // post-shrink generation, fresh tag prefix
+    for (int r = 0; r < world; ++r) {
+      if (r != dropped) view.ranks.push_back(r);
+    }
+    const int survivors = view.world();
+
+    for (const AllreduceAlgo algo : kAllAlgos) {
+      SCOPED_TRACE(::testing::Message() << "algo=" << comm::to_string(algo));
+
+      // Survivor run: full-world cluster, the dropped rank sits out while
+      // the rest allreduce over the group view. Inputs are keyed by the
+      // member's virtual rank so the fixed-world reference is comparable.
+      std::vector<std::vector<float>> group_outs(
+          static_cast<std::size_t>(survivors));
+      std::mutex mu;
+      SimCluster cluster(world);
+      cluster.run([&](Communicator& comm) {
+        if (comm.rank() == dropped) return;
+        Communicator gc(cluster, comm.rank(), view, /*channel=*/0);
+        auto data = property_input(trial + 500, gc.rank(), n);
+        gc.allreduce_sum(data, algo);
+        std::lock_guard lk(mu);
+        group_outs[static_cast<std::size_t>(gc.rank())] = std::move(data);
+      });
+
+      std::vector<std::vector<float>> fixed_outs(
+          static_cast<std::size_t>(survivors));
+      SimCluster fixed(survivors);
+      fixed.run([&](Communicator& comm) {
+        auto data = property_input(trial + 500, comm.rank(), n);
+        comm.allreduce_sum(data, algo);
+        std::lock_guard lk(mu);
+        fixed_outs[static_cast<std::size_t>(comm.rank())] = std::move(data);
+      });
+
+      for (int v = 0; v < survivors; ++v) {
+        EXPECT_EQ(group_outs[static_cast<std::size_t>(v)],
+                  fixed_outs[static_cast<std::size_t>(v)])
+            << "virtual rank " << v;
+      }
     }
   }
 }

@@ -543,5 +543,14 @@ TEST(FaultTolerantTrain, RejectsBadOptions) {
       std::invalid_argument);
 }
 
+TEST(FaultTolerantTrainDeath, NegativeRestartBudgetTripsCheck) {
+  // A negative budget is a programming error, not recoverable input:
+  // validate() converts it to a MINSGD_CHECK abort instead of a throw.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto o = ft_options("neg");
+  o.max_restarts = -1;
+  EXPECT_DEATH(o.validate(), "max_restarts");
+}
+
 }  // namespace
 }  // namespace minsgd
