@@ -39,6 +39,55 @@ inline void section(const std::string& title) {
   std::printf("\n--- %s ---\n", title.c_str());
 }
 
+/// Machine-readable per-bench summary written alongside the CSV:
+/// bench_results/<name>.json, one flat object of headline metrics (peak
+/// images/s, ms/iteration, logits checksum, overheads). The CSV keeps the
+/// full sweep; the JSON is for dashboards and regression diffs that only
+/// want the headline numbers without parsing the sweep shape.
+class JsonSummary {
+ public:
+  explicit JsonSummary(std::string name) : name_(std::move(name)) {}
+
+  JsonSummary& add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", value);
+    entries_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonSummary& add(const std::string& key, std::int64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonSummary& add_string(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    entries_.emplace_back(key, quoted);
+    return *this;
+  }
+
+  /// Writes bench_results/<name>.json and returns its path.
+  std::string write() const {
+    const std::string path = results_dir() + "/" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return path;
+    std::fprintf(f, "{\"bench\":\"%s\"", name_.c_str());
+    for (const auto& [key, value] : entries_) {
+      std::fprintf(f, ",\"%s\":%s", key.c_str(), value.c_str());
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
 /// Formats seconds as the paper prints times ("20m", "6h 10m", "14d").
 inline std::string human_time(double seconds) {
   char buf[64];

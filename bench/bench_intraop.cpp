@@ -13,6 +13,7 @@
 // physical cores than the thread budget, extra threads time-share one core
 // and the speedup column measures oversubscription overhead instead of
 // scaling; the CSV records hardware_concurrency so readers can tell.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -25,6 +26,7 @@
 #include "nn/network.hpp"
 #include "nn/norm.hpp"
 #include "nn/residual.hpp"
+#include "obs/flight.hpp"
 #include "tensor/context.hpp"
 #include "tensor/rng.hpp"
 
@@ -101,6 +103,50 @@ Cell measure(std::int64_t batch, std::size_t threads) {
   return c;
 }
 
+/// One timed arm of the flight-recorder overhead measurement: the same
+/// forward+backward workload as the sweep, but each iteration also emits the
+/// event pattern a distributed training step records (step marker + four
+/// collective begin/end pairs, ~8 events/iter — what the sync trainer's
+/// allreduce + barrier path produces). Returns images/s.
+double flight_arm(bool recorder_on, std::int64_t batch, std::size_t threads,
+                  int iters) {
+  const ComputeContext ctx(threads);
+  auto net = resnet_block();
+  Rng init_rng(42);
+  net->init(init_rng);
+  const Tensor x = random_input(batch, 7);
+  Tensor y, dx;
+  net->forward(x, y, /*training=*/true, ctx);
+  Tensor dy(y.shape());
+  Rng dy_rng(11);
+  dy_rng.fill_normal(dy.span(), 0.0f, 0.1f);
+
+  obs::flight().set_enabled(recorder_on);
+  for (int i = 0; i < 2; ++i) {
+    net->zero_grad();
+    net->forward(x, y, /*training=*/true, ctx);
+    net->backward(x, y, dy, dx, ctx);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    net->zero_grad();
+    net->forward(x, y, /*training=*/true, ctx);
+    net->backward(x, y, dy, dx, ctx);
+    for (int c = 0; c < 4; ++c) {
+      MINSGD_FLIGHT(obs::FlightKind::kCollBegin, obs::FlightOp::kAllreduceRing,
+                    0, 1000 + c, 0, batch * 64, 0);
+      MINSGD_FLIGHT(obs::FlightKind::kCollEnd, obs::FlightOp::kAllreduceRing,
+                    0, 1000 + c, 0, batch * 64, 0);
+    }
+    MINSGD_FLIGHT(obs::FlightKind::kStep, obs::FlightOp::kNone, 0, 0, 0, 0, i);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  obs::flight().set_enabled(true);
+  return static_cast<double>(batch) * iters / secs;
+}
+
 }  // namespace
 }  // namespace minsgd
 
@@ -119,6 +165,7 @@ int main() {
                       {"batch", "threads", "hw_threads", "images_per_sec",
                        "speedup_vs_1t", "logits_checksum"});
 
+  Cell peak;
   for (const auto batch : batches) {
     bench::section("local batch " + std::to_string(batch));
     std::printf("%8s %14s %12s %20s\n", "threads", "images/s", "speedup",
@@ -139,8 +186,47 @@ int main() {
       csv.row(c.batch, static_cast<std::int64_t>(c.threads),
               static_cast<std::int64_t>(hw), c.images_per_sec, c.speedup,
               c.check);
+      if (c.images_per_sec > peak.images_per_sec) peak = c;
     }
   }
-  std::printf("\nCSV: %s\n", bench::csv_path("intraop").c_str());
+
+  // Flight-recorder overhead: the always-on postmortem black box must be
+  // free at trainer event rates (~9 events/iteration here: one step marker
+  // plus four collective begin/end pairs). Median of 5 trials per arm;
+  // single trials at this workload size are noisier than the effect.
+  bench::section("flight recorder overhead (on vs off, same workload)");
+  const std::int64_t fb = 32;
+  const std::size_t ft = 4;
+  std::vector<double> on_ips, off_ips;
+  for (int trial = 0; trial < 5; ++trial) {
+    off_ips.push_back(flight_arm(false, fb, ft, 10));
+    on_ips.push_back(flight_arm(true, fb, ft, 10));
+  }
+  std::sort(on_ips.begin(), on_ips.end());
+  std::sort(off_ips.begin(), off_ips.end());
+  const double on_med = on_ips[on_ips.size() / 2];
+  const double off_med = off_ips[off_ips.size() / 2];
+  const double overhead_pct = 100.0 * (off_med - on_med) / off_med;
+  std::printf("recorder off: %.1f images/s (median of %zu)\n", off_med,
+              off_ips.size());
+  std::printf("recorder on:  %.1f images/s (median of %zu)\n", on_med,
+              on_ips.size());
+  std::printf("overhead: %.2f%% (acceptance: < 2%%)\n", overhead_pct);
+
+  const auto json = bench::JsonSummary("intraop")
+                        .add_string("peak_config",
+                                    "batch " + std::to_string(peak.batch) +
+                                        " x " + std::to_string(peak.threads) +
+                                        " threads")
+                        .add("images_per_sec", peak.images_per_sec)
+                        .add("ms_per_iter", 1000.0 *
+                                                static_cast<double>(peak.batch) /
+                                                peak.images_per_sec)
+                        .add("logits_checksum", peak.check)
+                        .add("flight_overhead_pct", overhead_pct)
+                        .add("hw_threads", static_cast<std::int64_t>(hw))
+                        .write();
+  std::printf("\nCSV: %s\nJSON: %s\n", bench::csv_path("intraop").c_str(),
+              json.c_str());
   return 0;
 }

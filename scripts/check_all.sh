@@ -3,6 +3,9 @@
 #
 #   lint         tools/lint/minsgd_lint.py over src/ tests/ bench/ examples/
 #                plus its fixture self-test
+#   analyze      tools/trace/analyze.py --self-test: the offline postmortem
+#                analyzer against its synthetic 4-rank timeline (join,
+#                straggler attribution, exposed/overlapped split)
 #   build        default (RelWithDebInfo) configure + build
 #   tier1        full ctest suite in the default build
 #   asan-ubsan   rebuild with MINSGD_SANITIZE=address,undefined
@@ -62,6 +65,10 @@ lint_stage() {
     python3 tools/lint/minsgd_lint.py --self-test
 }
 
+analyze_stage() {
+  python3 tools/trace/analyze.py --self-test
+}
+
 build_stage() {
   cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo &&
     cmake --build build -j"$JOBS"
@@ -90,6 +97,7 @@ tsan_stage() {
 
 FAILED=0
 run_stage "lint" lint_stage || FAILED=1
+run_stage "analyze" analyze_stage || FAILED=1
 if run_stage "build" build_stage; then
   run_stage "tier1" tier1_stage || FAILED=1
 else

@@ -8,6 +8,8 @@
 # intra-op paths to be trusted. test_elastic joins the gate: the elastic
 # coordinator's rendezvous/watchdog and communicator re-forms across
 # generations add cross-thread handoffs that must also be race-free.
+# test_obs carries the flight recorder's seqlock: concurrent writers racing
+# a snapshot reader must be exact under TSan, not just in practice.
 #
 # Usage: scripts/tsan_tier2.sh [build-dir]   (default: build-tsan)
 set -euo pipefail
@@ -20,7 +22,7 @@ cmake -B "$BUILD_DIR" -S . \
   -DMINSGD_SANITIZE=thread
 
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_comm test_train test_overlap test_context test_determinism test_elastic
+  --target test_comm test_train test_overlap test_context test_determinism test_elastic test_obs
 
 # TSan findings must fail the gate, not just print.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 exitcode=66}"

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/flight.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/trace.hpp"
 
 namespace minsgd::comm {
@@ -138,6 +140,10 @@ SimCluster::SimCluster(const ClusterOptions& options)
                           : ComputeContext::default_threads()),
       meter_(static_cast<std::size_t>(world_)),
       barrier_(world_) {
+  // Any cluster in the process makes MINSGD_CHECK failures dump the flight
+  // recorder: an invariant violation mid-collective is exactly the case
+  // where the cross-rank timeline matters and the abort would discard it.
+  obs::arm_postmortem_on_check_failure();
   // Split the global intra-op budget across ranks so total live worker
   // threads stay <= budget no matter how large the simulated world is.
   const std::size_t per_rank = std::max<std::size_t>(
@@ -222,6 +228,8 @@ void SimCluster::register_metrics(obs::MetricsRegistry& registry,
                      static_cast<double>(f.corrupted), Kind::kCounter});
       out.push_back({prefix + ".faults.crashes",
                      static_cast<double>(f.crashes), Kind::kCounter});
+      out.push_back({prefix + ".faults.stalls",
+                     static_cast<double>(f.stalls), Kind::kCounter});
     }
     // Intra-op pool activity summed across ranks: are the per-rank compute
     // budgets actually being exercised, and is work queuing up?
@@ -302,9 +310,20 @@ void SimCluster::run(const std::function<void(Communicator&)>& fn) {
         Communicator comm(*this, r);
         fn(comm);
       } catch (const std::exception& e) {
+        // The rank's last flight event marks the unwind, so the postmortem
+        // shows who died first and from what, in timeline order.
+        obs::FlightOp op = obs::FlightOp::kNone;
+        if (dynamic_cast<const RankFailure*>(&e) != nullptr) {
+          op = obs::FlightOp::kCrashed;
+        } else if (dynamic_cast<const CommTimeout*>(&e) != nullptr) {
+          op = obs::FlightOp::kTimeout;
+        }
+        MINSGD_FLIGHT(obs::FlightKind::kCrash, op, 0, 0, 0, 0, r);
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         abort("aborted by rank " + std::to_string(r) + ": " + e.what());
       } catch (...) {
+        MINSGD_FLIGHT(obs::FlightKind::kCrash, obs::FlightOp::kNone, 0, 0, 0,
+                      0, r);
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         abort("aborted by rank " + std::to_string(r) + ": unknown exception");
       }
@@ -322,7 +341,20 @@ void SimCluster::run(const std::function<void(Communicator&)>& fn) {
     re.what = describe(e, &re.is_abort_victim);
     failed.push_back(std::move(re));
   }
-  if (!failed.empty()) rethrow_aggregated(failed);
+  if (!failed.empty()) {
+    // The black-box dump: every CommTimeout / RankFailure / ClusterAborted
+    // unwind converges here with all rank threads joined, so one merged
+    // postmortem.json captures the whole cluster's last events.
+    obs::PostmortemInfo info;
+    info.world = world_;
+    info.reason = abort_reason();
+    if (info.reason.empty()) info.reason = failed.front().what;
+    for (const auto& re : failed) {
+      info.rank_errors.emplace_back(re.rank, re.what);
+    }
+    obs::dump_postmortem(info);
+    rethrow_aggregated(failed);
+  }
 }
 
 }  // namespace minsgd::comm

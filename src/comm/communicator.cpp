@@ -7,6 +7,7 @@
 #include "comm/fault.hpp"
 #include "comm/membership.hpp"
 #include "core/check.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
@@ -49,6 +50,16 @@ WireOp wire_op(AllreduceAlgo algo) {
   return WireOp::kP2P;
 }
 
+obs::FlightOp flight_op(AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::kStar: return obs::FlightOp::kAllreduceStar;
+    case AllreduceAlgo::kRing: return obs::FlightOp::kAllreduceRing;
+    case AllreduceAlgo::kTree: return obs::FlightOp::kAllreduceTree;
+    case AllreduceAlgo::kRecursiveHalving: return obs::FlightOp::kAllreduceRhd;
+  }
+  return obs::FlightOp::kNone;
+}
+
 }  // namespace
 
 Communicator::Communicator(SimCluster& cluster, int rank, int channel)
@@ -61,6 +72,7 @@ Communicator::Communicator(SimCluster& cluster, int rank, int channel)
   MINSGD_CHECK(channel >= 0 && channel < kMaxChannels,
                "Communicator: channel ", channel, " outside [0, ",
                kMaxChannels, ")");
+  channel_ = channel;
   tag_base_ = kCollectiveBase + channel * kChannelStride;
 }
 
@@ -86,6 +98,7 @@ Communicator::Communicator(SimCluster& cluster, int physical_rank,
                  "ranks, got ", r);
     prev = r;
   }
+  channel_ = channel;
   tag_base_ = kCollectiveBase + channel * kChannelStride +
               generation_ * kGenerationStride;
 }
@@ -99,6 +112,7 @@ Communicator::Communicator(const Communicator& base, int channel)
   MINSGD_CHECK(channel >= 0 && channel < kMaxChannels,
                "Communicator: channel ", channel, " outside [0, ",
                kMaxChannels, ")");
+  channel_ = channel;
   tag_base_ = kCollectiveBase + channel * kChannelStride +
               generation_ * kGenerationStride;
 }
@@ -176,6 +190,11 @@ std::vector<float> Communicator::recv_for(int src, std::int64_t tag,
     case Mailbox::TakeStatus::kOk:
       return std::move(msg.payload);
     case Mailbox::TakeStatus::kTimeout:
+      // The black box records the hang before the unwind starts: which tag
+      // this rank starved on, and from whom, survives in the postmortem
+      // even if no peer ever learns about the timeout.
+      MINSGD_FLIGHT(obs::FlightKind::kFault, obs::FlightOp::kTimeout,
+                    channel_, tag, generation_, 0, sphys);
       throw CommTimeout(phys_, sphys, tag, timeout, mb.snapshot());
     case Mailbox::TakeStatus::kAborted:
       throw ClusterAborted("Communicator::recv: " + cluster_.abort_reason());
@@ -183,10 +202,27 @@ std::vector<float> Communicator::recv_for(int src, std::int64_t tag,
   throw std::logic_error("Communicator::recv: unreachable");
 }
 
+void Communicator::maybe_stall() {
+  // Only the outermost collective stalls (op_ still unclaimed): the nested
+  // collectives of allreduce-tree model one late arrival, not three.
+  if (op_ != WireOp::kP2P) return;
+  if (auto* injector = cluster_.fault_injector()) {
+    injector->on_collective_enter(phys_);
+  }
+}
+
 void Communicator::barrier() {
   obs::ScopedSpan sp("barrier", obs::cat::kComm);
   if (members_.empty()) {
+    maybe_stall();
+    // The message-free path has no wire tag; the barrier counter stands in
+    // (all ranks run the same barrier sequence, so counters align).
+    const std::int64_t id = barrier_seq_++;
+    MINSGD_FLIGHT(obs::FlightKind::kCollBegin, obs::FlightOp::kBarrier,
+                  channel_, id, generation_, 0, 0);
     cluster_.barrier_sync().arrive_and_wait();
+    MINSGD_FLIGHT(obs::FlightKind::kCollEnd, obs::FlightOp::kBarrier,
+                  channel_, id, generation_, 0, 0);
     return;
   }
   // The shared-memory cluster barrier is sized to the full world, so a
@@ -200,10 +236,14 @@ void Communicator::barrier() {
 void Communicator::broadcast(std::span<float> data, int root) {
   const int p = world();
   if (p == 1) return;
+  maybe_stall();
   OpScope op(*this, WireOp::kBroadcast);
   obs::ScopedSpan sp("broadcast", obs::cat::kComm);
   sp.set_bytes(static_cast<std::int64_t>(data.size()) * 4);
   const std::int64_t tag = next_collective_tag();
+  MINSGD_FLIGHT(obs::FlightKind::kCollBegin, obs::FlightOp::kBroadcast,
+                channel_, tag, generation_,
+                static_cast<std::int64_t>(data.size()) * 4, root);
   const int vrank = (rank_ - root + p) % p;
   // Receive from parent (the peer that differs in the lowest set bit).
   int mask = 1;
@@ -229,15 +269,21 @@ void Communicator::broadcast(std::span<float> data, int root) {
     }
     mask >>= 1;
   }
+  MINSGD_FLIGHT(obs::FlightKind::kCollEnd, obs::FlightOp::kBroadcast,
+                channel_, tag, generation_, 0, root);
 }
 
 void Communicator::reduce_sum(std::span<float> data, int root) {
   const int p = world();
   if (p == 1) return;
+  maybe_stall();
   OpScope op(*this, WireOp::kReduce);
   obs::ScopedSpan sp("reduce", obs::cat::kComm);
   sp.set_bytes(static_cast<std::int64_t>(data.size()) * 4);
   const std::int64_t tag = next_collective_tag();
+  MINSGD_FLIGHT(obs::FlightKind::kCollBegin, obs::FlightOp::kReduce,
+                channel_, tag, generation_,
+                static_cast<std::int64_t>(data.size()) * 4, root);
   const int vrank = (rank_ - root + p) % p;
   int mask = 1;
   while (mask < p) {
@@ -255,10 +301,13 @@ void Communicator::reduce_sum(std::span<float> data, int root) {
     }
     mask <<= 1;
   }
+  MINSGD_FLIGHT(obs::FlightKind::kCollEnd, obs::FlightOp::kReduce,
+                channel_, tag, generation_, 0, root);
 }
 
 void Communicator::allreduce_sum(std::span<float> data, AllreduceAlgo algo) {
   if (world() == 1) return;
+  maybe_stall();
   OpScope op(*this, wire_op(algo));
   obs::ScopedSpan sp;
   if (obs::tracer().enabled()) {
@@ -266,12 +315,20 @@ void Communicator::allreduce_sum(std::span<float> data, AllreduceAlgo algo) {
     sp.set_bytes(static_cast<std::int64_t>(data.size()) * 4);
     sp.set_label(to_string(algo));
   }
+  // The first tag the algorithm will mint identifies this allreduce across
+  // ranks; the FlightOp keeps the wrapper distinct from a nested collective
+  // that reuses the same tag (allreduce-tree's inner reduce).
+  const std::int64_t tag = tag_base_ + seq_;
+  MINSGD_FLIGHT(obs::FlightKind::kCollBegin, flight_op(algo), channel_, tag,
+                generation_, static_cast<std::int64_t>(data.size()) * 4, 0);
   switch (algo) {
     case AllreduceAlgo::kStar: allreduce_star(data); break;
     case AllreduceAlgo::kRing: allreduce_ring(data); break;
     case AllreduceAlgo::kTree: allreduce_tree(data); break;
     case AllreduceAlgo::kRecursiveHalving: allreduce_rhd(data); break;
   }
+  MINSGD_FLIGHT(obs::FlightKind::kCollEnd, flight_op(algo), channel_, tag,
+                generation_, 0, 0);
 }
 
 void Communicator::allgather(std::span<const float> local,
@@ -281,10 +338,14 @@ void Communicator::allgather(std::span<const float> local,
   if (out.size() != n * static_cast<std::size_t>(p)) {
     throw std::invalid_argument("allgather: out must be world * local");
   }
+  maybe_stall();
   OpScope op(*this, WireOp::kAllgather);
   obs::ScopedSpan sp("allgather", obs::cat::kComm);
   sp.set_bytes(static_cast<std::int64_t>(n) * 4);
   const std::int64_t tag = next_collective_tag();
+  MINSGD_FLIGHT(obs::FlightKind::kCollBegin, obs::FlightOp::kAllgather,
+                channel_, tag, generation_,
+                static_cast<std::int64_t>(n) * 4, 0);
   std::copy(local.begin(), local.end(),
             out.begin() + static_cast<std::ptrdiff_t>(n) * rank_);
   // Simple ring rotation: world-1 steps, each step pass the slot you just
@@ -301,6 +362,8 @@ void Communicator::allgather(std::span<const float> local,
               out.begin() + static_cast<std::ptrdiff_t>(cur) * n);
   }
   seq_ += p;  // consumed p-1 step tags; keep counters aligned across ranks
+  MINSGD_FLIGHT(obs::FlightKind::kCollEnd, obs::FlightOp::kAllgather,
+                channel_, tag, generation_, 0, 0);
 }
 
 void Communicator::allreduce_star(std::span<float> data) {

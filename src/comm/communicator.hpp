@@ -142,6 +142,11 @@ class Communicator {
   /// sequence per channel, so matching counters yield matching tags.
   std::int64_t next_collective_tag() { return tag_base_ + seq_++; }
 
+  /// Outermost-collective entry hook for the fault injector's straggler
+  /// stall (a slow node arriving late, distinct from per-message delay).
+  /// No-op inside nested collectives or without an injector.
+  void maybe_stall();
+
   /// Physical rank behind group-virtual rank `v`.
   int to_phys(int v) const {
     return members_.empty() ? v : members_[static_cast<std::size_t>(v)];
@@ -161,9 +166,14 @@ class Communicator {
   int rank_;  // virtual rank within members_ (== phys_ when full-world)
   std::vector<int> members_;  // ascending physical ranks; empty = full world
   int phys_;
+  int channel_ = 0;
   std::int64_t generation_ = 0;
   std::int64_t tag_base_ = kCollectiveBase;
   std::int64_t seq_ = 0;
+  /// Rendezvous counter for the message-free full-world barrier; stands in
+  /// for a wire tag in its flight events (all ranks run the same barrier
+  /// sequence, so counters align like collective tags do).
+  std::int64_t barrier_seq_ = 0;
   WireOp op_ = WireOp::kP2P;
 };
 

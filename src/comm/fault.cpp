@@ -4,6 +4,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/flight.hpp"
+
 namespace minsgd::comm {
 namespace {
 
@@ -42,6 +44,12 @@ void validate(const FaultPlan& plan, int world) {
   }
   if (plan.crash_at_send < 0) {
     throw std::invalid_argument("FaultPlan: crash_at_send < 0");
+  }
+  if (plan.straggler_rank >= world) {
+    throw std::invalid_argument("FaultPlan: straggler_rank out of range");
+  }
+  if (plan.straggler_stall.count() < 0) {
+    throw std::invalid_argument("FaultPlan: negative straggler_stall");
   }
 }
 
@@ -92,6 +100,8 @@ SendAction FaultInjector::on_send(int src, int dst, std::int64_t tag,
         count >= plan_.crash_at_send) {
       crash_fired_ = true;
       ++st.crashes;
+      MINSGD_FLIGHT(obs::FlightKind::kFault, obs::FlightOp::kCrashed, 0, tag,
+                    0, 0, dst);
       throw RankFailure(src, "RankFailure: rank " + std::to_string(src) +
                                  " crashed (injected at send #" +
                                  std::to_string(count) + ")");
@@ -100,6 +110,8 @@ SendAction FaultInjector::on_send(int src, int dst, std::int64_t tag,
     // sequence is a pure function of (seed, rank, send index).
     if (plan_.drop_prob > 0.0 && rng.uniform() < plan_.drop_prob) {
       ++st.dropped;
+      MINSGD_FLIGHT(obs::FlightKind::kFault, obs::FlightOp::kDrop, 0, tag,
+                    0, 0, dst);
       return SendAction::kDrop;
     }
     if (plan_.corrupt_prob > 0.0 && rng.uniform() < plan_.corrupt_prob &&
@@ -112,18 +124,40 @@ SendAction FaultInjector::on_send(int src, int dst, std::int64_t tag,
                                             payload[i]) ^
                                         0x80000000u);
       ++st.corrupted;
+      MINSGD_FLIGHT(obs::FlightKind::kFault, obs::FlightOp::kCorrupt, 0, tag,
+                    0, 0, dst);
     }
     if (plan_.delay_prob > 0.0 && rng.uniform() < plan_.delay_prob) {
       ++st.delayed;
+      MINSGD_FLIGHT(obs::FlightKind::kFault, obs::FlightOp::kDelay, 0, tag,
+                    0, plan_.delay.count(), dst);
       sleep_for = plan_.delay;
     }
     if (plan_.duplicate_prob > 0.0 && rng.uniform() < plan_.duplicate_prob) {
       ++st.duplicated;
+      MINSGD_FLIGHT(obs::FlightKind::kFault, obs::FlightOp::kDuplicate, 0,
+                    tag, 0, 0, dst);
       action = SendAction::kDeliverTwice;
     }
   }
   if (sleep_for.count() > 0) std::this_thread::sleep_for(sleep_for);
   return action;
+}
+
+void FaultInjector::on_collective_enter(int phys) {
+  std::chrono::milliseconds stall{0};
+  {
+    std::lock_guard lk(mu_);
+    if (phys == plan_.straggler_rank && plan_.straggler_stall.count() > 0) {
+      ++stats_[static_cast<std::size_t>(phys)].stalls;
+      stall = plan_.straggler_stall;
+    }
+  }
+  if (stall.count() > 0) {
+    MINSGD_FLIGHT(obs::FlightKind::kFault, obs::FlightOp::kStall, 0, 0, 0,
+                  stall.count(), phys);
+    std::this_thread::sleep_for(stall);
+  }
 }
 
 FaultStats FaultInjector::rank_stats(int rank) const {

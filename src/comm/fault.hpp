@@ -95,6 +95,13 @@ struct FaultPlan {
   /// Rank to crash (-1 = never) once its send count reaches crash_at_send.
   int crash_rank = -1;
   std::int64_t crash_at_send = 0;
+  /// Compute-side straggler: this rank (-1 = none) sleeps straggler_stall at
+  /// every outermost collective entry, so it *arrives* late — the signature
+  /// a slow node leaves in cross-rank flight-recorder analysis, as opposed
+  /// to the per-message delay above, whose wait time smears across every
+  /// peer blocked mid-collective.
+  int straggler_rank = -1;
+  std::chrono::milliseconds straggler_stall{0};
 };
 
 /// Per-rank fault bookkeeping, the failure-side sibling of TrafficStats.
@@ -105,6 +112,7 @@ struct FaultStats {
   std::int64_t duplicated = 0;
   std::int64_t corrupted = 0;
   std::int64_t crashes = 0;
+  std::int64_t stalls = 0;  // straggler stalls at collective entry
 
   FaultStats& operator+=(const FaultStats& o) {
     sends_seen += o.sends_seen;
@@ -113,6 +121,7 @@ struct FaultStats {
     duplicated += o.duplicated;
     corrupted += o.corrupted;
     crashes += o.crashes;
+    stalls += o.stalls;
     return *this;
   }
 };
@@ -128,6 +137,11 @@ class FaultInjector {
   /// crash), sleep (straggler delay), or mutate `payload` (bit corruption).
   SendAction on_send(int src, int dst, std::int64_t tag,
                      std::vector<float>& payload);
+
+  /// Consulted by Communicator at every *outermost* collective entry:
+  /// sleeps the plan's straggler_stall when `phys` is the straggler rank,
+  /// so its arrival (kCollBegin flight event) lands late.
+  void on_collective_enter(int phys);
 
   FaultStats rank_stats(int rank) const;
   FaultStats total() const;

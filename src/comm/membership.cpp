@@ -8,6 +8,7 @@
 #include "comm/communicator.hpp"
 #include "comm/fault.hpp"
 #include "core/check.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -325,6 +326,13 @@ void ElasticCoordinator::resolve_attempt_locked() {
     rec.attempts = attempt_ + 1;
     rec.fault_triggered = epoch_fault_;
     records_.push_back(rec);
+    // One commit, one membership flight event: the thread that resolves the
+    // attempt is the only one inside this branch, so the postmortem's
+    // reconfig timeline has exactly one point per committed generation (and
+    // the analyzer reads the new expected world from arg).
+    MINSGD_FLIGHT(obs::FlightKind::kMembership, obs::FlightOp::kCommit,
+                  Communicator::kMembershipChannel, 0, view_.generation, 0,
+                  view_.world());
     publish_metrics_locked();
     auto& reg = obs::metrics();
     reg.counter("cluster.membership.reconfigs").add(1);
@@ -397,6 +405,9 @@ ReconfigOutcome ElasticCoordinator::reconfigure(int phys,
   if (obs::tracer().enabled()) {
     span.start("cluster.reconfig", obs::cat::kCluster);
   }
+  MINSGD_FLIGHT(obs::FlightKind::kArrive, obs::FlightOp::kRendezvous,
+                Communicator::kMembershipChannel, 0, view().generation, 0,
+                completed);
   std::unique_lock lk(mu_);
   if (run_failed_) return standby_outcome();
   if (!epoch_open_) open_epoch_locked(std::max<std::int64_t>(completed, 0));

@@ -25,12 +25,25 @@
 // assert() in src/ so every invariant goes through this layer.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <string>
 
 namespace minsgd::check_detail {
+
+/// Failure hook invoked once, after the message is written to stderr and
+/// before abort. The postmortem layer (obs/postmortem.hpp) registers a dump
+/// here so a CHECK violation leaves the flight-recorder black box behind.
+/// A plain function pointer, not std::function: registration must not
+/// allocate, and the abort path must not run arbitrary destructors.
+using FailureHook = void (*)(const char* message);
+
+inline std::atomic<FailureHook>& failure_hook_slot() {
+  static std::atomic<FailureHook> hook{nullptr};
+  return hook;
+}
 
 inline std::string format_message() { return {}; }
 
@@ -51,10 +64,30 @@ std::string format_message(const Args&... args) {
   out += " [" + std::string(file) + ":" + std::to_string(line) + "]\n";
   std::fputs(out.c_str(), stderr);
   std::fflush(stderr);
+  // First failure wins the hook: a second CHECK tripping inside the hook
+  // itself (or on another thread mid-dump) must not recurse or re-dump.
+  static std::atomic<bool> hook_fired{false};
+  if (const FailureHook hook =
+          failure_hook_slot().load(std::memory_order_acquire)) {
+    if (!hook_fired.exchange(true, std::memory_order_acq_rel)) {
+      hook(out.c_str());
+    }
+  }
   std::abort();
 }
 
 }  // namespace minsgd::check_detail
+
+namespace minsgd {
+
+/// Registers the process-wide CHECK failure hook (nullptr clears it). The
+/// hook runs at most once per process, on the first failing CHECK, before
+/// abort.
+inline void set_check_failure_hook(check_detail::FailureHook hook) {
+  check_detail::failure_hook_slot().store(hook, std::memory_order_release);
+}
+
+}  // namespace minsgd
 
 // Always-on invariant check. Extra arguments are streamed into the failure
 // message: MINSGD_CHECK(a == b, "size mismatch: ", a, " vs ", b).

@@ -1,0 +1,180 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.hpp"
+
+namespace minsgd::obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Startup configuration of the process-wide recorder. MINSGD_FLIGHT=off|0
+/// disables it (e.g. for the recorder-off arm of the overhead bench);
+/// MINSGD_FLIGHT_CAPACITY clamps into [16, 1 << 20].
+bool env_enabled() {
+  const char* v = std::getenv("MINSGD_FLIGHT");
+  if (!v) return true;
+  return std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0 &&
+         std::strcmp(v, "false") != 0;
+}
+
+std::size_t env_capacity() {
+  const char* v = std::getenv("MINSGD_FLIGHT_CAPACITY");
+  if (!v) return FlightRecorder::kDefaultCapacity;
+  const long n = std::atol(v);
+  if (n < 16) return 16;
+  if (n > (1L << 20)) return std::size_t{1} << 20;
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+const char* to_string(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kNone: return "none";
+    case FlightKind::kCollBegin: return "coll-begin";
+    case FlightKind::kCollEnd: return "coll-end";
+    case FlightKind::kArrive: return "arrive";
+    case FlightKind::kStep: return "step";
+    case FlightKind::kMembership: return "membership";
+    case FlightKind::kCheckpoint: return "checkpoint";
+    case FlightKind::kFault: return "fault";
+    case FlightKind::kCrash: return "crash";
+  }
+  return "?";
+}
+
+const char* to_string(FlightOp op) {
+  switch (op) {
+    case FlightOp::kNone: return "none";
+    case FlightOp::kBarrier: return "barrier";
+    case FlightOp::kBroadcast: return "broadcast";
+    case FlightOp::kReduce: return "reduce";
+    case FlightOp::kAllgather: return "allgather";
+    case FlightOp::kAllreduceStar: return "allreduce-star";
+    case FlightOp::kAllreduceRing: return "allreduce-ring";
+    case FlightOp::kAllreduceTree: return "allreduce-tree";
+    case FlightOp::kAllreduceRhd: return "allreduce-rhd";
+    case FlightOp::kDrop: return "drop";
+    case FlightOp::kDelay: return "delay";
+    case FlightOp::kDuplicate: return "duplicate";
+    case FlightOp::kCorrupt: return "corrupt";
+    case FlightOp::kCrashed: return "crashed";
+    case FlightOp::kTimeout: return "timeout";
+    case FlightOp::kStall: return "stall";
+    case FlightOp::kSave: return "save";
+    case FlightOp::kLoad: return "load";
+    case FlightOp::kCommit: return "commit";
+    case FlightOp::kRendezvous: return "rendezvous";
+  }
+  return "?";
+}
+
+FlightRecorder& flight() {
+  // Leaked on purpose: the postmortem hook reads the recorder during
+  // check-failure/abort paths that can outlive static destruction order.
+  static FlightRecorder* rec = [] {
+    auto* r = new FlightRecorder(env_capacity());
+    r->set_enabled(env_enabled());
+    return r;
+  }();
+  return *rec;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity_per_lane)
+    : capacity_(capacity_per_lane < 1 ? 1 : capacity_per_lane),
+      epoch_ns_(steady_ns()) {
+  for (auto& lane : lanes_) {
+    lane.slots = std::make_unique<Slot[]>(capacity_);
+  }
+}
+
+std::int64_t FlightRecorder::now_ns() const {
+  return steady_ns() - epoch_ns_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::record(FlightKind kind, FlightOp op, int channel,
+                            std::int64_t tag, std::int64_t generation,
+                            std::int64_t bytes, std::int64_t arg) {
+  Lane& lane = lanes_[lane_of(thread_rank())];
+  const std::uint64_t i =
+      lane.cursor.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = lane.slots[i % capacity_];
+  // Invalidate first so a concurrent snapshot never stitches old and new
+  // fields together under one valid seq.
+  s.seq.store(0, std::memory_order_release);
+  s.t_ns.store(now_ns(), std::memory_order_relaxed);
+  s.meta.store(static_cast<std::int64_t>(kind) |
+                   (static_cast<std::int64_t>(op) << 8) |
+                   (static_cast<std::int64_t>(channel & 0xff) << 16),
+               std::memory_order_relaxed);
+  s.tag.store(tag, std::memory_order_relaxed);
+  s.gen.store(generation, std::memory_order_relaxed);
+  s.bytes.store(bytes, std::memory_order_relaxed);
+  s.arg.store(arg, std::memory_order_relaxed);
+  s.seq.store(i + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  for (int l = 0; l < kMaxLanes; ++l) {
+    const Lane& lane = lanes_[l];
+    const std::uint64_t end = lane.cursor.load(std::memory_order_acquire);
+    const std::uint64_t begin =
+        end > capacity_ ? end - capacity_ : 0;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const Slot& s = lane.slots[i % capacity_];
+      if (s.seq.load(std::memory_order_acquire) != i + 1) continue;
+      FlightEvent e;
+      e.t_ns = s.t_ns.load(std::memory_order_relaxed);
+      const std::int64_t meta = s.meta.load(std::memory_order_relaxed);
+      e.kind = static_cast<FlightKind>(meta & 0xff);
+      e.op = static_cast<FlightOp>((meta >> 8) & 0xff);
+      e.channel = static_cast<int>((meta >> 16) & 0xff);
+      e.tag = s.tag.load(std::memory_order_relaxed);
+      e.generation = s.gen.load(std::memory_order_relaxed);
+      e.bytes = s.bytes.load(std::memory_order_relaxed);
+      e.arg = s.arg.load(std::memory_order_relaxed);
+      // A writer may have lapped us mid-read; the second seq check rejects
+      // any slot whose fields could be torn.
+      if (s.seq.load(std::memory_order_acquire) != i + 1) continue;
+      e.rank = rank_of_lane(l);
+      out.push_back(e);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     return a.t_ns < b.t_ns;
+                   });
+  return out;
+}
+
+std::int64_t FlightRecorder::total_recorded() const {
+  std::int64_t n = 0;
+  for (const auto& lane : lanes_) {
+    n += static_cast<std::int64_t>(
+        lane.cursor.load(std::memory_order_acquire));
+  }
+  return n;
+}
+
+void FlightRecorder::clear() {
+  for (auto& lane : lanes_) {
+    lane.cursor.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      lane.slots[i].seq.store(0, std::memory_order_relaxed);
+    }
+  }
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+}
+
+}  // namespace minsgd::obs

@@ -71,17 +71,34 @@ std::int64_t Tracer::now_ns() const {
 
 Tracer::ThreadBuffer& Tracer::local_buffer() {
   // Cache keyed by tracer identity so tests with their own Tracer instances
-  // don't cross-record; rebinding registers a fresh buffer.
-  thread_local Tracer* bound = nullptr;
-  thread_local std::shared_ptr<ThreadBuffer> buf;
-  if (bound != this) {
-    buf = std::make_shared<ThreadBuffer>();
+  // don't cross-record; rebinding registers a fresh buffer. The binding is
+  // a destructor-bearing thread_local: when the thread exits (comm worker,
+  // elastic joiner), every buffer it ever registered is flushed-on-detach —
+  // marked so clear() can prune it — and the cache is reset so a span
+  // recorded during later TLS destruction cannot touch a dead shared_ptr.
+  struct Binding {
+    Tracer* bound = nullptr;
+    std::shared_ptr<ThreadBuffer> buf;
+    std::vector<std::weak_ptr<ThreadBuffer>> owned;
+    ~Binding() {
+      for (const auto& w : owned) {
+        if (const auto b = w.lock()) {
+          b->detached.store(true, std::memory_order_release);
+        }
+      }
+      bound = nullptr;
+    }
+  };
+  thread_local Binding tb;
+  if (tb.bound != this) {
+    tb.buf = std::make_shared<ThreadBuffer>();
+    tb.owned.push_back(tb.buf);
     std::lock_guard lk(registry_mu_);
-    buf->tid = next_tid_++;
-    buffers_.push_back(buf);
-    bound = this;
+    tb.buf->tid = next_tid_++;
+    buffers_.push_back(tb.buf);
+    tb.bound = this;
   }
-  return *buf;
+  return *tb.buf;
 }
 
 void Tracer::record(Span s) {
@@ -131,7 +148,20 @@ void Tracer::clear() {
     std::lock_guard lk(b->mu);
     b->spans.clear();
   }
+  {
+    // Detached buffers are now drained; dropping them bounds the registry
+    // under thread churn (a detached buffer can never record again).
+    std::lock_guard lk(registry_mu_);
+    std::erase_if(buffers_, [](const std::shared_ptr<ThreadBuffer>& b) {
+      return b->detached.load(std::memory_order_acquire);
+    });
+  }
   epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+}
+
+std::size_t Tracer::thread_buffer_count() const {
+  std::lock_guard lk(registry_mu_);
+  return buffers_.size();
 }
 
 void Tracer::write_chrome_trace(std::ostream& out) const {

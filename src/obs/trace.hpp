@@ -108,8 +108,15 @@ class Tracer {
   std::size_t span_count() const;
 
   /// Drops all buffered spans and resets the epoch so the next recording
-  /// starts at t=0.
+  /// starts at t=0. Buffers whose owning thread has exited (comm workers,
+  /// elastic joiners) are pruned from the registry here — their spans were
+  /// already exported by snapshot(), and without pruning a churn of
+  /// short-lived threads would grow the registry without bound.
   void clear();
+
+  /// Registered per-thread buffers, including detached ones not yet pruned
+  /// (tests; a proxy for registry growth under thread churn).
+  std::size_t thread_buffer_count() const;
 
   // -- export --------------------------------------------------------------
   /// Chrome/Perfetto trace_event JSON ("X" complete events, pid = rank lane,
@@ -135,6 +142,10 @@ class Tracer {
                             // thread records, outsiders only export/clear
     std::vector<Span> spans;
     std::uint32_t tid = 0;
+    /// Set when the owning thread exits (its thread_local binding is
+    /// destroyed). The registry's shared_ptr keeps the spans alive for
+    /// export; the flag lets clear() prune the drained buffer.
+    std::atomic<bool> detached{false};
   };
 
   /// The calling thread's buffer, registering it on first use.

@@ -10,6 +10,7 @@
 #include "comm/param_server.hpp"
 #include "data/loader.hpp"
 #include "nn/loss.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 
 namespace minsgd::train {
@@ -96,6 +97,8 @@ AsyncResult train_async_param_server(
             server.push_pull(w, grad, lr, weights);
           }
           net->unflatten_params(weights);
+          MINSGD_FLIGHT(obs::FlightKind::kStep, obs::FlightOp::kNone, 0, 0,
+                        0, 0, it);
           last_loss.store(lres.loss, std::memory_order_relaxed);
           if (first_loss < 0) first_loss = lres.loss;
           if (options.detect_divergence &&

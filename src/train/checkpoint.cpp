@@ -10,6 +10,7 @@
 
 #include "core/io.hpp"
 #include "nn/serialize.hpp"
+#include "obs/flight.hpp"
 
 namespace minsgd::train {
 namespace {
@@ -156,6 +157,9 @@ void save_train_checkpoint(const std::string& path, nn::Network& net,
     save_train_checkpoint(out, net, opt, meta);
     out.flush();
     if (!out) throw std::runtime_error("train checkpoint: write failed");
+    MINSGD_FLIGHT(obs::FlightKind::kCheckpoint, obs::FlightOp::kSave, 0, 0,
+                  0, static_cast<std::int64_t>(out.tellp()),
+                  meta.global_iter);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
@@ -172,6 +176,8 @@ void load_train_checkpoint(const std::string& path, nn::Network& net,
   if (!in) throw std::runtime_error("train checkpoint: cannot open " + path);
   load_train_checkpoint(in, net, opt, meta, expect_world,
                         expect_global_batch);
+  MINSGD_FLIGHT(obs::FlightKind::kCheckpoint, obs::FlightOp::kLoad, 0, 0, 0,
+                static_cast<std::int64_t>(in.tellg()), meta.global_iter);
 }
 
 }  // namespace minsgd::train

@@ -10,6 +10,7 @@
 
 #include "data/loader.hpp"
 #include "nn/loss.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "optim/sgd.hpp"
 #include "tensor/ops.hpp"
@@ -96,6 +97,8 @@ EasgdResult train_easgd(
             obs::ScopedSpan sp("phase.step", obs::cat::kPhase);
             sgd.step(params, schedule.lr(step), ctx);
           }
+          MINSGD_FLIGHT(obs::FlightKind::kStep, obs::FlightOp::kNone, 0, 0,
+                        0, 0, step);
           last_loss.store(lres.loss, std::memory_order_relaxed);
           if (first_loss < 0) first_loss = lres.loss;
           if (options.detect_divergence &&

@@ -11,6 +11,7 @@
 
 #include "core/check.hpp"
 #include "nn/loss.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
@@ -342,6 +343,8 @@ ElasticResult train_sync_elastic(
         net->unflatten_grads(flat);
         opt->step(params, lrs.lr(global_iter), *ctx);
       }
+      MINSGD_FLIGHT(obs::FlightKind::kStep, obs::FlightOp::kNone, 0, 0,
+                    gc->generation(), 0, global_iter);
       // The step is applied: the replica's state is now "global_iter done".
       // Tracked separately from global_iter so a fault later in the
       // iteration still reports a state-consistent position.

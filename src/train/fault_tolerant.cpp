@@ -10,6 +10,7 @@
 #include "core/check.hpp"
 #include "data/loader.hpp"
 #include "nn/loss.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 #include "train/checkpoint.hpp"
@@ -174,6 +175,8 @@ FaultTolerantResult train_sync_fault_tolerant(
           net->unflatten_grads(flat);
           opt->step(params, schedule.lr(global_iter), ctx);
         }
+        MINSGD_FLIGHT(obs::FlightKind::kStep, obs::FlightOp::kNone, 0, 0, 0,
+                      0, global_iter);
 
         float stats[2] = {static_cast<float>(lres.loss),
                           static_cast<float>(lres.correct)};

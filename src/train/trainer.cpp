@@ -8,6 +8,7 @@
 
 #include "comm/compress.hpp"
 #include "nn/loss.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/ops.hpp"
@@ -98,6 +99,8 @@ TrainResult train_single(nn::Network& net, optim::Optimizer& opt,
           for (auto& p : params) scale(ctx, inv_accum, p.grad->span());
         }
         opt.step(params, schedule.lr(global_iter), ctx);
+        MINSGD_FLIGHT(obs::FlightKind::kStep, obs::FlightOp::kNone, 0, 0, 0,
+                      0, global_iter);
       }
       epoch_loss += step_loss;
       ++res.iterations_run;
@@ -276,6 +279,8 @@ DistResult train_sync_data_parallel(
           net->unflatten_grads(flat);
           opt->step(params, schedule.lr(global_iter), ctx);
         }
+        MINSGD_FLIGHT(obs::FlightKind::kStep, obs::FlightOp::kNone, 0, 0, 0,
+                      0, global_iter);
 
         // Aggregate the loss/accuracy scalars for reporting.
         float stats[2] = {static_cast<float>(lres.loss),

@@ -10,10 +10,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <string>
 #include <thread>
 
 #include "comm/cluster.hpp"
 #include "comm/fault.hpp"
+#include "obs/flight.hpp"
+#include "obs/postmortem.hpp"
 #include "nn/conv.hpp"
 #include "nn/dropout.hpp"
 #include "nn/linear.hpp"
@@ -550,6 +554,121 @@ TEST(FaultTolerantTrainDeath, NegativeRestartBudgetTripsCheck) {
   auto o = ft_options("neg");
   o.max_restarts = -1;
   EXPECT_DEATH(o.validate(), "max_restarts");
+}
+
+// ---------------- postmortem black box ----------------
+
+/// RAII: point the postmortem dump at a private temp file for one test and
+/// restore the default afterwards.
+struct ScopedPostmortemPath {
+  std::string path;
+  explicit ScopedPostmortemPath(const char* name)
+      : path(::testing::TempDir() + "/" + name) {
+    obs::set_postmortem_path(path);
+    obs::flight().clear();
+  }
+  ~ScopedPostmortemPath() {
+    std::remove(path.c_str());
+    obs::set_postmortem_path("postmortem.json");
+    obs::flight().clear();
+  }
+};
+
+TEST(Postmortem, StragglerStallIsCountedAndValidated) {
+  FaultPlan bad;
+  bad.straggler_rank = 4;
+  EXPECT_THROW(FaultInjector(bad, 4), std::invalid_argument);
+  bad = {};
+  bad.straggler_rank = 0;
+  bad.straggler_stall = std::chrono::milliseconds(-1);
+  EXPECT_THROW(FaultInjector(bad, 4), std::invalid_argument);
+
+  SimCluster cluster(2);
+  FaultPlan plan;
+  plan.straggler_rank = 1;
+  plan.straggler_stall = std::chrono::milliseconds(1);
+  auto injector = std::make_shared<FaultInjector>(plan, 2);
+  cluster.set_fault_injector(injector);
+  cluster.run([](Communicator& comm) {
+    std::vector<float> data(8, 1.0f);
+    for (int i = 0; i < 3; ++i) comm.allreduce_sum(data);
+  });
+  // One stall per outermost collective entry, straggler rank only.
+  EXPECT_EQ(injector->total().stalls, 3);
+}
+
+// The acceptance scenario of the observability layer: a fault-injected
+// crash at world=4 with a compute-side straggler leaves one merged
+// postmortem.json whose cross-rank analysis joins the collectives and
+// names the injected-delay rank.
+TEST(Postmortem, CrashDumpJoinsRanksAndNamesInjectedStraggler) {
+  ScopedPostmortemPath dump("pm_crash_world4.json");
+  const int world = 4;
+  SimCluster cluster(world);
+  FaultPlan plan;
+  plan.straggler_rank = 2;
+  plan.straggler_stall = std::chrono::milliseconds(2);
+  plan.crash_rank = 1;
+  // Ring allreduce sends 2*(world-1) messages per rank: die ~30 steps in,
+  // so the one crash-truncated group is well under the 5% unmatched budget.
+  plan.crash_at_send = 30 * 2 * (world - 1);
+  cluster.set_fault_injector(std::make_shared<FaultInjector>(plan, world));
+  cluster.set_recv_timeout(10000ms);
+  EXPECT_THROW(cluster.run([](Communicator& comm) {
+    std::vector<float> grad(64, 1.0f);
+    for (int it = 0;; ++it) {
+      comm.allreduce_sum(grad, AllreduceAlgo::kRing);
+      MINSGD_FLIGHT(obs::FlightKind::kStep, obs::FlightOp::kNone, 0, 0, 0, 0,
+                    it);
+    }
+  }),
+               RankFailure);
+
+  // One merged dump, written while the failure was unwinding.
+  const obs::Postmortem pm = obs::read_postmortem_file(dump.path);
+  EXPECT_EQ(pm.info.world, world);
+  EXPECT_FALSE(pm.info.reason.empty());
+  EXPECT_EQ(static_cast<int>(pm.info.rank_errors.size()), world);
+  EXPECT_FALSE(pm.events.empty());
+
+  const obs::FlightAnalysis a = obs::analyze_flight(pm.events, world);
+  // >= 95% of collective groups must join across all 4 ranks — only the
+  // final crash-truncated step can be incomplete.
+  EXPECT_GE(a.groups, 10);
+  EXPECT_GE(a.match_rate, 0.95);
+  // Attribution: the injected straggler is charged the arrival lag.
+  EXPECT_EQ(a.straggler_rank, 2);
+  EXPECT_GT(a.straggler_lag_ns, 0);
+  // The injected faults are visible in the timeline: rank 2's stalls and
+  // rank 1's crash marker.
+  EXPECT_GT(a.fault_events, 0);
+  EXPECT_GT(a.crash_events, 0);
+}
+
+TEST(Postmortem, CommTimeoutDumpRecordsTheTimeout) {
+  ScopedPostmortemPath dump("pm_timeout.json");
+  SimCluster cluster(2);
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  cluster.set_fault_injector(std::make_shared<FaultInjector>(plan, 2));
+  cluster.set_recv_timeout(50ms);
+  EXPECT_THROW(cluster.run([](Communicator& comm) {
+    std::vector<float> data(8, 1.0f);
+    comm.allreduce_sum(data);
+  }),
+               CommTimeout);
+
+  const obs::Postmortem pm = obs::read_postmortem_file(dump.path);
+  EXPECT_EQ(pm.info.world, 2);
+  bool saw_timeout = false;
+  bool saw_begin = false;
+  for (const auto& e : pm.events) {
+    saw_timeout |= e.kind == obs::FlightKind::kFault &&
+                   e.op == obs::FlightOp::kTimeout;
+    saw_begin |= e.kind == obs::FlightKind::kCollBegin;
+  }
+  EXPECT_TRUE(saw_timeout);
+  EXPECT_TRUE(saw_begin);
 }
 
 }  // namespace

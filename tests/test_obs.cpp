@@ -4,16 +4,20 @@
 // greps: a trace Chrome cannot load is a bug.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "comm/cluster.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/postmortem.hpp"
 #include "obs/trace.hpp"
 #include "tensor/threadpool.hpp"
 #include "train/metrics.hpp"
@@ -462,6 +466,258 @@ TEST_F(ObsTest, TrainResultJsonlExportParsesLineByLine) {
   }
   EXPECT_EQ(epoch_lines, 3);
   EXPECT_TRUE(saw_summary);
+}
+
+// -- flight recorder --------------------------------------------------------
+
+TEST(FlightRecorder, RingWraparoundKeepsTheLastEvents) {
+  obs::FlightRecorder rec(16);
+  for (int i = 0; i < 40; ++i) {
+    rec.record(obs::FlightKind::kStep, obs::FlightOp::kNone, 0, 0, 0, 0, i);
+  }
+  EXPECT_EQ(rec.total_recorded(), 40);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 16u);
+  // The ring holds exactly the most recent capacity_per_lane events.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, static_cast<std::int64_t>(24 + i));
+  }
+  rec.clear();
+  EXPECT_EQ(rec.total_recorded(), 0);
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(FlightRecorder, FieldsRoundTripThroughTheSlotPacking) {
+  obs::FlightRecorder rec(16);
+  rec.record(obs::FlightKind::kCollBegin, obs::FlightOp::kAllreduceTree, 2,
+             (std::int64_t{1} << 44) + 17, 9, 123456, -3);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, obs::FlightKind::kCollBegin);
+  EXPECT_EQ(events[0].op, obs::FlightOp::kAllreduceTree);
+  EXPECT_EQ(events[0].channel, 2);
+  EXPECT_EQ(events[0].tag, (std::int64_t{1} << 44) + 17);
+  EXPECT_EQ(events[0].generation, 9);
+  EXPECT_EQ(events[0].bytes, 123456);
+  EXPECT_EQ(events[0].arg, -3);
+  EXPECT_EQ(events[0].rank, obs::thread_rank());
+}
+
+// Concurrent writers on distinct rank lanes racing a snapshot reader: the
+// seqlock must never surface a torn slot (tier2-tsan re-runs this under
+// ThreadSanitizer).
+TEST(FlightRecorder, ConcurrentWritersAndSnapshotsStayExact) {
+  obs::FlightRecorder rec(64);
+  constexpr int kWriters = 4;
+  constexpr int kEvents = 4000;
+  std::atomic<bool> done{false};
+  // minsgd-lint: allow(thread-spawn): the seqlock's writer/reader race is
+  // exactly what this test must create.
+  std::vector<std::thread> writers;
+  for (int r = 0; r < kWriters; ++r) {
+    writers.emplace_back([&rec, r] {
+      obs::set_thread_rank(r);
+      for (int i = 0; i < kEvents; ++i) {
+        rec.record(obs::FlightKind::kStep, obs::FlightOp::kNone, r, 10 + r,
+                   0, 0, i);
+      }
+      obs::set_thread_rank(-1);
+    });
+  }
+  // minsgd-lint: allow(thread-spawn): concurrent reader half of the race.
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      for (const auto& e : rec.snapshot()) {
+        // A torn slot would show mixed fields; every accepted event must be
+        // internally consistent.
+        ASSERT_EQ(e.kind, obs::FlightKind::kStep);
+        ASSERT_EQ(e.channel, e.rank);
+        ASSERT_EQ(e.tag, 10 + e.rank);
+        ASSERT_GE(e.arg, 0);
+        ASSERT_LT(e.arg, kEvents);
+      }
+    }
+  });
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(rec.total_recorded(), kWriters * kEvents);
+  const auto final_events = rec.snapshot();
+  EXPECT_EQ(final_events.size(), kWriters * rec.capacity_per_lane());
+}
+
+TEST(FlightRecorder, MacroHonorsTheEnabledGate) {
+  auto& rec = obs::flight();
+  const bool was_enabled = rec.enabled();
+  rec.clear();
+  rec.set_enabled(false);
+  MINSGD_FLIGHT(obs::FlightKind::kStep, obs::FlightOp::kNone, 0, 0, 0, 0, 1);
+  EXPECT_EQ(rec.total_recorded(), 0);
+  rec.set_enabled(true);
+  MINSGD_FLIGHT(obs::FlightKind::kStep, obs::FlightOp::kNone, 0, 0, 0, 0, 2);
+  EXPECT_EQ(rec.total_recorded(), 1);
+  rec.clear();
+  rec.set_enabled(was_enabled);
+}
+
+// -- postmortem dump + analyzer ---------------------------------------------
+
+TEST(Postmortem, WriteReadRoundTrip) {
+  obs::PostmortemInfo info;
+  info.reason = "rank 1: \"boom\"\n\tat line 7";
+  info.world = 4;
+  info.rank_errors = {{1, "RankFailure: injected"}, {3, "ClusterAborted"}};
+  std::vector<obs::FlightEvent> events(2);
+  events[0].t_ns = 123;
+  events[0].kind = obs::FlightKind::kCollBegin;
+  events[0].op = obs::FlightOp::kAllreduceRing;
+  events[0].rank = 2;
+  events[0].channel = 1;
+  events[0].tag = (std::int64_t{1} << 44) + 5;  // wire-tag magnitude
+  events[0].generation = 3;
+  events[0].bytes = 4096;
+  events[0].arg = 7;
+  events[1].t_ns = 456;
+  events[1].kind = obs::FlightKind::kCrash;
+  events[1].op = obs::FlightOp::kTimeout;
+  events[1].rank = 1;
+
+  std::ostringstream os;
+  obs::write_postmortem(os, info, events);
+  const obs::Postmortem pm = obs::read_postmortem(os.str());
+  EXPECT_EQ(pm.info.reason, info.reason);
+  EXPECT_EQ(pm.info.world, 4);
+  ASSERT_EQ(pm.info.rank_errors.size(), 2u);
+  EXPECT_EQ(pm.info.rank_errors[0].first, 1);
+  EXPECT_EQ(pm.info.rank_errors[1].second, "ClusterAborted");
+  ASSERT_EQ(pm.events.size(), 2u);
+  EXPECT_EQ(pm.events[0].kind, obs::FlightKind::kCollBegin);
+  EXPECT_EQ(pm.events[0].op, obs::FlightOp::kAllreduceRing);
+  EXPECT_EQ(pm.events[0].tag, (std::int64_t{1} << 44) + 5);
+  EXPECT_EQ(pm.events[0].generation, 3);
+  EXPECT_EQ(pm.events[0].channel, 1);
+  EXPECT_EQ(pm.events[1].kind, obs::FlightKind::kCrash);
+  EXPECT_EQ(pm.events[1].op, obs::FlightOp::kTimeout);
+}
+
+TEST(Postmortem, RejectsUnknownSchemaAndEnumerators) {
+  EXPECT_THROW(obs::read_postmortem("{\"schema\":\"nope\"}"),
+               std::runtime_error);
+  EXPECT_THROW(
+      obs::read_postmortem(
+          "{\"schema\":\"minsgd-postmortem-v1\",\"reason\":\"r\",\"world\":1,"
+          "\"errors\":[],\"events\":[{\"t_ns\":0,\"kind\":\"weird\","
+          "\"op\":\"none\",\"rank\":0,\"chan\":0,\"tag\":0,\"gen\":0,"
+          "\"bytes\":0,\"arg\":0}]}"),
+      std::runtime_error);
+}
+
+/// Synthetic cross-rank timeline: rank 2 is late into both complete
+/// collectives, one group is missing rank 3, and a membership commit shrinks
+/// generation 1 to world 2. Mirrors tools/trace/analyze.py --self-test.
+TEST(Postmortem, AnalyzerJoinsRanksAndNamesTheStraggler) {
+  std::vector<obs::FlightEvent> ev;
+  auto add = [&ev](std::int64_t t, obs::FlightKind kind, obs::FlightOp op,
+                   int rank, int chan, std::int64_t tag, std::int64_t gen,
+                   std::int64_t arg) {
+    obs::FlightEvent e;
+    e.t_ns = t;
+    e.kind = kind;
+    e.op = op;
+    e.rank = rank;
+    e.channel = chan;
+    e.tag = tag;
+    e.generation = gen;
+    e.arg = arg;
+    ev.push_back(e);
+  };
+  const std::int64_t ms = 1'000'000;
+  for (int r = 0; r < 4; ++r) {
+    add(1 * ms + r * 1000 + (r == 2 ? 2 * ms : 0), obs::FlightKind::kCollBegin,
+        obs::FlightOp::kAllreduceRing, r, 0, 100, 0, 0);
+    add(4 * ms, obs::FlightKind::kCollEnd, obs::FlightOp::kAllreduceRing, r,
+        0, 100, 0, 0);
+  }
+  for (int r = 0; r < 4; ++r) {
+    add(5 * ms + r * 1000 + (r == 2 ? 3 * ms : 0), obs::FlightKind::kCollBegin,
+        obs::FlightOp::kBarrier, r, 0, 200, 0, 0);
+    add(9 * ms, obs::FlightKind::kCollEnd, obs::FlightOp::kBarrier, r, 0, 200,
+        0, 0);
+  }
+  for (int r = 0; r < 3; ++r) {  // rank 3 never reaches tag 300
+    add(10 * ms + r * 1000, obs::FlightKind::kCollBegin,
+        obs::FlightOp::kBroadcast, r, 0, 300, 0, 0);
+  }
+  add(11 * ms, obs::FlightKind::kMembership, obs::FlightOp::kCommit, 0, 2, 0,
+      1, 2);
+  for (int r = 0; r < 4; ++r) {
+    add(12 * ms, obs::FlightKind::kStep, obs::FlightOp::kNone, r, 0, 0, 0, 0);
+  }
+
+  const obs::FlightAnalysis a = obs::analyze_flight(ev, 4);
+  EXPECT_EQ(a.world, 4);
+  EXPECT_EQ(a.groups, 3);
+  EXPECT_EQ(a.matched_groups, 2);
+  EXPECT_EQ(a.straggler_rank, 2);
+  EXPECT_GT(a.straggler_lag_ns, 4 * ms);  // ~2 ms + ~3 ms of charged margin
+  ASSERT_FALSE(a.worst.empty());
+  EXPECT_EQ(a.worst.front().tag, 200);  // biggest skew first
+  ASSERT_EQ(a.reconfigs.size(), 1u);
+  EXPECT_EQ(a.reconfigs[0].world, 2);
+  // Rank 0's exposed comm: tags 100 (3 ms) + 200 (4 ms); tag 300 never ends.
+  bool saw_rank0 = false;
+  for (const auto& row : a.step_comm) {
+    if (row.rank != 0) continue;
+    saw_rank0 = true;
+    EXPECT_EQ(row.steps, 1);
+    EXPECT_NEAR(static_cast<double>(row.exposed_ns), 7.0 * ms, 0.1 * ms);
+  }
+  EXPECT_TRUE(saw_rank0);
+
+  std::ostringstream report;
+  obs::write_analysis(report, a);
+  EXPECT_NE(report.str().find("straggler: rank 2"), std::string::npos);
+  EXPECT_NE(report.str().find("membership timeline"), std::string::npos);
+}
+
+TEST(Postmortem, DumpWritesTheConfiguredPath) {
+  TempFile dump("pm_dump_roundtrip.json");
+  obs::set_postmortem_path(dump.path);
+  obs::flight().clear();
+  MINSGD_FLIGHT(obs::FlightKind::kStep, obs::FlightOp::kNone, 0, 0, 0, 0, 42);
+  obs::PostmortemInfo info;
+  info.reason = "unit-test dump";
+  info.world = 1;
+  EXPECT_TRUE(obs::dump_postmortem(info));
+  const obs::Postmortem pm = obs::read_postmortem_file(dump.path);
+  EXPECT_EQ(pm.info.reason, "unit-test dump");
+  ASSERT_EQ(pm.events.size(), 1u);
+  EXPECT_EQ(pm.events[0].arg, 42);
+  obs::set_postmortem_path("postmortem.json");
+  obs::flight().clear();
+}
+
+// -- tracer buffers across thread exit --------------------------------------
+
+TEST_F(ObsTest, SpansOfExitedThreadsSurviveUntilExportThenPrune) {
+  obs::tracer().set_enabled(true);
+  const std::size_t base = obs::tracer().thread_buffer_count();
+  // minsgd-lint: allow(thread-spawn): the regression under test is a span
+  // recorded by a thread that exits before export.
+  std::thread worker([] {
+    obs::ScopedSpan sp("short.lived.worker", obs::cat::kCompute);
+  });
+  worker.join();
+  // The buffer outlives its thread: the span must still be exportable...
+  EXPECT_EQ(obs::tracer().thread_buffer_count(), base + 1);
+  const auto spans = obs::tracer().snapshot();
+  bool found = false;
+  for (const auto& s : spans) found |= s.name == "short.lived.worker";
+  EXPECT_TRUE(found);
+  // ...and clear() prunes the detached buffer so thread churn cannot grow
+  // the registry without bound.
+  obs::tracer().clear();
+  EXPECT_EQ(obs::tracer().thread_buffer_count(), base);
 }
 
 }  // namespace

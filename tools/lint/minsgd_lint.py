@@ -44,6 +44,12 @@ Rules (ids in brackets; see DESIGN.md §11 for the catalog):
                           no invariant message. (static_assert is fine.)
   [cast]                  Every reinterpret_cast / const_cast in src/ needs a
                           written justification via the suppression comment.
+  [flight-record]         src/ records flight-recorder events only through
+                          the MINSGD_FLIGHT macro (src/obs/flight.hpp), never
+                          by calling flight().record(...) / .record(FlightKind
+                          ...) directly: the macro carries the enabled() gate,
+                          so a direct call bypasses the off switch and pays
+                          the record cost even when the recorder is disabled.
   [bad-suppression]       A suppression that names an unknown rule or omits
                           the justification text.
 
@@ -87,6 +93,7 @@ RULES = {
     "include-hygiene": "include hygiene (#pragma once, no \"../\" includes, C++ header spellings)",
     "naked-assert": "assert() in src/ instead of MINSGD_CHECK/MINSGD_DCHECK",
     "cast": "reinterpret_cast/const_cast in src/ without a written justification",
+    "flight-record": "direct flight-recorder record() call instead of the MINSGD_FLIGHT macro",
     "bad-suppression": "malformed minsgd-lint suppression comment",
 }
 
@@ -102,6 +109,7 @@ THREAD_ALLOWED = (
 )
 RNG_ALLOWED = ("src/tensor/rng.",)
 TAG_ALLOWED = ("src/comm/communicator.",)
+FLIGHT_ALLOWED = ("src/obs/flight.",)
 
 C_HEADER_TO_CXX = {
     "assert.h": "cassert",
@@ -452,6 +460,30 @@ class FileLint:
                                 "'// minsgd-lint: allow(cast): <why this is "
                                 "sound>' on this or the preceding line")
 
+    def rule_flight_record(self):
+        # src/-only, like naked-assert: tests/benches construct their own
+        # FlightRecorder instances and call record() on them legitimately.
+        if not self.in_src() or self.allowed_path(FLIGHT_ALLOWED):
+            return
+        pats = [
+            # The singleton accessor chained straight into record().
+            (r"\bflight\s*\(\s*\)\s*\.\s*record\s*\(",
+             "flight().record(...)"),
+            # Any record() call whose first argument is a FlightKind — the
+            # recorder's signature — via a named reference to the singleton.
+            (r"\.\s*record\s*\(\s*(?:::)?\s*(?:minsgd\s*::\s*)?(?:obs\s*::\s*)?"
+             r"FlightKind\b",
+             ".record(FlightKind...)"),
+        ]
+        for idx, line in enumerate(self.code_lines, start=1):
+            for pat, what in pats:
+                if re.search(pat, line):
+                    self.report(idx, "flight-record",
+                                f"{what} in src/ — record flight events "
+                                "through MINSGD_FLIGHT (obs/flight.hpp), "
+                                "which carries the enabled() gate")
+                    break
+
     # -- driver ------------------------------------------------------------
 
     def run(self) -> list[Finding]:
@@ -464,6 +496,7 @@ class FileLint:
         self.rule_include_hygiene()
         self.rule_naked_assert()
         self.rule_cast()
+        self.rule_flight_record()
 
         kept = []
         for f in self.findings:

@@ -1,0 +1,407 @@
+#!/usr/bin/env python3
+"""analyze.py: cross-rank postmortem analyzer for minsgd flight-recorder dumps.
+
+A crashed SimCluster run (fault injection, CommTimeout, MINSGD_CHECK failure)
+leaves one merged `postmortem.json` holding the last N flight-recorder events
+of every rank. This tool joins those events across ranks and answers the
+questions a postmortem starts with:
+
+  * Did every rank reach every collective? Events are joined into groups by
+    (channel, tag, generation, op); a group is *matched* when the number of
+    distinct ranks that recorded a begin equals the expected world for that
+    generation (taken from membership-commit events, or --world for gen 0).
+  * Who is the straggler? For each group the last arriver is charged only the
+    margin over the second-last arrival — the delay nobody else shares. The
+    rank with the largest accumulated margin is named.
+  * How much comm is exposed vs overlapped? Per-rank union of collective
+    [begin, end] intervals, split by channel (0 = the rank thread blocked in
+    a collective, 1 = the async engine worker), divided by step count.
+  * What did the elastic membership do? Commit events give a generation /
+    world timeline; fault and crash events are counted.
+
+This is the dependency-free (stdlib-only) twin of obs::analyze_flight in
+src/obs/postmortem.cpp: same join keys, same attribution policy, same report
+shape, so the numbers agree whether the dump is read in-process (tests) or
+offline (this tool). Keep the two in sync.
+
+Usage:
+    analyze.py <postmortem.json> [--world N] [--json]
+    analyze.py --self-test
+
+Exit status: 0 on success, 1 on analysis/self-test failure, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+SCHEMA = "minsgd-postmortem-v1"
+
+KINDS = ("none", "coll-begin", "coll-end", "arrive", "step", "membership",
+         "checkpoint", "fault", "crash")
+OPS = ("none", "barrier", "broadcast", "reduce", "allgather",
+       "allreduce-star", "allreduce-ring", "allreduce-tree", "allreduce-rhd",
+       "drop", "delay", "duplicate", "corrupt", "crashed", "timeout", "stall",
+       "save", "load", "commit", "rendezvous")
+
+
+@dataclass
+class Event:
+    t_ns: int
+    kind: str
+    op: str
+    rank: int
+    chan: int
+    tag: int
+    gen: int
+    bytes: int
+    arg: int
+
+
+@dataclass
+class Group:
+    chan: int
+    tag: int
+    gen: int
+    op: str
+    ranks_seen: int = 0
+    ranks_expected: int = 0
+    first_begin_ns: int = 0
+    first_rank: int = -1
+    last_begin_ns: int = 0
+    last_rank: int = -1
+    skew_ns: int = 0
+    margin_ns: int = 0
+
+
+@dataclass
+class Analysis:
+    world: int = 0
+    groups: int = 0
+    matched_groups: int = 0
+    match_rate: float = 1.0
+    straggler_rank: int = -1
+    straggler_lag_ns: int = 0
+    ranks: dict = field(default_factory=dict)  # rank -> {groups, last, lag_ns}
+    worst: list = field(default_factory=list)
+    step_comm: dict = field(default_factory=dict)
+    reconfigs: list = field(default_factory=list)
+    fault_events: int = 0
+    crash_events: int = 0
+
+
+def load_postmortem(path: str):
+    with open(path, "r", encoding="utf-8") as f:
+        root = json.load(f)
+    if root.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: missing or unknown schema "
+                         f"(want {SCHEMA!r}, got {root.get('schema')!r})")
+    events = []
+    for e in root["events"]:
+        if e["kind"] not in KINDS:
+            raise ValueError(f"unknown event kind {e['kind']!r}")
+        if e["op"] not in OPS:
+            raise ValueError(f"unknown event op {e['op']!r}")
+        events.append(Event(int(e["t_ns"]), e["kind"], e["op"], int(e["rank"]),
+                            int(e["chan"]), int(e["tag"]), int(e["gen"]),
+                            int(e["bytes"]), int(e["arg"])))
+    return root, events
+
+
+def interval_union(ivals):
+    """Total length of the union of [b, e) intervals."""
+    ivals = sorted(ivals)
+    total = 0
+    cur_b, cur_e = ivals[0]
+    for b, e in ivals:
+        if b > cur_e:
+            total += cur_e - cur_b
+            cur_b, cur_e = b, e
+        else:
+            cur_e = max(cur_e, e)
+    total += cur_e - cur_b
+    return total
+
+
+def analyze(events, world=0):
+    a = Analysis()
+    max_rank = max((e.rank for e in events), default=-1)
+    a.world = world if world > 0 else max_rank + 1
+
+    # Expected participant count per generation: --world seeds generation 0;
+    # every committed view declares its own (membership events carry world
+    # in arg).
+    gen_world = {}
+    for e in events:
+        if e.kind == "membership":
+            gen_world[e.gen] = e.arg
+            a.reconfigs.append((e.t_ns, e.gen, e.arg))
+        elif e.kind == "fault":
+            a.fault_events += 1
+        elif e.kind == "crash":
+            a.crash_events += 1
+    a.reconfigs.sort()
+
+    # The cross-rank join: one group per (chan, tag, gen, op). The op
+    # disambiguates an allreduce wrapper from the nested collective that
+    # mints the same first tag (allreduce-tree's inner reduce).
+    begins = defaultdict(dict)  # key -> {rank: earliest begin}
+    open_begins = {}
+    intervals = defaultdict(list)  # (rank, chan) -> [(b, e)]
+    steps_by_rank = defaultdict(int)
+    for e in events:
+        if e.kind == "step":
+            steps_by_rank[e.rank] += 1
+        elif e.kind == "coll-begin":
+            g = begins[(e.chan, e.tag, e.gen, e.op)]
+            g[e.rank] = min(g.get(e.rank, e.t_ns), e.t_ns)
+            open_begins[(e.rank, e.chan, e.tag, e.gen, e.op)] = e.t_ns
+        elif e.kind == "coll-end":
+            b = open_begins.pop((e.rank, e.chan, e.tag, e.gen, e.op), None)
+            if b is not None:
+                intervals[(e.rank, e.chan)].append((b, e.t_ns))
+
+    all_groups = []
+    for (chan, tag, gen, op), by_rank in begins.items():
+        g = Group(chan, tag, gen, op)
+        g.ranks_seen = len(by_rank)
+        g.ranks_expected = gen_world.get(gen, a.world)
+        order = sorted((t, r) for r, t in by_rank.items())
+        g.first_begin_ns, g.first_rank = order[0]
+        g.last_begin_ns, g.last_rank = order[-1]
+        g.skew_ns = g.last_begin_ns - g.first_begin_ns
+        # The last arriver is charged only the margin over the second-last —
+        # the delay nobody else shares.
+        g.margin_ns = g.last_begin_ns - order[-2][0] if len(order) >= 2 else 0
+        for r in by_rank:
+            ra = a.ranks.setdefault(r, {"groups": 0, "last": 0, "lag_ns": 0})
+            ra["groups"] += 1
+        if len(order) >= 2:
+            ra = a.ranks[g.last_rank]
+            ra["last"] += 1
+            ra["lag_ns"] += g.margin_ns
+        a.groups += 1
+        if g.ranks_expected > 0 and g.ranks_seen == g.ranks_expected:
+            a.matched_groups += 1
+        all_groups.append(g)
+    a.match_rate = 1.0 if a.groups == 0 else a.matched_groups / a.groups
+
+    for r, ra in sorted(a.ranks.items()):
+        if ra["lag_ns"] > a.straggler_lag_ns:
+            a.straggler_lag_ns = ra["lag_ns"]
+            a.straggler_rank = r
+
+    all_groups.sort(key=lambda g: -g.skew_ns)
+    a.worst = all_groups[:8]
+
+    # Exposed (chan 0) vs overlapped (chan 1) comm: union of each rank's
+    # collective intervals so nested spans are not double counted.
+    for (rank, chan), ivals in intervals.items():
+        row = a.step_comm.setdefault(rank, {"steps": 0, "exposed_ns": 0,
+                                            "overlapped_ns": 0})
+        total = interval_union(ivals)
+        if chan == 0:
+            row["exposed_ns"] += total
+        elif chan == 1:
+            row["overlapped_ns"] += total
+    for rank, n in steps_by_rank.items():
+        a.step_comm.setdefault(rank, {"steps": 0, "exposed_ns": 0,
+                                      "overlapped_ns": 0})["steps"] = n
+    return a
+
+
+def report(a: Analysis, root=None, out=sys.stdout):
+    w = out.write
+    if root is not None:
+        w(f"reason: {root.get('reason', '')}\n")
+        for err in root.get("errors", []):
+            w(f"  rank {err['rank']}: {err['what']}\n")
+    w(f"postmortem: world={a.world}, {a.groups} collective group(s), "
+      f"{a.matched_groups} matched across ranks ({100.0 * a.match_rate:.1f}%)\n")
+    if a.straggler_rank >= 0:
+        w(f"straggler: rank {a.straggler_rank} "
+          f"(+{a.straggler_lag_ns / 1e6:.3f} ms total arrival lag)\n")
+    else:
+        w("straggler: no attribution evidence\n")
+    for r, ra in sorted(a.ranks.items()):
+        w(f"  rank {r:2d}: {ra['groups']} group(s), arrived last "
+          f"{ra['last']} times, charged {ra['lag_ns'] / 1e6:.3f} ms\n")
+    if a.worst:
+        w("worst arrival skew:\n")
+        for g in a.worst:
+            w(f"  chan {g.chan} gen {g.gen} tag {g.tag} {g.op:<15} "
+              f"{g.ranks_seen}/{g.ranks_expected} ranks, "
+              f"skew {g.skew_ns / 1e6:.3f} ms, last rank {g.last_rank} "
+              f"(+{g.margin_ns / 1e6:.3f} ms)\n")
+    if a.step_comm:
+        w("per-step comm (exposed = main channel, overlapped = async):\n")
+        for r, row in sorted(a.step_comm.items()):
+            steps = row["steps"] if row["steps"] > 0 else 1
+            w(f"  rank {r:2d}: {row['steps']} step(s), exposed "
+              f"{row['exposed_ns'] / steps / 1e6:.3f} ms/step, overlapped "
+              f"{row['overlapped_ns'] / steps / 1e6:.3f} ms/step\n")
+    if a.reconfigs:
+        w("membership timeline:\n")
+        for t_ns, gen, world in a.reconfigs:
+            w(f"  t={t_ns / 1e6:.3f} ms: generation {gen} committed, "
+              f"world {world}\n")
+    w(f"fault events: {a.fault_events}, crash events: {a.crash_events}\n")
+
+
+def to_json(a: Analysis):
+    return {
+        "world": a.world,
+        "groups": a.groups,
+        "matched_groups": a.matched_groups,
+        "match_rate": a.match_rate,
+        "straggler_rank": a.straggler_rank,
+        "straggler_lag_ns": a.straggler_lag_ns,
+        "ranks": {str(r): ra for r, ra in sorted(a.ranks.items())},
+        "fault_events": a.fault_events,
+        "crash_events": a.crash_events,
+    }
+
+
+def self_test() -> int:
+    """Synthetic 4-rank timeline exercising every analyzer feature: a clean
+    collective, a straggling rank, an incomplete group (crashed rank absent),
+    nested spans on one rank, an overlapped-channel group, a membership
+    commit, and fault/crash markers."""
+    ev = []
+
+    def add(t, kind, op, rank, chan=0, tag=0, gen=0, nbytes=0, arg=0):
+        ev.append(Event(t, kind, op, rank, chan, tag, gen, nbytes, arg))
+
+    T = 1_000_000  # 1 ms in ns
+    # Group A (tag 100): all 4 ranks, rank 2 arrives 2 ms after the pack.
+    for r in range(4):
+        add(1 * T + r * 10_000 + (2 * T if r == 2 else 0),
+            "coll-begin", "allreduce-ring", r, tag=100, nbytes=4096)
+    for r in range(4):
+        add(4 * T + r * 10_000, "coll-end", "allreduce-ring", r, tag=100,
+            nbytes=4096)
+    # Group B (tag 200): rank 2 late again — attribution must accumulate.
+    for r in range(4):
+        add(5 * T + r * 10_000 + (3 * T if r == 2 else 0),
+            "coll-begin", "barrier", r, tag=200)
+    for r in range(4):
+        add(9 * T + r * 10_000, "coll-end", "barrier", r, tag=200)
+    # Group C (tag 300): rank 3 crashed before it — only 3 ranks => unmatched.
+    for r in range(3):
+        add(10 * T + r * 10_000, "coll-begin", "broadcast", r, tag=300)
+    add(10 * T + 500_000, "crash", "crashed", 3, arg=3)
+    # Nested span on rank 0 (tag 301 inside 300's window): union, not sum.
+    add(10 * T + 20_000, "coll-begin", "reduce", 0, tag=301)
+    add(10 * T + 400_000, "coll-end", "reduce", 0, tag=301)
+    for r in range(3):
+        add(11 * T + r * 10_000, "coll-end", "broadcast", r, tag=300)
+    # Overlapped-channel group on ranks 0-1 (chan 1), gen 1 after a commit
+    # that shrank the world to 2.
+    add(12 * T, "membership", "commit", 0, chan=2, gen=1, arg=2)
+    for r in range(2):
+        add(13 * T + r * 10_000, "coll-begin", "allreduce-ring", r, chan=1,
+            tag=400, gen=1)
+        add(14 * T + r * 10_000, "coll-end", "allreduce-ring", r, chan=1,
+            tag=400, gen=1)
+    # Steps and a fault marker.
+    for r in range(4):
+        add(15 * T, "step", "none", r, arg=1)
+    add(2 * T, "fault", "delay", 1, nbytes=5, arg=2)
+
+    a = analyze(ev, world=4)
+
+    failures = []
+
+    def expect(cond, what):
+        if not cond:
+            failures.append(what)
+
+    # 4 main-channel groups + 1 overlapped = 5; unmatched: tag 300 (3/4) and
+    # tag 301 (1/4).
+    expect(a.groups == 5, f"groups: want 5, got {a.groups}")
+    expect(a.matched_groups == 3, f"matched: want 3, got {a.matched_groups}")
+    expect(abs(a.match_rate - 0.6) < 1e-9,
+           f"match_rate: want 0.6, got {a.match_rate}")
+    expect(a.straggler_rank == 2, f"straggler: want 2, got {a.straggler_rank}")
+    # Rank 2 charged margin-over-second-last: ~2 ms (A) + ~3 ms (B).
+    expect(4_900_000 < a.straggler_lag_ns < 5_100_000,
+           f"straggler lag: want ~5 ms, got {a.straggler_lag_ns}")
+    # A, B, and (trivially, by 20 us) the incomplete group C.
+    expect(a.ranks[2]["last"] == 3,
+           f"rank 2 arrived-last count: want 3, got {a.ranks[2]['last']}")
+    expect(a.fault_events == 1, f"fault events: want 1, got {a.fault_events}")
+    expect(a.crash_events == 1, f"crash events: want 1, got {a.crash_events}")
+    expect(a.reconfigs == [(12 * T, 1, 2)], f"reconfigs: {a.reconfigs}")
+    # Gen-1 group expects world 2 from the commit, so 2/2 ranks matches.
+    gen1 = [g for g in a.worst if g.gen == 1]
+    expect(len(gen1) == 1 and gen1[0].ranks_expected == 2,
+           f"gen-1 expected world: {gen1}")
+    # Rank 0 exposed time is a union: tags 100 (3 ms), 200 (4 ms), 300 (1 ms,
+    # with nested 301 inside — no double count) = 8 ms; chan-1 time is
+    # separate (1 ms overlapped).
+    r0 = a.step_comm[0]
+    expect(abs(r0["exposed_ns"] - 8 * T) < 200_000,
+           f"rank 0 exposed: want ~8 ms, got {r0['exposed_ns']}")
+    expect(abs(r0["overlapped_ns"] - 1 * T) < 200_000,
+           f"rank 0 overlapped: want ~1 ms, got {r0['overlapped_ns']}")
+    expect(r0["steps"] == 1, f"rank 0 steps: want 1, got {r0['steps']}")
+    # Worst-skew ordering: tag 200 (3 ms skew) ahead of tag 100 (2 ms).
+    expect(a.worst[0].tag == 200 and a.worst[1].tag == 100,
+           f"worst order: {[g.tag for g in a.worst]}")
+
+    # Round-trip: the report must render without error.
+    import io
+    buf = io.StringIO()
+    report(a, out=buf)
+    expect("straggler: rank 2" in buf.getvalue(), "report names straggler")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        print(f"analyze.py self-test: {len(failures)} failure(s)")
+        return 1
+    print("analyze.py self-test: all checks passed")
+    return 0
+
+
+def main(argv) -> int:
+    args = argv[1:]
+    if "--self-test" in args:
+        return self_test()
+    world = 0
+    as_json = "--json" in args
+    if "--world" in args:
+        i = args.index("--world")
+        try:
+            world = int(args[i + 1])
+        except (IndexError, ValueError):
+            print("analyze.py: --world needs an integer", file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    paths = [a for a in args if not a.startswith("-")]
+    if len(paths) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        root, events = load_postmortem(paths[0])
+    except (OSError, ValueError, KeyError) as err:
+        print(f"analyze.py: {err}", file=sys.stderr)
+        return 1
+    a = analyze(events, world=world or int(root.get("world", 0)))
+    if as_json:
+        json.dump(to_json(a), sys.stdout, indent=2)
+        print()
+    else:
+        report(a, root=root)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        # Piped into head/less and the reader closed first; not an error.
+        sys.exit(0)
