@@ -28,6 +28,7 @@
 #include "nn/residual.hpp"
 #include "obs/flight.hpp"
 #include "tensor/context.hpp"
+#include "tensor/kernels/dispatch.hpp"
 #include "tensor/rng.hpp"
 
 namespace minsgd {
@@ -157,6 +158,9 @@ int main() {
                 "per-node throughput must scale with intra-node parallelism "
                 "for large-batch training to pay off");
   std::printf("hardware_concurrency: %u\n", hw);
+  // The conv/BN kernels under this sweep dispatch by ISA; a throughput
+  // number is only comparable to another run on the same path.
+  std::printf("kernel isa: %s\n", kernels::to_string(kernels::active()));
 
   const std::vector<std::int64_t> batches = {8, 32, 64};
   const std::vector<std::size_t> threads = {1, 2, 4, 8};
@@ -225,6 +229,8 @@ int main() {
                         .add("logits_checksum", peak.check)
                         .add("flight_overhead_pct", overhead_pct)
                         .add("hw_threads", static_cast<std::int64_t>(hw))
+                        .add_string("kernel_isa",
+                                    kernels::to_string(kernels::active()))
                         .write();
   std::printf("\nCSV: %s\nJSON: %s\n", bench::csv_path("intraop").c_str(),
               json.c_str());

@@ -13,7 +13,11 @@
 #                the full tier-1 suite under it — includes the elastic
 #                membership suite (test_elastic), whose fault-injected
 #                shrink->grow->shrink soak exercises checkpoint bytes on
-#                the wire and reconfiguration retries under ASan/UBSan
+#                the wire and reconfiguration retries under ASan/UBSan.
+#                The kernel oracle trials (test_gemm, test_conv) then run a
+#                second time with MINSGD_KERNEL_ISA=portable so the packed
+#                reference path — not just the dispatched SIMD path — gets
+#                sanitizer coverage of its panel-packing scratch
 #   tier2-tsan   scripts/tsan_tier2.sh: thread-heavy suites under
 #                MINSGD_SANITIZE=thread (ctest -L tier2-tsan); test_elastic
 #                runs here too — the coordinator's rendezvous/watchdog and
@@ -88,7 +92,16 @@ asan_ubsan_stage() {
     cmake --build build-asan-ubsan -j"$JOBS" &&
     ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
     UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
-    ctest --test-dir build-asan-ubsan -j"$JOBS" --output-on-failure
+    ctest --test-dir build-asan-ubsan -j"$JOBS" --output-on-failure &&
+    # Kernel oracle trials again with the ISA pinned to the portable
+    # reference kernel: the dispatched run above covers the SIMD
+    # microkernels, this one covers the scalar reference and the shared
+    # pack/drive layer under ASan/UBSan.
+    ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    MINSGD_KERNEL_ISA=portable \
+    ctest --test-dir build-asan-ubsan -j"$JOBS" --output-on-failure \
+      -R '^(test_gemm|test_conv)$'
 }
 
 tsan_stage() {

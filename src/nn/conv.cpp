@@ -1,14 +1,38 @@
 #include "nn/conv.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/kernels/conv_direct.hpp"
 
 namespace minsgd::nn {
+namespace {
+
+bool conv_direct_default() {
+  const char* env = std::getenv("MINSGD_CONV_DIRECT");
+  if (env == nullptr) return true;
+  const std::string v(env);
+  return !(v == "0" || v == "off" || v == "false");
+}
+
+std::atomic<bool> g_conv_direct{conv_direct_default()};
+
+}  // namespace
+
+void Conv2d::set_direct_enabled(bool on) {
+  g_conv_direct.store(on, std::memory_order_relaxed);
+}
+
+bool Conv2d::direct_enabled() {
+  return g_conv_direct.load(std::memory_order_relaxed);
+}
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t kernel, std::int64_t stride, std::int64_t pad,
@@ -111,6 +135,41 @@ void Conv2d::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
   const std::int64_t kdim = (in_c_ / groups_) * k_ * k_;  // per-group depth
   const std::int64_t g_out = out_c_ / groups_;
 
+  const bool direct = direct_enabled() &&
+                      kernels::conv2d_direct_eligible(k_, stride_, pad_, groups_);
+  if (direct && k_ == 1) {
+    // 1x1 stride-1 unpadded: the conv IS a GEMM on the input plane — no
+    // gather at all. Bit-identical to the im2col path (whose col buffer
+    // equals the input slice bytewise), so this needs no separate oracle.
+    ctx.for_chunks(
+        batch, /*grain=*/1,
+        [&](std::int64_t /*c*/, std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t n = lo; n < hi; ++n) {
+            sgemm(ctx, Trans::kNo, Trans::kNo, out_c_, spatial, in_c_, 1.0f,
+                  w_.data(), in_c_, x.data() + n * in_c_ * spatial, spatial,
+                  0.0f, y.data() + n * out_c_ * spatial, spatial);
+            if (has_bias_) {
+              for (std::int64_t oc = 0; oc < out_c_; ++oc) {
+                float* dst = y.data() + (n * out_c_ + oc) * spatial;
+                const float bv = b_[oc];
+                for (std::int64_t s = 0; s < spatial; ++s) dst[s] += bv;
+              }
+            }
+          }
+        });
+    return;
+  }
+  if (direct) {
+    // Stride-1 3x3: fused direct conv — im2col folded into B-panel packing.
+    const kernels::Conv2dGeom geom{in_c_, x.shape()[2], x.shape()[3],
+                                   out_c_,  out_h,       out_w,
+                                   k_,      stride_,     pad_};
+    kernels::conv2d_forward_direct(ctx, x.data(), w_.data(),
+                                   has_bias_ ? b_.data() : nullptr, y.data(),
+                                   batch, geom);
+    return;
+  }
+
   // Batch-parallel with per-chunk im2col scratch; each image's output rows
   // are disjoint, so no reduction is needed. The inner sgemm runs inline
   // (nested region).
@@ -178,24 +237,42 @@ void Conv2d::do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
           dbp->resize(b_.shape());
           dbp->zero();
         }
-        std::vector<float> col(
-            static_cast<std::size_t>(in_c_ * k_ * k_ * spatial));
-        std::vector<float> dcol(
-            static_cast<std::size_t>(in_c_ * k_ * k_ * spatial));
+        // 1x1 stride-1 unpadded skips the col buffers entirely: the column
+        // matrix is the input slice and dcol is dx itself. Bit-identical to
+        // the im2col path (col2im adds each dcol element once onto zero).
+        const bool direct1x1 = direct_enabled() && groups_ == 1 && k_ == 1 &&
+                               stride_ == 1 && pad_ == 0;
+        const std::size_t col_elems =
+            direct1x1 ? 0 : static_cast<std::size_t>(in_c_ * k_ * k_ * spatial);
+        std::vector<float> col(col_elems);
+        std::vector<float> dcol(col_elems);
         for (std::int64_t n = lo; n < hi; ++n) {
-          im2col(x, n, col.data(), out_h, out_w);
-          for (std::int64_t g = 0; g < groups_; ++g) {
-            const float* dy_g = dy.data() + (n * out_c_ + g * g_out) * spatial;
-            // dW_g(partial) += dy_g (g_out x spatial) * col_g^T (spatial x kdim)
-            sgemm(ctx, Trans::kNo, Trans::kYes, g_out, kdim, spatial, 1.0f,
-                  dy_g, spatial, col.data() + g * kdim * spatial, spatial, 1.0f,
-                  dwp.data() + g * g_out * kdim, kdim);
-            // dcol_g = W_g^T (kdim x g_out) * dy_g (g_out x spatial)
-            sgemm(ctx, Trans::kYes, Trans::kNo, kdim, spatial, g_out, 1.0f,
-                  w_.data() + g * g_out * kdim, kdim, dy_g, spatial, 0.0f,
-                  dcol.data() + g * kdim * spatial, spatial);
+          if (direct1x1) {
+            const float* dy_n = dy.data() + n * out_c_ * spatial;
+            // dW(partial) += dy_n (out_c x spatial) * x_n^T (spatial x in_c)
+            sgemm(ctx, Trans::kNo, Trans::kYes, out_c_, in_c_, spatial, 1.0f,
+                  dy_n, spatial, x.data() + n * in_c_ * spatial, spatial, 1.0f,
+                  dwp.data(), in_c_);
+            // dx_n = W^T (in_c x out_c) * dy_n (out_c x spatial)
+            sgemm(ctx, Trans::kYes, Trans::kNo, in_c_, spatial, out_c_, 1.0f,
+                  w_.data(), in_c_, dy_n, spatial, 0.0f,
+                  dx.data() + n * in_c_ * spatial, spatial);
+          } else {
+            im2col(x, n, col.data(), out_h, out_w);
+            for (std::int64_t g = 0; g < groups_; ++g) {
+              const float* dy_g =
+                  dy.data() + (n * out_c_ + g * g_out) * spatial;
+              // dW_g(partial) += dy_g (g_out x spatial) * col_g^T (spatial x kdim)
+              sgemm(ctx, Trans::kNo, Trans::kYes, g_out, kdim, spatial, 1.0f,
+                    dy_g, spatial, col.data() + g * kdim * spatial, spatial,
+                    1.0f, dwp.data() + g * g_out * kdim, kdim);
+              // dcol_g = W_g^T (kdim x g_out) * dy_g (g_out x spatial)
+              sgemm(ctx, Trans::kYes, Trans::kNo, kdim, spatial, g_out, 1.0f,
+                    w_.data() + g * g_out * kdim, kdim, dy_g, spatial, 0.0f,
+                    dcol.data() + g * kdim * spatial, spatial);
+            }
+            col2im(dcol.data(), dx, n, out_h, out_w);
           }
-          col2im(dcol.data(), dx, n, out_h, out_w);
           if (has_bias_) {
             for (std::int64_t oc = 0; oc < out_c_; ++oc) {
               const float* src = dy.data() + (n * out_c_ + oc) * spatial;

@@ -1,4 +1,5 @@
-// Conv2d: 2-D convolution lowered to im2col + sgemm.
+// Conv2d: 2-D convolution lowered to im2col + sgemm, with a direct
+// (im2col-free) fast path for 1x1 and stride-1 3x3 ungrouped shapes.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +28,14 @@ class Conv2d final : public Layer {
 
   Tensor& weight() { return w_; }
   Tensor& bias() { return b_; }
+
+  /// Process-wide toggle for the direct (im2col-free) conv path. On by
+  /// default; MINSGD_CONV_DIRECT=off/0/false disables it at startup. The
+  /// im2col path stays the semantic reference — for shapes where sgemm takes
+  /// its packed path the two produce bit-identical outputs, so tests and
+  /// benches flip this to compare them.
+  static void set_direct_enabled(bool on);
+  static bool direct_enabled();
 
  protected:
   void do_forward(const Tensor& x, Tensor& y, bool training,

@@ -1,50 +1,23 @@
 #include "tensor/gemm.hpp"
 
-#include <algorithm>
 #include <cstring>
-#include <vector>
 
 #include "core/check.hpp"
 #include "tensor/context.hpp"
+#include "tensor/kernels/gemm_packed.hpp"
 
 namespace minsgd {
 namespace {
-
-// Block sizes sized for a typical 32K L1 / 512K L2.
-constexpr std::int64_t kMC = 64;   // rows of A per block
-constexpr std::int64_t kKC = 256;  // depth per block
-constexpr std::int64_t kNC = 512;  // cols of B per block
-
-// Computes a kMC x kNC block of C += A_block * B_block where A_block is
-// packed row-major (mc x kc) and B_block is packed row-major (kc x nc).
-void micro_block(std::int64_t mc, std::int64_t nc, std::int64_t kc,
-                 const float* ap, const float* bp, float* c,
-                 std::int64_t ldc) {
-  for (std::int64_t i = 0; i < mc; ++i) {
-    float* crow = c + i * ldc;
-    const float* arow = ap + i * kc;
-    for (std::int64_t p = 0; p < kc; ++p) {
-      const float aval = arow[p];
-      const float* brow = bp + p * nc;
-      // Vectorizable axpy over the C row.
-      for (std::int64_t j = 0; j < nc; ++j) crow[j] += aval * brow[j];
-    }
-  }
-}
 
 inline float load_a(const float* a, std::int64_t lda, Trans ta, std::int64_t i,
                     std::int64_t p) {
   return ta == Trans::kNo ? a[i * lda + p] : a[p * lda + i];
 }
 
-inline float load_b(const float* b, std::int64_t ldb, Trans tb, std::int64_t p,
-                    std::int64_t j) {
-  return tb == Trans::kNo ? b[p * ldb + j] : b[j * ldb + p];
-}
-
 // Direct (non-packing, single-thread) path for small problems, where the
-// blocked kernel's packing and fork-join overheads dominate. DNN training at
-// proxy resolutions consists almost entirely of such GEMMs.
+// packed kernel's panel copies and fork-join overheads dominate. DNN training
+// at proxy resolutions still hits this for biases, tiny heads and 1x1 convs
+// on small planes.
 void gemm_small(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
                 std::int64_t k, float alpha, const float* a, std::int64_t lda,
                 const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
@@ -78,6 +51,11 @@ void gemm_small(Trans ta, Trans tb, std::int64_t m, std::int64_t n,
   }
 }
 
+// Below this FLOP count the small path wins; above it the packed microkernel
+// path does. The threshold is a function of shape only, so which path runs
+// never depends on the thread count or the dispatched ISA.
+constexpr std::int64_t kSmallGemmFlops = std::int64_t{1} << 18;
+
 }  // namespace
 
 void sgemm(const ComputeContext& ctx, Trans ta, Trans tb, std::int64_t m,
@@ -107,47 +85,12 @@ void sgemm(const ComputeContext& ctx, Trans ta, Trans tb, std::int64_t m,
   }
   if (k == 0 || alpha == 0.0f) return;
 
-  if (m * n * k <= (std::int64_t{1} << 21)) {
+  if (m * n * k <= kSmallGemmFlops) {
     gemm_small(ta, tb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
     return;
   }
 
-  // Parallelize over row-blocks of C; each task packs its own A/B blocks.
-  // Each row-block is serial within itself, so results do not depend on the
-  // thread count.
-  ctx.parallel_for(
-      0, (m + kMC - 1) / kMC,
-      [&](std::int64_t blk_lo, std::int64_t blk_hi) {
-        std::vector<float> apack(static_cast<std::size_t>(kMC * kKC));
-        std::vector<float> bpack(static_cast<std::size_t>(kKC * kNC));
-        for (std::int64_t blk = blk_lo; blk < blk_hi; ++blk) {
-          const std::int64_t i0 = blk * kMC;
-          const std::int64_t mc = std::min(kMC, m - i0);
-          for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
-            const std::int64_t kc = std::min(kKC, k - p0);
-            // Pack A block (mc x kc), pre-scaled by alpha.
-            for (std::int64_t i = 0; i < mc; ++i) {
-              for (std::int64_t p = 0; p < kc; ++p) {
-                apack[static_cast<std::size_t>(i * kc + p)] =
-                    alpha * load_a(a, lda, ta, i0 + i, p0 + p);
-              }
-            }
-            for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
-              const std::int64_t nc = std::min(kNC, n - j0);
-              // Pack B block (kc x nc).
-              for (std::int64_t p = 0; p < kc; ++p) {
-                for (std::int64_t j = 0; j < nc; ++j) {
-                  bpack[static_cast<std::size_t>(p * nc + j)] =
-                      load_b(b, ldb, tb, p0 + p, j0 + j);
-                }
-              }
-              micro_block(mc, nc, kc, apack.data(), bpack.data(),
-                          c + i0 * ldc + j0, ldc);
-            }
-          }
-        }
-      },
-      /*grain=*/1);
+  kernels::gemm_packed(ctx, ta, tb, m, n, k, alpha, a, lda, b, ldb, c, ldc);
 }
 
 void sgemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,

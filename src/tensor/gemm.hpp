@@ -1,8 +1,12 @@
 // sgemm: single-precision general matrix multiply.
 //
-// C = alpha * op(A) * op(B) + beta * C, row-major, with cache blocking and
-// an inner kernel the compiler can vectorize. This is the compute backbone:
-// Conv2d lowers to im2col + sgemm, Linear is a direct sgemm.
+// C = alpha * op(A) * op(B) + beta * C, row-major. Large problems route to
+// register-blocked, panel-packed microkernels behind a runtime ISA
+// dispatcher (see tensor/kernels/); small problems take a direct scalar
+// path. Which path runs is a function of shape only, and the microkernel
+// contract makes results bit-identical across ISA paths and thread counts.
+// This is the compute backbone: Conv2d lowers to im2col + sgemm (or a fused
+// direct-conv variant of the same kernels), Linear is a direct sgemm.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,142 @@
+#include "tensor/kernels/conv_direct.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "core/check.hpp"
+#include "tensor/context.hpp"
+#include "tensor/kernels/microkernel.hpp"
+#include "tensor/kernels/pack.hpp"
+
+namespace minsgd::kernels {
+namespace {
+
+// im2col fused into B packing: gathers the (kc x nc) block of the implicit
+// column matrix (rows = (ci, ki, kj) taps, cols = output positions) for one
+// image, directly into B-panel layout. For stride 1 the inner gather is a
+// unit-stride row copy with border zero-fill.
+void pack_b_im2col(const float* xn, const Conv2dGeom& g, std::int64_t p0,
+                   std::int64_t j0, std::int64_t kc, std::int64_t nc,
+                   float* bp) {
+  const std::int64_t ntiles = (nc + kNR - 1) / kNR;
+  const std::int64_t padded = ntiles * kNR;
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const std::int64_t prow = p0 + p;
+    const std::int64_t ci = prow / (g.k * g.k);
+    const std::int64_t rem = prow % (g.k * g.k);
+    const std::int64_t ki = rem / g.k;
+    const std::int64_t kj = rem % g.k;
+    const float* plane = xn + ci * g.h * g.w;
+    std::int64_t jl = 0;
+    while (jl < nc) {
+      const std::int64_t j = j0 + jl;
+      const std::int64_t oh = j / g.out_w;
+      const std::int64_t ow = j % g.out_w;
+      // Stay within one output row and one kNR micro-panel so the
+      // destination is contiguous.
+      std::int64_t run = std::min(g.out_w - ow, nc - jl);
+      run = std::min(run, kNR - (jl % kNR));
+      float* dst = bp + (jl / kNR) * kc * kNR + p * kNR + (jl % kNR);
+      const std::int64_t ih = oh * g.stride - g.pad + ki;
+      if (ih < 0 || ih >= g.h) {
+        for (std::int64_t t = 0; t < run; ++t) dst[t] = 0.0f;
+      } else {
+        const float* row = plane + ih * g.w;
+        if (g.stride == 1) {
+          const std::int64_t iw0 = ow - g.pad + kj;
+          for (std::int64_t t = 0; t < run; ++t) {
+            const std::int64_t iw = iw0 + t;
+            dst[t] = (iw >= 0 && iw < g.w) ? row[iw] : 0.0f;
+          }
+        } else {
+          for (std::int64_t t = 0; t < run; ++t) {
+            const std::int64_t iw = (ow + t) * g.stride - g.pad + kj;
+            dst[t] = (iw >= 0 && iw < g.w) ? row[iw] : 0.0f;
+          }
+        }
+      }
+      jl += run;
+    }
+    for (std::int64_t q = nc; q < padded; ++q) {
+      bp[(q / kNR) * kc * kNR + p * kNR + (q % kNR)] = 0.0f;
+    }
+  }
+}
+
+}  // namespace
+
+bool conv2d_direct_eligible(std::int64_t k, std::int64_t stride,
+                            std::int64_t pad, std::int64_t groups) {
+  if (groups != 1) return false;
+  if (k == 1 && stride == 1 && pad == 0) return true;
+  return k == 3 && stride == 1;
+}
+
+void conv2d_forward_direct(const ComputeContext& ctx, const float* x,
+                           const float* w, const float* bias, float* y,
+                           std::int64_t batch, const Conv2dGeom& g) {
+  MINSGD_CHECK(g.in_c > 0 && g.out_c > 0 && g.k > 0 && g.stride > 0 &&
+                   g.pad >= 0 && g.out_h > 0 && g.out_w > 0,
+               "conv2d_forward_direct: bad geometry");
+  if (batch <= 0) return;
+  const std::int64_t kdim = g.in_c * g.k * g.k;
+  const std::int64_t spatial = g.out_h * g.out_w;
+  const std::int64_t in_plane = g.in_c * g.h * g.w;
+  const std::int64_t out_plane = g.out_c * spatial;
+  const MicrokernelFn ukr = microkernel_for(active());
+
+  // The weight matrix (out_c x kdim) is shared by every image: pack it once
+  // into A-panel layout for all kc blocks. Block p0 starts at
+  // mtiles*kMR*p0 because every block's footprint is proportional to kc.
+  const std::int64_t mtiles = (g.out_c + kMR - 1) / kMR;
+  std::vector<float> wpack(static_cast<std::size_t>(mtiles * kMR * kdim));
+  for (std::int64_t p0 = 0; p0 < kdim; p0 += kKC) {
+    const std::int64_t kc = std::min(kKC, kdim - p0);
+    pack_a_panel(w, kdim, Trans::kNo, 0, p0, g.out_c, kc, /*alpha=*/1.0f,
+                 wpack.data() + mtiles * kMR * p0);
+  }
+
+  // Batch-parallel with per-chunk packing scratch; the inner blocked loops
+  // are serial per image, so chunk geometry f(batch, 1) is the only
+  // parallel dimension.
+  ctx.for_chunks(
+      batch, /*grain=*/1,
+      [&](std::int64_t /*c*/, std::int64_t lo, std::int64_t hi) {
+        std::vector<float> bpack(static_cast<std::size_t>(kKC * kNC));
+        for (std::int64_t n = lo; n < hi; ++n) {
+          const float* xn = x + n * in_plane;
+          float* yn = y + n * out_plane;
+          std::memset(yn, 0,
+                      static_cast<std::size_t>(out_plane) * sizeof(float));
+          for (std::int64_t p0 = 0; p0 < kdim; p0 += kKC) {
+            const std::int64_t kc = std::min(kKC, kdim - p0);
+            const float* apanel = wpack.data() + mtiles * kMR * p0;
+            for (std::int64_t j0 = 0; j0 < spatial; j0 += kNC) {
+              const std::int64_t nc = std::min(kNC, spatial - j0);
+              const std::int64_t ntiles = (nc + kNR - 1) / kNR;
+              pack_b_im2col(xn, g, p0, j0, kc, nc, bpack.data());
+              for (std::int64_t jt = 0; jt < ntiles; ++jt) {
+                const std::int64_t nr = std::min(kNR, nc - jt * kNR);
+                const float* btile = bpack.data() + jt * kc * kNR;
+                for (std::int64_t it = 0; it < mtiles; ++it) {
+                  const std::int64_t mr = std::min(kMR, g.out_c - it * kMR);
+                  ukr(kc, apanel + it * kc * kMR, btile,
+                      yn + it * kMR * spatial + j0 + jt * kNR, spatial, mr,
+                      nr);
+                }
+              }
+            }
+          }
+          if (bias != nullptr) {
+            for (std::int64_t oc = 0; oc < g.out_c; ++oc) {
+              float* dst = yn + oc * spatial;
+              const float bv = bias[oc];
+              for (std::int64_t s = 0; s < spatial; ++s) dst[s] += bv;
+            }
+          }
+        }
+      });
+}
+
+}  // namespace minsgd::kernels

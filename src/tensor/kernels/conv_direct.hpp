@@ -1,0 +1,45 @@
+// Direct (im2col-free) convolution driver.
+//
+// Lowers y[n] = W * im2col(x[n]) through the same packed microkernels as
+// gemm_packed, but fuses the im2col gather into the B-panel packing stage:
+// the (kdim x spatial) column matrix is never materialized — each kc x nc
+// panel is gathered straight from the input plane into microkernel layout.
+// Compared to the im2col path this removes a full write+read pass over a
+// kdim x spatial buffer per image (for 3x3 conv, 9x the input size).
+//
+// The packed values and the microkernel visit order are exactly what the
+// im2col + gemm_packed path would produce, so for shapes where sgemm takes
+// its packed path the direct output is bit-identical to the im2col path —
+// and across ISA paths and thread counts unconditionally.
+#pragma once
+
+#include <cstdint>
+
+namespace minsgd {
+class ComputeContext;
+}
+
+namespace minsgd::kernels {
+
+/// Geometry of one grouped-free 2-D convolution (NCHW input, OIHW weight).
+struct Conv2dGeom {
+  std::int64_t in_c = 0, h = 0, w = 0;          // input plane
+  std::int64_t out_c = 0, out_h = 0, out_w = 0;  // output plane
+  std::int64_t k = 0, stride = 0, pad = 0;
+};
+
+/// Shapes the direct path covers: 1x1 stride-1 unpadded (a plain GEMM on
+/// the input) and stride-1 3x3 (row-contiguous gathers), ungrouped.
+bool conv2d_direct_eligible(std::int64_t k, std::int64_t stride,
+                            std::int64_t pad, std::int64_t groups);
+
+/// y = conv(x, w) (+ bias per output channel when bias != nullptr).
+/// x is (batch x in_c x h x w), w is (out_c x in_c x k x k) row-major,
+/// y is (batch x out_c x out_h x out_w) and is overwritten. Batch-parallel
+/// on `ctx` with per-chunk packing scratch; each image is serial within
+/// itself, so results are bit-identical for any thread count.
+void conv2d_forward_direct(const ComputeContext& ctx, const float* x,
+                           const float* w, const float* bias, float* y,
+                           std::int64_t batch, const Conv2dGeom& g);
+
+}  // namespace minsgd::kernels

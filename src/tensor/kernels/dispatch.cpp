@@ -1,0 +1,115 @@
+#include "tensor/kernels/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace minsgd::kernels {
+namespace {
+
+// -1 = no programmatic override.
+std::atomic<int> g_forced{-1};
+
+Isa detect_best() {
+#if defined(__aarch64__)
+  // NEON is architecturally baseline on aarch64.
+  return Isa::kNeon;
+#elif defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") ? Isa::kAvx2 : Isa::kPortable;
+#else
+  return Isa::kPortable;
+#endif
+}
+
+// MINSGD_KERNEL_ISA, parsed once. Resolution must not change mid-run: a
+// rank that flipped ISA between two halves of a reduction would break the
+// cross-rank bit-agreement contract.
+Isa env_isa() {
+  static const Isa cached = [] {
+    const char* env = std::getenv("MINSGD_KERNEL_ISA");
+    if (env == nullptr || env[0] == '\0') return best_supported();
+    Isa isa = Isa::kPortable;
+    MINSGD_CHECK(parse_isa(env, &isa), "MINSGD_KERNEL_ISA: unknown value '",
+                 env, "' (want portable|avx2|neon|auto)");
+    MINSGD_CHECK(supported(isa), "MINSGD_KERNEL_ISA=", to_string(isa),
+                 " is not supported on this CPU/build");
+    return isa;
+  }();
+  return cached;
+}
+
+}  // namespace
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kPortable:
+      return "portable";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool parse_isa(const char* s, Isa* out) {
+  if (s == nullptr || out == nullptr) return false;
+  if (std::strcmp(s, "portable") == 0) {
+    *out = Isa::kPortable;
+  } else if (std::strcmp(s, "avx2") == 0) {
+    *out = Isa::kAvx2;
+  } else if (std::strcmp(s, "neon") == 0) {
+    *out = Isa::kNeon;
+  } else if (std::strcmp(s, "auto") == 0) {
+    *out = best_supported();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool supported(Isa isa) {
+  switch (isa) {
+    case Isa::kPortable:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Isa best_supported() {
+  static const Isa best = detect_best();
+  return best;
+}
+
+Isa active() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  const Isa isa = forced >= 0 ? static_cast<Isa>(forced) : env_isa();
+  obs::metrics().gauge("kernels.isa").set(static_cast<double>(
+      static_cast<int>(isa)));
+  return isa;
+}
+
+void force(Isa isa) {
+  MINSGD_CHECK(supported(isa), "kernels::force(", to_string(isa),
+               "): not supported on this CPU/build");
+  g_forced.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void clear_force() { g_forced.store(-1, std::memory_order_relaxed); }
+
+}  // namespace minsgd::kernels

@@ -1,0 +1,56 @@
+// Runtime ISA dispatch for the sgemm/conv microkernels.
+//
+// Every compute-bound kernel family in src/tensor/kernels ships one
+// microkernel per ISA (portable C, AVX2, NEON) behind a single dispatcher.
+// The portable path is the semantic reference: the SIMD paths consume the
+// same packed panels and accumulate each output element with the same
+// mul-then-add sequence in the same k order, so all paths are bit-identical
+// — the reference-oracle tests in tests/test_gemm assert it byte for byte.
+//
+// Selection order:
+//   1. force(isa) — programmatic override, used by tests and benches to pin
+//      a path (clear_force() restores automatic selection).
+//   2. MINSGD_KERNEL_ISA environment variable, read once at first dispatch:
+//      "portable" | "avx2" | "neon" | "auto". An unsupported or unknown
+//      value aborts via MINSGD_CHECK rather than silently falling back.
+//   3. best_supported(): the widest ISA the running CPU supports.
+//
+// The dispatcher reports the path it resolved through the metrics gauge
+// "kernels.isa" (value = static_cast<double> of the Isa enum), so a run's
+// JSONL snapshot records which kernels actually executed.
+#pragma once
+
+namespace minsgd::kernels {
+
+enum class Isa : int {
+  kPortable = 0,  // plain C microkernel; the semantic reference
+  kAvx2 = 1,      // x86-64 AVX2 (no FMA: fusion would change rounding)
+  kNeon = 2,      // aarch64 NEON (explicit mul+add, never vfma)
+};
+
+/// Stable lowercase name ("portable", "avx2", "neon").
+const char* to_string(Isa isa);
+
+/// Parses a MINSGD_KERNEL_ISA value. Returns false for unknown strings;
+/// "auto" parses to best_supported().
+bool parse_isa(const char* s, Isa* out);
+
+/// True when `isa` is both compiled in and supported by the running CPU.
+/// kPortable is always supported.
+bool supported(Isa isa);
+
+/// The widest supported ISA on this machine.
+Isa best_supported();
+
+/// The ISA the next kernel launch will use (force > env > best_supported).
+/// Also publishes the resolved value to the "kernels.isa" gauge.
+Isa active();
+
+/// Pins the dispatcher to `isa` for this process (aborts if unsupported).
+/// Test/bench hook; production runs use the environment variable.
+void force(Isa isa);
+
+/// Restores automatic selection after force().
+void clear_force();
+
+}  // namespace minsgd::kernels

@@ -1,0 +1,66 @@
+#include "tensor/kernels/gemm_packed.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "tensor/context.hpp"
+#include "tensor/kernels/microkernel.hpp"
+#include "tensor/kernels/pack.hpp"
+
+namespace minsgd::kernels {
+namespace {
+
+// Grain tuning: a chunk must amortize fork-join and panel packing, so the
+// row-block grain is sized to keep at least this many FLOPs per chunk.
+// Derived from (m, n, k) only — never the thread count — so chunk geometry
+// stays deterministic.
+constexpr std::int64_t kMinChunkFlops = std::int64_t{1} << 23;  // 8 MFLOP
+
+}  // namespace
+
+void gemm_packed(const ComputeContext& ctx, Trans ta, Trans tb, std::int64_t m,
+                 std::int64_t n, std::int64_t k, float alpha, const float* a,
+                 std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+                 std::int64_t ldc) {
+  const MicrokernelFn ukr = microkernel_for(active());
+  const std::int64_t row_blocks = (m + kMC - 1) / kMC;
+  const std::int64_t flops_per_block =
+      2 * std::min(kMC, m) * n * std::max<std::int64_t>(1, k);
+  const std::int64_t grain =
+      std::max<std::int64_t>(1, kMinChunkFlops / std::max<std::int64_t>(
+                                                     1, flops_per_block));
+
+  ctx.parallel_for(
+      0, row_blocks,
+      [&](std::int64_t blk_lo, std::int64_t blk_hi) {
+        // Packed-panel scratch, private to this chunk.
+        std::vector<float> apack(static_cast<std::size_t>(kMC * kKC));
+        std::vector<float> bpack(static_cast<std::size_t>(kKC * kNC));
+        for (std::int64_t blk = blk_lo; blk < blk_hi; ++blk) {
+          const std::int64_t i0 = blk * kMC;
+          const std::int64_t mc = std::min(kMC, m - i0);
+          const std::int64_t mtiles = (mc + kMR - 1) / kMR;
+          for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
+            const std::int64_t kc = std::min(kKC, k - p0);
+            pack_a_panel(a, lda, ta, i0, p0, mc, kc, alpha, apack.data());
+            for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
+              const std::int64_t nc = std::min(kNC, n - j0);
+              const std::int64_t ntiles = (nc + kNR - 1) / kNR;
+              pack_b_panel(b, ldb, tb, p0, j0, kc, nc, bpack.data());
+              for (std::int64_t jt = 0; jt < ntiles; ++jt) {
+                const std::int64_t nr = std::min(kNR, nc - jt * kNR);
+                const float* btile = bpack.data() + jt * kc * kNR;
+                for (std::int64_t it = 0; it < mtiles; ++it) {
+                  const std::int64_t mr = std::min(kMR, mc - it * kMR);
+                  ukr(kc, apack.data() + it * kc * kMR, btile,
+                      c + (i0 + it * kMR) * ldc + j0 + jt * kNR, ldc, mr, nr);
+                }
+              }
+            }
+          }
+        }
+      },
+      grain);
+}
+
+}  // namespace minsgd::kernels

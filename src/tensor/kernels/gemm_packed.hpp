@@ -1,0 +1,25 @@
+// Blocked, panel-packed sgemm driver over the dispatched microkernels.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/gemm.hpp"
+
+namespace minsgd {
+class ComputeContext;
+}
+
+namespace minsgd::kernels {
+
+/// C += op(A) * op(B) with A pre-scaled by alpha at pack time. The caller
+/// (minsgd::sgemm) has already applied beta to C and filtered the k==0 /
+/// alpha==0 / empty cases. Row-blocks of C run on `ctx` with chunk
+/// geometry a function of (m, n, k) only; each row-block is serial within
+/// itself, so the result is bit-identical for any thread count — and, via
+/// the microkernel contract, for any dispatched ISA.
+void gemm_packed(const ComputeContext& ctx, Trans ta, Trans tb, std::int64_t m,
+                 std::int64_t n, std::int64_t k, float alpha, const float* a,
+                 std::int64_t lda, const float* b, std::int64_t ldb, float* c,
+                 std::int64_t ldc);
+
+}  // namespace minsgd::kernels

@@ -1,0 +1,68 @@
+// The microkernel contract shared by every ISA path.
+//
+// A microkernel computes one kMR x kNR register tile of C from packed
+// panels, with semantics fixed down to the bit:
+//
+//   acc[i][j]  = sum over p in [0, kc), ascending:  ap[p*kMR+i] * bp[p*kNR+j]
+//                (each term a separate IEEE multiply then add — never fused)
+//   C[i][j]   += acc[i][j]        for i < mr, j < nr
+//
+// ap is an A micro-panel (kc x kMR, p-major, alpha pre-scaled at pack time,
+// rows past mr zero-filled); bp is a B micro-panel (kc x kNR, p-major,
+// columns past nr zero-filled). Because every path consumes identical
+// panels and runs the identical per-element operation sequence, portable,
+// AVX2, and NEON kernels produce bit-identical C — padding lanes are
+// accumulated but never stored, so they cannot perturb a stored element.
+//
+// One file per microkernel family (ccv/NNC-style): sgemm_portable.cpp,
+// sgemm_avx2.cpp, sgemm_neon.cpp. The blocked drivers (gemm_packed.cpp,
+// conv_direct.cpp) resolve the function pointer once per launch via
+// microkernel_for(active()).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/kernels/dispatch.hpp"
+
+namespace minsgd::kernels {
+
+/// Microtile rows of C held in registers (6 x 16 fits 12 AVX2 ymm
+/// accumulators, or 24 NEON q accumulators, with room for operands).
+inline constexpr std::int64_t kMR = 6;
+/// Microtile columns of C (two 8-lane AVX2 vectors / four NEON quads).
+inline constexpr std::int64_t kNR = 16;
+
+/// Cache-blocking panel sizes. kMC is a multiple of kMR and kNC a multiple
+/// of kNR so packed panels tile exactly; sized for a typical 32K L1 / 512K
+/// L2 (A panel 96 KiB, B panel 512 KiB at kKC depth).
+inline constexpr std::int64_t kMC = 96;
+inline constexpr std::int64_t kKC = 256;
+inline constexpr std::int64_t kNC = 512;
+
+/// See the file comment for the exact semantics. `mr`/`nr` (1..kMR/kNR)
+/// select the stored sub-tile; the accumulate sequence never varies.
+using MicrokernelFn = void (*)(std::int64_t kc, const float* ap,
+                               const float* bp, float* c, std::int64_t ldc,
+                               std::int64_t mr, std::int64_t nr);
+
+/// The semantic reference (always compiled).
+void microkernel_portable(std::int64_t kc, const float* ap, const float* bp,
+                          float* c, std::int64_t ldc, std::int64_t mr,
+                          std::int64_t nr);
+
+#if defined(__x86_64__) || defined(__i386__)
+void microkernel_avx2(std::int64_t kc, const float* ap, const float* bp,
+                      float* c, std::int64_t ldc, std::int64_t mr,
+                      std::int64_t nr);
+#endif
+
+#if defined(__aarch64__)
+void microkernel_neon(std::int64_t kc, const float* ap, const float* bp,
+                      float* c, std::int64_t ldc, std::int64_t mr,
+                      std::int64_t nr);
+#endif
+
+/// Resolves the microkernel for `isa` (must be supported()).
+MicrokernelFn microkernel_for(Isa isa);
+
+}  // namespace minsgd::kernels

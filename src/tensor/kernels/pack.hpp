@@ -1,0 +1,37 @@
+// Panel packing for the blocked microkernel drivers.
+//
+// Packed layouts (the only layouts the microkernels read):
+//
+//   A panel: ceil(mc/kMR) micro-panels of kc x kMR, p-major — element
+//            (row r, depth p) of micro-panel `it` lives at
+//            ap[it*kc*kMR + p*kMR + r]. Values are pre-scaled by alpha at
+//            pack time (one multiply per element, shared by every ISA
+//            path); rows past mc are zero-filled so edge tiles run the
+//            same full-width accumulate as interior tiles.
+//   B panel: ceil(nc/kNR) micro-panels of kc x kNR, p-major — element
+//            (depth p, col q) of micro-panel `jt` lives at
+//            bp[jt*kc*kNR + p*kNR + q]; columns past nc are zero-filled.
+//
+// Padding lanes are accumulated by the microkernels but never stored, so
+// the zero fill cannot perturb any output element.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/gemm.hpp"
+
+namespace minsgd::kernels {
+
+/// Packs the (mc x kc) block of op(A) starting at logical row i0, depth p0
+/// into A-panel layout, scaling every element by alpha.
+void pack_a_panel(const float* a, std::int64_t lda, Trans ta, std::int64_t i0,
+                  std::int64_t p0, std::int64_t mc, std::int64_t kc,
+                  float alpha, float* ap);
+
+/// Packs the (kc x nc) block of op(B) starting at depth p0, logical column
+/// j0 into B-panel layout.
+void pack_b_panel(const float* b, std::int64_t ldb, Trans tb, std::int64_t p0,
+                  std::int64_t j0, std::int64_t kc, std::int64_t nc,
+                  float* bp);
+
+}  // namespace minsgd::kernels

@@ -1,0 +1,60 @@
+// NEON sgemm microkernel: a 6x16 register tile (24 q accumulators, four B
+// vectors, one broadcast lane) over packed panels.
+//
+// Uses vaddq/vmulq rather than vfmaq/vmlaq: on aarch64 vmlaq_f32 lowers to
+// a fused FMLA, which rounds once and would diverge from the portable
+// reference. Explicit multiply-then-add keeps every lane bit-identical to
+// the scalar sequence.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "tensor/kernels/microkernel.hpp"
+
+namespace minsgd::kernels {
+
+void microkernel_neon(std::int64_t kc, const float* ap, const float* bp,
+                      float* c, std::int64_t ldc, std::int64_t mr,
+                      std::int64_t nr) {
+  float32x4_t acc[kMR][4];
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    for (int v = 0; v < 4; ++v) acc[i][v] = vdupq_n_f32(0.0f);
+  }
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* brow = bp + p * kNR;
+    const float32x4_t b0 = vld1q_f32(brow);
+    const float32x4_t b1 = vld1q_f32(brow + 4);
+    const float32x4_t b2 = vld1q_f32(brow + 8);
+    const float32x4_t b3 = vld1q_f32(brow + 12);
+    const float* arow = ap + p * kMR;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const float32x4_t av = vdupq_n_f32(arow[i]);
+      acc[i][0] = vaddq_f32(acc[i][0], vmulq_f32(av, b0));
+      acc[i][1] = vaddq_f32(acc[i][1], vmulq_f32(av, b1));
+      acc[i][2] = vaddq_f32(acc[i][2], vmulq_f32(av, b2));
+      acc[i][3] = vaddq_f32(acc[i][3], vmulq_f32(av, b3));
+    }
+  }
+  if (mr == kMR && nr == kNR) {
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      float* crow = c + i * ldc;
+      for (int v = 0; v < 4; ++v) {
+        vst1q_f32(crow + 4 * v,
+                  vaddq_f32(vld1q_f32(crow + 4 * v), acc[i][v]));
+      }
+    }
+    return;
+  }
+  float spill[kMR][kNR];
+  for (std::int64_t i = 0; i < kMR; ++i) {
+    for (int v = 0; v < 4; ++v) vst1q_f32(&spill[i][4 * v], acc[i][v]);
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) crow[j] += spill[i][j];
+  }
+}
+
+}  // namespace minsgd::kernels
+
+#endif  // aarch64

@@ -1,0 +1,54 @@
+// Portable sgemm microkernel — the semantic reference every SIMD path must
+// match bit for bit. This translation unit is compiled with
+// -ffp-contract=off (see src/tensor/CMakeLists.txt): the compiler may
+// vectorize the j loop freely (lane-parallel over independent output
+// elements preserves per-element bits), but it must not fuse the multiply
+// and add into an FMA, which rounds once instead of twice and would diverge
+// from the non-FMA AVX2/NEON kernels.
+#include "tensor/kernels/microkernel.hpp"
+
+#include "core/check.hpp"
+
+namespace minsgd::kernels {
+
+void microkernel_portable(std::int64_t kc, const float* ap, const float* bp,
+                          float* c, std::int64_t ldc, std::int64_t mr,
+                          std::int64_t nr) {
+  float acc[kMR][kNR] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* arow = ap + p * kMR;
+    const float* brow = bp + p * kNR;
+    for (std::int64_t i = 0; i < kMR; ++i) {
+      const float av = arow[i];
+      for (std::int64_t j = 0; j < kNR; ++j) acc[i][j] += av * brow[j];
+    }
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) crow[j] += acc[i][j];
+  }
+}
+
+MicrokernelFn microkernel_for(Isa isa) {
+  switch (isa) {
+    case Isa::kPortable:
+      return microkernel_portable;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return microkernel_avx2;
+#else
+      break;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return microkernel_neon;
+#else
+      break;
+#endif
+  }
+  MINSGD_CHECK(false, "microkernel_for: ISA ", to_string(isa),
+               " not compiled into this build");
+  return nullptr;
+}
+
+}  // namespace minsgd::kernels

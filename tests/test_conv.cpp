@@ -1,7 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "grad_check.hpp"
 #include "nn/conv.hpp"
+#include "tensor/context.hpp"
+#include "tensor/kernels/conv_direct.hpp"
+#include "tensor/kernels/dispatch.hpp"
+#include "tensor/rng.hpp"
 
 namespace minsgd {
 namespace {
@@ -157,6 +164,174 @@ std::vector<ConvGridCase> conv_grid() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, ConvGradGrid, ::testing::ValuesIn(conv_grid()));
+
+// -- direct-path oracle -----------------------------------------------------
+//
+// The direct (im2col-free) conv path must agree with (a) a naive
+// double-accumulated reference within float tolerance, and (b) the im2col
+// path byte for byte at sizes where sgemm takes its packed microkernel path
+// — same packed values, same microkernel visit order, so not just close but
+// identical.
+
+/// Restores the process-wide direct-path toggle on scope exit.
+struct DirectPathGuard {
+  bool prev = Conv2d::direct_enabled();
+  ~DirectPathGuard() { Conv2d::set_direct_enabled(prev); }
+};
+
+bool same_bits(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) return false;
+  if (a.numel() == 0) return true;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+/// Naive direct convolution, double accumulation, groups == 1.
+Tensor naive_conv(const Tensor& x, const Tensor& w, const Tensor* bias,
+                  std::int64_t stride, std::int64_t pad) {
+  const std::int64_t batch = x.shape()[0], in_c = x.shape()[1];
+  const std::int64_t h = x.shape()[2], wdim = x.shape()[3];
+  const std::int64_t out_c = w.shape()[0], k = w.shape()[2];
+  const std::int64_t out_h = (h + 2 * pad - k) / stride + 1;
+  const std::int64_t out_w = (wdim + 2 * pad - k) / stride + 1;
+  Tensor y({batch, out_c, out_h, out_w});
+  for (std::int64_t n = 0; n < batch; ++n) {
+    for (std::int64_t oc = 0; oc < out_c; ++oc) {
+      for (std::int64_t oh = 0; oh < out_h; ++oh) {
+        for (std::int64_t ow = 0; ow < out_w; ++ow) {
+          double acc = bias != nullptr ? (*bias)[oc] : 0.0;
+          for (std::int64_t ci = 0; ci < in_c; ++ci) {
+            for (std::int64_t ki = 0; ki < k; ++ki) {
+              const std::int64_t ih = oh * stride - pad + ki;
+              if (ih < 0 || ih >= h) continue;
+              for (std::int64_t kj = 0; kj < k; ++kj) {
+                const std::int64_t iw = ow * stride - pad + kj;
+                if (iw < 0 || iw >= wdim) continue;
+                acc += static_cast<double>(x.at(n, ci, ih, iw)) *
+                       w.at(oc, ci, ki, kj);
+              }
+            }
+          }
+          y.at(n, oc, oh, ow) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+TEST(ConvOracle, DirectForwardMatchesNaiveReference) {
+  struct Case {
+    std::int64_t in_c, out_c, k, pad, hw;
+  };
+  const Case cases[] = {
+      {3, 8, 3, 1, 9},  {4, 6, 3, 0, 7},  {5, 7, 3, 1, 12},
+      {4, 6, 1, 0, 8},  {8, 5, 1, 0, 5},
+  };
+  Rng rng(77);
+  for (const auto& c : cases) {
+    Conv2d conv(c.in_c, c.out_c, c.k, 1, c.pad, /*bias=*/true);
+    conv.init(rng);
+    rng.fill_normal(conv.bias().span(), 0.0f, 0.5f);
+    Tensor x({2, c.in_c, c.hw, c.hw});
+    rng.fill_normal(x.span(), 0.0f, 1.0f);
+    Tensor y;
+    conv.forward(x, y, false);
+    const Tensor ref = naive_conv(x, conv.weight(), &conv.bias(), 1, c.pad);
+    ASSERT_EQ(y.shape(), ref.shape());
+    for (std::int64_t i = 0; i < y.numel(); ++i) {
+      ASSERT_NEAR(y[i], ref[i], 1e-3 * (1.0 + std::abs(ref[i])))
+          << "k=" << c.k << " pad=" << c.pad << " at " << i;
+    }
+  }
+}
+
+TEST(ConvOracle, Direct3x3BitIdenticalToIm2colAtPackedSizes) {
+  DirectPathGuard guard;
+  // kdim=288, spatial=256, out_c=48: the im2col sgemm takes the packed
+  // microkernel path, so direct and im2col must agree bytewise.
+  Conv2d conv(32, 48, 3, 1, 1);
+  Rng rng(11);
+  conv.init(rng);
+  rng.fill_normal(conv.bias().span(), 0.0f, 0.5f);
+  Tensor x({2, 32, 16, 16});
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+
+  Tensor y_ref, y_direct;
+  Conv2d::set_direct_enabled(false);
+  conv.forward(x, y_ref, false);
+  Conv2d::set_direct_enabled(true);
+  conv.forward(x, y_direct, false);
+  EXPECT_TRUE(same_bits(y_ref, y_direct));
+}
+
+TEST(ConvOracle, Direct1x1BitIdenticalToIm2colForwardBackward) {
+  DirectPathGuard guard;
+  Conv2d conv(64, 64, 1);
+  Rng rng(13);
+  conv.init(rng);
+  Tensor x({2, 64, 16, 16});
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+
+  auto run = [&](bool direct, Tensor* y, Tensor* dx,
+                 std::vector<float>* grads) {
+    Conv2d::set_direct_enabled(direct);
+    conv.forward(x, *y, true);
+    Tensor dy(y->shape());
+    Rng grng(17);
+    grng.fill_normal(dy.span(), 0.0f, 1.0f);
+    for (auto& p : conv.params()) p.grad->zero();
+    conv.backward(x, *y, dy, *dx);
+    grads->clear();
+    for (auto& p : conv.params()) {
+      grads->insert(grads->end(), p.grad->span().begin(),
+                    p.grad->span().end());
+    }
+  };
+  Tensor y_ref, dx_ref, y_dir, dx_dir;
+  std::vector<float> g_ref, g_dir;
+  run(false, &y_ref, &dx_ref, &g_ref);
+  run(true, &y_dir, &dx_dir, &g_dir);
+  EXPECT_TRUE(same_bits(y_ref, y_dir));
+  EXPECT_TRUE(same_bits(dx_ref, dx_dir));
+  ASSERT_EQ(g_ref.size(), g_dir.size());
+  EXPECT_EQ(std::memcmp(g_ref.data(), g_dir.data(),
+                        g_ref.size() * sizeof(float)),
+            0);
+}
+
+TEST(ConvOracle, DirectForwardBitIdenticalAcrossIsaPaths) {
+  Conv2d conv(16, 24, 3, 1, 1);
+  Rng rng(19);
+  conv.init(rng);
+  Tensor x({2, 16, 12, 12});
+  rng.fill_normal(x.span(), 0.0f, 1.0f);
+
+  kernels::force(kernels::Isa::kPortable);
+  Tensor y_portable;
+  conv.forward(x, y_portable, false);
+  for (kernels::Isa isa : {kernels::Isa::kAvx2, kernels::Isa::kNeon}) {
+    if (!kernels::supported(isa)) continue;
+    kernels::force(isa);
+    Tensor y;
+    conv.forward(x, y, false);
+    EXPECT_TRUE(same_bits(y_portable, y))
+        << kernels::to_string(isa) << " differs from portable";
+  }
+  kernels::clear_force();
+}
+
+TEST(ConvOracle, ZeroBatchDirectKernelNoOp) {
+  // Layer::forward rejects empty inputs by contract, so zero-size coverage
+  // targets the kernel API: batch == 0 must be a no-op, not a crash.
+  const kernels::Conv2dGeom geom{/*in_c=*/3, /*h=*/8,  /*w=*/8,
+                                 /*out_c=*/8, /*out_h=*/8, /*out_w=*/8,
+                                 /*k=*/3,     /*stride=*/1, /*pad=*/1};
+  std::vector<float> w(static_cast<std::size_t>(8 * 3 * 3 * 3), 1.0f);
+  ComputeContext ctx(4);
+  kernels::conv2d_forward_direct(ctx, nullptr, w.data(), nullptr, nullptr, 0,
+                                 geom);
+}
 
 TEST(Conv2d, GradientsAccumulateAcrossBackwardCalls) {
   Conv2d c(1, 1, 1, 1, 0, /*bias=*/false);

@@ -28,6 +28,7 @@
 #include "optim/schedule.hpp"
 #include "optim/sgd.hpp"
 #include "tensor/context.hpp"
+#include "tensor/kernels/dispatch.hpp"
 #include "tensor/ops.hpp"
 #include "train/trainer.hpp"
 
@@ -132,6 +133,55 @@ TEST(LayerDeterminism, Conv2dGrouped) {
 TEST(LayerDeterminism, Linear) {
   expect_layer_thread_invariant(
       [] { return std::make_unique<nn::Linear>(37, 19); }, Shape({8, 37}));
+}
+
+// -- packed-microkernel paths ----------------------------------------------
+//
+// The cases above are small enough to ride sgemm's scalar small path. These
+// shapes push forward AND backward (dW/dx) through the packed panel
+// microkernels, so the per-chunk-partials rule is exercised inside the
+// kernel drivers too — including the fixed-order dW combine.
+
+TEST(LayerDeterminism, LinearPackedSgemm) {
+  // 64x256 @ 256x192: forward and both backward GEMMs exceed the small-path
+  // threshold.
+  expect_layer_thread_invariant(
+      [] { return std::make_unique<nn::Linear>(256, 192); }, Shape({64, 256}));
+}
+
+TEST(LayerDeterminism, Conv2dFused3x3) {
+  // Stride-1 3x3 rides the fused direct-conv path (im2col folded into
+  // B-panel packing) in forward, im2col + packed sgemm in backward.
+  expect_layer_thread_invariant(
+      [] { return std::make_unique<nn::Conv2d>(16, 24, 3, 1, 1); },
+      Shape({6, 16, 12, 12}));
+}
+
+TEST(LayerDeterminism, Conv2dDirect1x1) {
+  // 48 x 196 x 48 per image: the 1x1 direct path's inner sgemm takes the
+  // packed microkernels (inline, nested under the batch chunks).
+  expect_layer_thread_invariant(
+      [] { return std::make_unique<nn::Conv2d>(48, 48, 1); },
+      Shape({4, 48, 14, 14}));
+}
+
+TEST(LayerDeterminism, FusedConvThreadInvariantPerIsa) {
+  // The full matrix: thread counts {1,2,4,8} x every compiled-in ISA path.
+  // Every cell must match the forced-portable single-thread bytes (the
+  // cross-ISA agreement itself is pinned by the test_gemm/test_conv
+  // oracles; here we re-run the whole layer matrix under each pin).
+  for (kernels::Isa isa :
+       {kernels::Isa::kPortable, kernels::Isa::kAvx2, kernels::Isa::kNeon}) {
+    if (!kernels::supported(isa)) continue;
+    kernels::force(isa);
+    expect_layer_thread_invariant(
+        [] { return std::make_unique<nn::Conv2d>(16, 24, 3, 1, 1); },
+        Shape({5, 16, 10, 10}));
+    expect_layer_thread_invariant(
+        [] { return std::make_unique<nn::Linear>(256, 96); },
+        Shape({32, 256}));
+  }
+  kernels::clear_force();
 }
 
 TEST(LayerDeterminism, ReLU) {

@@ -538,7 +538,10 @@ def lint_paths(paths, fixture_mode=False) -> list[Finding]:
 
 
 def self_test() -> int:
-    """Every fixture file fixture_<rule>.<ext> must trigger exactly that rule;
+    """Every fixture file fixture_<rule>.<ext> must trigger exactly that rule.
+    A rule may have scenario variants named fixture_<rule>-<scenario>.<ext>
+    (e.g. fixture_shared-accumulator-kernel); the longest rule name that
+    prefixes the stem wins, since rule ids themselves contain dashes.
     fixture_clean*.* (the shared clean file plus scenario-specific clean
     fixtures like fixture_clean-membership-spawn) must be finding-free even
     in fixture mode."""
@@ -570,6 +573,12 @@ def self_test() -> int:
             else:
                 print(f"ok   {name}: clean")
             continue
+        if expected not in RULES:
+            # fixture_<rule>-<scenario>: strip the scenario suffix by longest
+            # matching rule prefix.
+            prefixes = [r for r in RULES if expected.startswith(r + "-")]
+            if prefixes:
+                expected = max(prefixes, key=len)
         if expected not in RULES:
             failures += 1
             print(f"FAIL {name}: fixture names unknown rule '{expected}'")
