@@ -1,0 +1,232 @@
+// bench_memplan: memory-plan ablation — peak RSS and throughput with the
+// execution plan on vs off, over a batch sweep of the ResNet-style proxy.
+//
+// Peak RSS (getrusage ru_maxrss) is monotonic per process, so every
+// configuration runs in a fork()ed child — forked BEFORE any thread pool
+// exists in this process — and reports its measurements back over a pipe.
+// The parent never runs the model, so its own RSS stays out of the numbers.
+//
+// Outputs: bench_results/memplan.csv (full sweep) and
+// bench_results/memplan.json (headline: peak-RSS reduction at the largest
+// batch, throughput both ways, arena vs raw bytes).
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/csv.hpp"
+#include "nn/models.hpp"
+#include "nn/network.hpp"
+#include "nn/plan.hpp"
+#include "tensor/context.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace minsgd::bench {
+namespace {
+
+constexpr std::int64_t kResolution = 32;
+constexpr std::int64_t kClasses = 10;
+constexpr std::int64_t kBlocksPerStage = 2;  // 6n+2 = 14-layer trunk
+constexpr int kWarmupIters = 2;
+constexpr int kTimedIters = 8;
+constexpr std::size_t kThreads = 4;
+
+/// What one forked child measures and writes back over its pipe.
+struct ChildReport {
+  double imgs_per_sec = 0.0;
+  std::int64_t peak_rss_kb = 0;
+  std::int64_t arena_bytes = 0;  // plan-on only; 0 in legacy mode
+  std::int64_t raw_bytes = 0;    // plan-on only; 0 in legacy mode
+};
+
+/// Child body: train-step loop (forward + backward, fixed synthetic data),
+/// then report throughput and this process's peak RSS.
+ChildReport measure_in_child(bool plan_on, bool recompute,
+                             std::int64_t batch) {
+  nn::ExecutionPlan::set_enabled(plan_on);
+  const ComputeContext ctx(kThreads);
+  auto net = nn::tiny_resnet(kBlocksPerStage, kClasses, kResolution);
+  Rng rng(7);
+  net->init(rng);
+
+  Tensor x(Shape({batch, 3, kResolution, kResolution}));
+  Rng data_rng(11);
+  for (auto& v : x.span()) v = static_cast<float>(data_rng.normal());
+
+  nn::ExecutionPlan plan;
+  nn::PlanOptions opts;
+  opts.recompute_cheap = recompute;
+  Tensor y, dy, dx;
+  const auto step = [&] {
+    net->zero_grad();
+    if (plan_on) {
+      auto pc = plan.context(*net, x.shape(), opts);
+      net->forward(x, y, /*training=*/true, ctx, &pc);
+      dy.resize(y.shape());
+      dy.fill(1.0f / static_cast<float>(y.numel()));
+      net->backward(x, y, dy, dx, ctx, &pc);
+    } else {
+      net->forward(x, y, /*training=*/true, ctx);
+      dy.resize(y.shape());
+      dy.fill(1.0f / static_cast<float>(y.numel()));
+      net->backward(x, y, dy, dx, ctx);
+    }
+  };
+
+  for (int i = 0; i < kWarmupIters; ++i) step();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kTimedIters; ++i) step();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  ChildReport rep;
+  rep.imgs_per_sec =
+      static_cast<double>(batch * kTimedIters) / (secs > 0 ? secs : 1e-9);
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  rep.peak_rss_kb = static_cast<std::int64_t>(ru.ru_maxrss);
+  if (plan_on) {
+    rep.arena_bytes = static_cast<std::int64_t>(plan.arena_bytes());
+    rep.raw_bytes = static_cast<std::int64_t>(plan.raw_bytes());
+  }
+  return rep;
+}
+
+/// Forks, measures in the child, and reads the report back. Returns false
+/// if the child failed.
+bool run_config(bool plan_on, bool recompute, std::int64_t batch,
+                ChildReport& out) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    const ChildReport rep = measure_in_child(plan_on, recompute, batch);
+    ssize_t n = write(fds[1], &rep, sizeof(rep));
+    close(fds[1]);
+    _exit(n == static_cast<ssize_t>(sizeof(rep)) ? 0 : 1);
+  }
+  close(fds[1]);
+  ssize_t got = 0;
+  char* dst = reinterpret_cast<char*>(&out);
+  // minsgd-lint: allow(cast): reading a trivially-copyable report struct
+  // byte-wise from the child's pipe.
+  while (got < static_cast<ssize_t>(sizeof(out))) {
+    const ssize_t n = read(fds[0], dst + got, sizeof(out) - got);
+    if (n <= 0) break;
+    got += n;
+  }
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return got == static_cast<ssize_t>(sizeof(out)) && WIFEXITED(status) &&
+         WEXITSTATUS(status) == 0;
+}
+
+int run() {
+  banner("bench_memplan",
+         "graph-compiled execution: liveness-aliased arena cuts activation "
+         "memory, holding throughput");
+
+  const std::string cpath = csv_path("memplan");
+  core::CsvWriter csv(cpath, {"batch", "mode", "peak_rss_kb", "imgs_per_sec",
+                              "arena_bytes", "raw_bytes"});
+
+  struct Mode {
+    const char* name;
+    bool plan_on;
+    bool recompute;
+  };
+  const Mode modes[] = {{"plan-off", false, false},
+                        {"plan-on", true, false},
+                        {"plan-on-recompute", true, true}};
+  const std::int64_t batches[] = {8, 16, 32};
+
+  section("batch sweep (peak RSS is per forked child)");
+  std::printf("%6s  %18s  %12s  %10s  %12s  %12s\n", "batch", "mode",
+              "peak_rss_kb", "imgs/s", "arena_bytes", "raw_bytes");
+
+  double off_rss_largest = 0.0, on_rss_largest = 0.0;
+  double off_ips_largest = 0.0, on_ips_largest = 0.0;
+  std::int64_t arena_largest = 0, raw_largest = 0;
+  bool all_ok = true;
+  for (const std::int64_t batch : batches) {
+    for (const Mode& m : modes) {
+      ChildReport rep;
+      if (!run_config(m.plan_on, m.recompute, batch, rep)) {
+        std::printf("%6lld  %18s  child failed\n",
+                    static_cast<long long>(batch), m.name);
+        all_ok = false;
+        continue;
+      }
+      std::printf("%6lld  %18s  %12lld  %10.1f  %12lld  %12lld\n",
+                  static_cast<long long>(batch), m.name,
+                  static_cast<long long>(rep.peak_rss_kb), rep.imgs_per_sec,
+                  static_cast<long long>(rep.arena_bytes),
+                  static_cast<long long>(rep.raw_bytes));
+      csv.row(batch, m.name, rep.peak_rss_kb, rep.imgs_per_sec,
+              rep.arena_bytes, rep.raw_bytes);
+      if (batch == batches[2]) {
+        if (!m.plan_on) {
+          off_rss_largest = static_cast<double>(rep.peak_rss_kb);
+          off_ips_largest = rep.imgs_per_sec;
+        } else if (!m.recompute) {
+          on_rss_largest = static_cast<double>(rep.peak_rss_kb);
+          on_ips_largest = rep.imgs_per_sec;
+          arena_largest = rep.arena_bytes;
+          raw_largest = rep.raw_bytes;
+        }
+      }
+    }
+  }
+
+  const double rss_reduction_pct =
+      off_rss_largest > 0
+          ? 100.0 * (off_rss_largest - on_rss_largest) / off_rss_largest
+          : 0.0;
+  const double arena_saving_pct =
+      raw_largest > 0
+          ? 100.0 * (1.0 - static_cast<double>(arena_largest) /
+                               static_cast<double>(raw_largest))
+          : 0.0;
+
+  section("headline (largest batch)");
+  std::printf("peak RSS: %.0f KB (off) -> %.0f KB (on), %.1f%% lower\n",
+              off_rss_largest, on_rss_largest, rss_reduction_pct);
+  std::printf("arena vs raw tensor bytes: %lld vs %lld (%.1f%% aliased away)\n",
+              static_cast<long long>(arena_largest),
+              static_cast<long long>(raw_largest), arena_saving_pct);
+  std::printf("imgs/s: %.1f (off) vs %.1f (on)\n", off_ips_largest,
+              on_ips_largest);
+
+  JsonSummary json("memplan");
+  json.add("batch_largest", batches[2])
+      .add("peak_rss_off_kb", off_rss_largest)
+      .add("peak_rss_on_kb", on_rss_largest)
+      .add("peak_rss_reduction_pct", rss_reduction_pct)
+      .add("imgs_per_sec_off", off_ips_largest)
+      .add("imgs_per_sec_on", on_ips_largest)
+      .add("arena_bytes", arena_largest)
+      .add("raw_bytes", raw_largest)
+      .add("arena_saving_pct", arena_saving_pct);
+  const std::string jpath = json.write();
+  std::printf("\nwrote %s and %s\n", cpath.c_str(), jpath.c_str());
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace minsgd::bench
+
+int main() { return minsgd::bench::run(); }

@@ -8,6 +8,11 @@
 #                straggler attribution, exposed/overlapped split)
 #   build        default (RelWithDebInfo) configure + build
 #   tier1        full ctest suite in the default build
+#   bench-memplan  the memory-plan ablation (bench/bench_memplan): peak RSS
+#                and img/s with the execution plan on vs off over a batch
+#                sweep; writes bench_results/memplan.{csv,json}. Runs in
+#                the default build so a plan regression (RSS or throughput)
+#                shows up in the same invocation as the correctness gates
 #   asan-ubsan   rebuild with MINSGD_SANITIZE=address,undefined
 #                (-fno-sanitize-recover=all, no suppression files) and run
 #                the full tier-1 suite under it — includes the elastic
@@ -82,6 +87,11 @@ tier1_stage() {
   ctest --test-dir build -j"$JOBS" --output-on-failure
 }
 
+bench_memplan_stage() {
+  cmake --build build -j"$JOBS" --target bench_memplan &&
+    (cd build && ./bench/bench_memplan)
+}
+
 asan_ubsan_stage() {
   # MINSGD_DCHECK=ON arms the debug invariant layer (tensor bounds, layer
   # contracts) in the same run that arms ASan+UBSan.
@@ -113,9 +123,11 @@ run_stage "lint" lint_stage || FAILED=1
 run_stage "analyze" analyze_stage || FAILED=1
 if run_stage "build" build_stage; then
   run_stage "tier1" tier1_stage || FAILED=1
+  run_stage "bench-memplan" bench_memplan_stage || FAILED=1
 else
   FAILED=1
   skip_stage "tier1"
+  skip_stage "bench-memplan"
 fi
 if [ "$SKIP_ASAN" -eq 1 ]; then
   skip_stage "asan-ubsan"

@@ -7,7 +7,7 @@
 namespace minsgd::nn {
 
 void ReLU::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
-                      const ComputeContext& ctx) {
+                      const ComputeContext& ctx, PlanContext& /*pc*/) {
   y.resize(x.shape());
   ctx.parallel_for(0, x.numel(), [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
@@ -16,12 +16,15 @@ void ReLU::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
   });
 }
 
-void ReLU::do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                       Tensor& dx, const ComputeContext& ctx) {
+void ReLU::do_backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
+                       Tensor& dx, const ComputeContext& ctx,
+                       PlanContext& /*pc*/) {
   dx.resize(x.shape());
-  ctx.parallel_for(0, y.numel(), [&](std::int64_t lo, std::int64_t hi) {
+  // x > 0 iff y > 0 for y = max(x, 0), so gating on the input keeps the
+  // output out of backward entirely (see backward_reads_output()).
+  ctx.parallel_for(0, x.numel(), [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
-      dx[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+      dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
     }
   });
 }
@@ -34,14 +37,14 @@ Shape Flatten::output_shape(const Shape& input) const {
 }
 
 void Flatten::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
-                         const ComputeContext& ctx) {
+                         const ComputeContext& ctx, PlanContext& /*pc*/) {
   y.resize(output_shape(x.shape()));
   copy(ctx, x.span(), y.span());
 }
 
 void Flatten::do_backward(const Tensor& x, const Tensor& /*y*/,
                           const Tensor& dy, Tensor& dx,
-                          const ComputeContext& ctx) {
+                          const ComputeContext& ctx, PlanContext& /*pc*/) {
   dx.resize(x.shape());
   copy(ctx, dy.span(), dx.span());
 }

@@ -5,18 +5,22 @@
 
 namespace minsgd::nn {
 
-/// Rectified linear unit. Backward uses the cached output sign (y > 0),
-/// so no extra mask storage is needed.
+/// Rectified linear unit. Backward gates on the *input* sign (x > 0, which
+/// is bit-identical to y > 0 since y = max(x, 0)), so the output tensor is
+/// never read after forward — the memory planner can retire a ReLU output
+/// at its last forward use.
 class ReLU final : public Layer {
  public:
   std::string name() const override { return "relu"; }
   Shape output_shape(const Shape& input) const override { return input; }
+  bool backward_reads_output() const override { return false; }
 
  protected:
   void do_forward(const Tensor& x, Tensor& y, bool training,
-                  const ComputeContext& ctx) override;
+                  const ComputeContext& ctx, PlanContext& pc) override;
   void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                   Tensor& dx, const ComputeContext& ctx) override;
+                   Tensor& dx, const ComputeContext& ctx,
+                   PlanContext& pc) override;
 };
 
 /// Flatten: NCHW -> (N, C*H*W). Shape-only; data is already contiguous.
@@ -24,12 +28,15 @@ class Flatten final : public Layer {
  public:
   std::string name() const override { return "flatten"; }
   Shape output_shape(const Shape& input) const override;
+  bool backward_reads_input() const override { return false; }
+  bool backward_reads_output() const override { return false; }
 
  protected:
   void do_forward(const Tensor& x, Tensor& y, bool training,
-                  const ComputeContext& ctx) override;
+                  const ComputeContext& ctx, PlanContext& pc) override;
   void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                   Tensor& dx, const ComputeContext& ctx) override;
+                   Tensor& dx, const ComputeContext& ctx,
+                   PlanContext& pc) override;
 };
 
 }  // namespace minsgd::nn

@@ -6,7 +6,6 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
-#include <vector>
 
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
@@ -81,7 +80,8 @@ void Conv2d::im2col(const Tensor& x, std::int64_t n, float* col,
   const std::int64_t h = x.shape()[2], w = x.shape()[3];
   const std::int64_t spatial = out_h * out_w;
   // col is (in_c*k*k) x (out_h*out_w), row-major, channel-major rows, so the
-  // rows belonging to one channel group are contiguous.
+  // rows belonging to one channel group are contiguous. Every element is
+  // written (padding as explicit zeros), so a dirty reused buffer is fine.
   for (std::int64_t c = 0; c < in_c_; ++c) {
     for (std::int64_t ki = 0; ki < k_; ++ki) {
       for (std::int64_t kj = 0; kj < k_; ++kj) {
@@ -125,8 +125,53 @@ void Conv2d::col2im(const float* col, Tensor& dx, std::int64_t n,
   }
 }
 
+std::int64_t Conv2d::backward_chunks(std::int64_t batch) const {
+  // Chunk count derived from (batch, weight size) only — never the thread
+  // count — capping per-chunk dW partial memory at ~8 MB while keeping
+  // results bit-identical.
+  const std::int64_t dw_bytes =
+      static_cast<std::int64_t>(w_.numel() + (has_bias_ ? out_c_ : 0)) * 4;
+  const std::int64_t mem_cap = std::max<std::int64_t>(
+      1, (std::int64_t{8} << 20) / std::max<std::int64_t>(1, dw_bytes));
+  return std::min(ComputeContext::chunk_count(batch, /*grain=*/1), mem_cap);
+}
+
+Shape Conv2d::plan_forward(PlanBuilder& builder, const Shape& input) {
+  const std::int32_t step = builder.tick();
+  const Shape out = output_shape(input);
+  plan_fwd_col_ = kNoTensor;
+  const bool direct =
+      direct_enabled() &&
+      kernels::conv2d_direct_eligible(k_, stride_, pad_, groups_);
+  if (!direct) {
+    const std::int64_t spatial = out[2] * out[3];
+    const std::int64_t col_elems = in_c_ * k_ * k_ * spatial;
+    const std::int64_t chunks = ComputeContext::chunk_count(input[0], 1);
+    plan_fwd_col_ = builder.scratch(chunks * col_elems, step);
+  }
+  return out;
+}
+
+void Conv2d::plan_backward(PlanBuilder& builder, const Shape& input) {
+  const std::int32_t step = builder.tick();
+  const Shape out = output_shape(input);
+  const std::int64_t chunks = backward_chunks(input[0]);
+  plan_bwd_dw_ = builder.scratch(chunks * w_.numel(), step);
+  plan_bwd_db_ =
+      has_bias_ ? builder.scratch(chunks * out_c_, step) : kNoTensor;
+  plan_bwd_col_ = kNoTensor;
+  plan_bwd_dcol_ = kNoTensor;
+  const bool direct1x1 = direct_enabled() && groups_ == 1 && k_ == 1 &&
+                         stride_ == 1 && pad_ == 0;
+  if (!direct1x1) {
+    const std::int64_t col_elems = in_c_ * k_ * k_ * out[2] * out[3];
+    plan_bwd_col_ = builder.scratch(chunks * col_elems, step);
+    plan_bwd_dcol_ = builder.scratch(chunks * col_elems, step);
+  }
+}
+
 void Conv2d::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
-                        const ComputeContext& ctx) {
+                        const ComputeContext& ctx, PlanContext& pc) {
   const Shape out = output_shape(x.shape());
   y.resize(out);
   const std::int64_t batch = x.shape()[0];
@@ -172,19 +217,22 @@ void Conv2d::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
 
   // Batch-parallel with per-chunk im2col scratch; each image's output rows
   // are disjoint, so no reduction is needed. The inner sgemm runs inline
-  // (nested region).
+  // (nested region). The chunk-strided scratch block is requested up front
+  // so worker threads never allocate.
+  const std::int64_t col_elems = in_c_ * k_ * k_ * spatial;
+  const std::int64_t chunks = ComputeContext::chunk_count(batch, /*grain=*/1);
+  const std::span<float> cols = pc.floats(plan_fwd_col_, chunks * col_elems);
   ctx.for_chunks(
       batch, /*grain=*/1,
-      [&](std::int64_t /*c*/, std::int64_t lo, std::int64_t hi) {
-        std::vector<float> col(
-            static_cast<std::size_t>(in_c_ * k_ * k_ * spatial));
+      [&](std::int64_t c, std::int64_t lo, std::int64_t hi) {
+        float* col = cols.data() + c * col_elems;
         for (std::int64_t n = lo; n < hi; ++n) {
-          im2col(x, n, col.data(), out_h, out_w);
+          im2col(x, n, col, out_h, out_w);
           for (std::int64_t g = 0; g < groups_; ++g) {
             // y[n, group g] = W_g (g_out x kdim) * col_g (kdim x spatial)
             sgemm(ctx, Trans::kNo, Trans::kNo, g_out, spatial, kdim, 1.0f,
                   w_.data() + g * g_out * kdim, kdim,
-                  col.data() + g * kdim * spatial, spatial, 0.0f,
+                  col + g * kdim * spatial, spatial, 0.0f,
                   y.data() + (n * out_c_ + g * g_out) * spatial, spatial);
           }
           if (has_bias_) {
@@ -199,7 +247,8 @@ void Conv2d::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
 }
 
 void Conv2d::do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                         Tensor& dx, const ComputeContext& ctx) {
+                         Tensor& dx, const ComputeContext& ctx,
+                         PlanContext& pc) {
   const Shape out = y.shape();
   const std::int64_t batch = x.shape()[0];
   const std::int64_t out_h = out[2], out_w = out[3];
@@ -211,86 +260,87 @@ void Conv2d::do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
   dx.zero();
 
   // dx rows are disjoint per image, but dW/db are reductions over the batch:
-  // each chunk accumulates into its own partial, and the partials are folded
-  // into dw_/db_ in fixed chunk order afterwards. The chunk count is derived
-  // from (batch, weight size) only — never the thread count — capping the
-  // partial memory at ~8 MB while keeping results bit-identical.
-  const std::int64_t dw_bytes =
-      static_cast<std::int64_t>(w_.numel() + (has_bias_ ? out_c_ : 0)) * 4;
-  const std::int64_t mem_cap =
-      std::max<std::int64_t>(1, (std::int64_t{8} << 20) / std::max<std::int64_t>(1, dw_bytes));
-  const std::int64_t chunks =
-      std::min(ComputeContext::chunk_count(batch, /*grain=*/1), mem_cap);
+  // each chunk accumulates into its own slice of a chunk-strided partial
+  // block, and the slices are folded into dw_/db_ in fixed chunk order
+  // afterwards (see backward_chunks for the determinism/memory cap).
+  const std::int64_t chunks = backward_chunks(batch);
   if (chunks <= 0) return;
 
-  std::vector<Tensor> dw_part(static_cast<std::size_t>(chunks));
-  std::vector<Tensor> db_part(static_cast<std::size_t>(chunks));
+  const std::int64_t wn = w_.numel();
+  const std::span<float> dw_parts = pc.floats(plan_bwd_dw_, chunks * wn);
+  const std::span<float> db_parts =
+      has_bias_ ? pc.floats(plan_bwd_db_, chunks * out_c_) : std::span<float>{};
+
+  // 1x1 stride-1 unpadded skips the col buffers entirely: the column
+  // matrix is the input slice and dcol is dx itself. Bit-identical to
+  // the im2col path (col2im adds each dcol element once onto zero).
+  const bool direct1x1 = direct_enabled() && groups_ == 1 && k_ == 1 &&
+                         stride_ == 1 && pad_ == 0;
+  const std::int64_t col_elems = direct1x1 ? 0 : in_c_ * k_ * k_ * spatial;
+  const std::span<float> cols =
+      direct1x1 ? std::span<float>{} : pc.floats(plan_bwd_col_, chunks * col_elems);
+  const std::span<float> dcols =
+      direct1x1 ? std::span<float>{} : pc.floats(plan_bwd_dcol_, chunks * col_elems);
 
   ctx.for_chunks_n(
       batch, chunks, [&](std::int64_t c, std::int64_t lo, std::int64_t hi) {
-        Tensor& dwp = dw_part[static_cast<std::size_t>(c)];
-        dwp.resize(w_.shape());
-        dwp.zero();
-        Tensor* dbp = nullptr;
+        float* dwp = dw_parts.data() + c * wn;
+        std::fill_n(dwp, static_cast<std::size_t>(wn), 0.0f);
+        float* dbp = nullptr;
         if (has_bias_) {
-          dbp = &db_part[static_cast<std::size_t>(c)];
-          dbp->resize(b_.shape());
-          dbp->zero();
+          dbp = db_parts.data() + c * out_c_;
+          std::fill_n(dbp, static_cast<std::size_t>(out_c_), 0.0f);
         }
-        // 1x1 stride-1 unpadded skips the col buffers entirely: the column
-        // matrix is the input slice and dcol is dx itself. Bit-identical to
-        // the im2col path (col2im adds each dcol element once onto zero).
-        const bool direct1x1 = direct_enabled() && groups_ == 1 && k_ == 1 &&
-                               stride_ == 1 && pad_ == 0;
-        const std::size_t col_elems =
-            direct1x1 ? 0 : static_cast<std::size_t>(in_c_ * k_ * k_ * spatial);
-        std::vector<float> col(col_elems);
-        std::vector<float> dcol(col_elems);
+        float* col = direct1x1 ? nullptr : cols.data() + c * col_elems;
+        float* dcol = direct1x1 ? nullptr : dcols.data() + c * col_elems;
         for (std::int64_t n = lo; n < hi; ++n) {
           if (direct1x1) {
             const float* dy_n = dy.data() + n * out_c_ * spatial;
             // dW(partial) += dy_n (out_c x spatial) * x_n^T (spatial x in_c)
             sgemm(ctx, Trans::kNo, Trans::kYes, out_c_, in_c_, spatial, 1.0f,
                   dy_n, spatial, x.data() + n * in_c_ * spatial, spatial, 1.0f,
-                  dwp.data(), in_c_);
+                  dwp, in_c_);
             // dx_n = W^T (in_c x out_c) * dy_n (out_c x spatial)
             sgemm(ctx, Trans::kYes, Trans::kNo, in_c_, spatial, out_c_, 1.0f,
                   w_.data(), in_c_, dy_n, spatial, 0.0f,
                   dx.data() + n * in_c_ * spatial, spatial);
           } else {
-            im2col(x, n, col.data(), out_h, out_w);
+            im2col(x, n, col, out_h, out_w);
             for (std::int64_t g = 0; g < groups_; ++g) {
               const float* dy_g =
                   dy.data() + (n * out_c_ + g * g_out) * spatial;
               // dW_g(partial) += dy_g (g_out x spatial) * col_g^T (spatial x kdim)
               sgemm(ctx, Trans::kNo, Trans::kYes, g_out, kdim, spatial, 1.0f,
-                    dy_g, spatial, col.data() + g * kdim * spatial, spatial,
-                    1.0f, dwp.data() + g * g_out * kdim, kdim);
+                    dy_g, spatial, col + g * kdim * spatial, spatial,
+                    1.0f, dwp + g * g_out * kdim, kdim);
               // dcol_g = W_g^T (kdim x g_out) * dy_g (g_out x spatial)
               sgemm(ctx, Trans::kYes, Trans::kNo, kdim, spatial, g_out, 1.0f,
                     w_.data() + g * g_out * kdim, kdim, dy_g, spatial, 0.0f,
-                    dcol.data() + g * kdim * spatial, spatial);
+                    dcol + g * kdim * spatial, spatial);
             }
-            col2im(dcol.data(), dx, n, out_h, out_w);
+            col2im(dcol, dx, n, out_h, out_w);
           }
           if (has_bias_) {
             for (std::int64_t oc = 0; oc < out_c_; ++oc) {
               const float* src = dy.data() + (n * out_c_ + oc) * spatial;
               double acc = 0.0;
               for (std::int64_t s = 0; s < spatial; ++s) acc += src[s];
-              (*dbp)[oc] += static_cast<float>(acc);
+              dbp[oc] += static_cast<float>(acc);
             }
           }
         }
       });
 
-  // Fixed-order combine on the calling thread.
+  // Fixed-order combine on the calling thread. Chunks whose range is empty
+  // never ran (for_chunks_n skips them), so their slices are dirty — skip
+  // them by recomputing the deterministic bounds.
   for (std::int64_t c = 0; c < chunks; ++c) {
-    const Tensor& dwp = dw_part[static_cast<std::size_t>(c)];
-    if (dwp.numel() == 0) continue;  // empty trailing chunk never ran
-    for (std::int64_t i = 0; i < w_.numel(); ++i) dw_[i] += dwp[i];
+    const auto [lo, hi] = ComputeContext::chunk_bounds(batch, chunks, c);
+    if (lo >= hi) continue;
+    const float* dwp = dw_parts.data() + c * wn;
+    for (std::int64_t i = 0; i < wn; ++i) dw_[i] += dwp[i];
     if (has_bias_) {
-      const Tensor& dbp = db_part[static_cast<std::size_t>(c)];
+      const float* dbp = db_parts.data() + c * out_c_;
       for (std::int64_t i = 0; i < out_c_; ++i) db_[i] += dbp[i];
     }
   }

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "nn/layer.hpp"
+#include "nn/plan.hpp"
 
 namespace minsgd::nn {
 
@@ -29,6 +30,13 @@ class Conv2d final : public Layer {
   Tensor& weight() { return w_; }
   Tensor& bias() { return b_; }
 
+  /// Backward reads x (dW needs it) but only y's shape, never its data —
+  /// the planner may retire conv outputs at their last forward read.
+  bool backward_reads_output() const override { return false; }
+
+  Shape plan_forward(PlanBuilder& builder, const Shape& input) override;
+  void plan_backward(PlanBuilder& builder, const Shape& input) override;
+
   /// Process-wide toggle for the direct (im2col-free) conv path. On by
   /// default; MINSGD_CONV_DIRECT=off/0/false disables it at startup. The
   /// im2col path stays the semantic reference — for shapes where sgemm takes
@@ -39,9 +47,10 @@ class Conv2d final : public Layer {
 
  protected:
   void do_forward(const Tensor& x, Tensor& y, bool training,
-                  const ComputeContext& ctx) override;
+                  const ComputeContext& ctx, PlanContext& pc) override;
   void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                   Tensor& dx, const ComputeContext& ctx) override;
+                   Tensor& dx, const ComputeContext& ctx,
+                   PlanContext& pc) override;
 
  private:
   void im2col(const Tensor& x, std::int64_t n, float* col,
@@ -49,9 +58,22 @@ class Conv2d final : public Layer {
   void col2im(const float* col, Tensor& dx, std::int64_t n, std::int64_t out_h,
               std::int64_t out_w) const;
 
+  /// Backward dW-partial chunk count: a function of (batch, weight size)
+  /// only, shared by plan_backward and do_backward so the planned scratch
+  /// block always matches the runtime request.
+  std::int64_t backward_chunks(std::int64_t batch) const;
+
   std::int64_t in_c_, out_c_, k_, stride_, pad_, groups_;
   bool has_bias_;
   Tensor w_, b_, dw_, db_;
+
+  // Scratch ids assigned by the most recent plan walk (kNoTensor when the
+  // plan decided the scratch is not needed, e.g. direct paths).
+  TensorId plan_fwd_col_ = kNoTensor;
+  TensorId plan_bwd_col_ = kNoTensor;
+  TensorId plan_bwd_dcol_ = kNoTensor;
+  TensorId plan_bwd_dw_ = kNoTensor;
+  TensorId plan_bwd_db_ = kNoTensor;
 };
 
 }  // namespace minsgd::nn

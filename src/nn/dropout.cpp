@@ -17,7 +17,7 @@ std::string Dropout::name() const {
 }
 
 void Dropout::do_forward(const Tensor& x, Tensor& y, bool training,
-                         const ComputeContext& ctx) {
+                         const ComputeContext& ctx, PlanContext& /*pc*/) {
   y.resize(x.shape());
   last_was_training_ = training;
   if (!training || p_ == 0.0f) {
@@ -40,7 +40,7 @@ void Dropout::do_forward(const Tensor& x, Tensor& y, bool training,
 
 void Dropout::do_backward(const Tensor& x, const Tensor& /*y*/,
                           const Tensor& dy, Tensor& dx,
-                          const ComputeContext& ctx) {
+                          const ComputeContext& ctx, PlanContext& /*pc*/) {
   dx.resize(x.shape());
   if (!last_was_training_ || p_ == 0.0f) {
     copy(ctx, dy.span(), dx.span());

@@ -19,11 +19,16 @@ class Dropout final : public Layer {
 
   std::vector<Rng*> rng_streams() override { return {&rng_}; }
 
+  /// Backward multiplies dy by the cached mask_; x and y supply shapes only.
+  bool backward_reads_input() const override { return false; }
+  bool backward_reads_output() const override { return false; }
+
  protected:
   void do_forward(const Tensor& x, Tensor& y, bool training,
-                  const ComputeContext& ctx) override;
+                  const ComputeContext& ctx, PlanContext& pc) override;
   void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                   Tensor& dx, const ComputeContext& ctx) override;
+                   Tensor& dx, const ComputeContext& ctx,
+                   PlanContext& pc) override;
 
  private:
   float p_;

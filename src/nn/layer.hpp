@@ -5,6 +5,14 @@
 // the activations and passes (x, y, dy) back into backward(). Parameter
 // gradients are *accumulated* into ParamRef::grad, so data-parallel code can
 // sum local gradients before the optimizer step.
+//
+// Per-call scratch (im2col buffers, per-chunk reduction partials) is NOT
+// allocated by layers: do_forward/do_backward request it from the
+// PlanContext they receive (nn/plan.hpp). Under a memory plan those
+// requests resolve to pre-laid-out arena slices; without one they allocate
+// per call, scoped to the layer call by the NVI wrappers — so layer code is
+// identical in both modes and the hot-path-alloc lint rule can hold the
+// line mechanically.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,9 @@
 #include "tensor/tensor.hpp"
 
 namespace minsgd::nn {
+
+class PlanBuilder;
+class PlanContext;
 
 /// A named view of one learnable parameter and its gradient accumulator.
 ///
@@ -51,17 +62,20 @@ class Layer {
   virtual std::string name() const = 0;
 
   /// Output shape produced for a given input shape. Throws on mismatch.
+  /// Pinned against forward() by the shape-oracle test
+  /// (tests/test_shape_oracle.cpp); the memory planner sizes every arena
+  /// slice from it.
   virtual Shape output_shape(const Shape& input) const = 0;
 
   /// y = f(x). `training` toggles train-time behaviour (dropout, BN stats).
   /// `ctx` supplies the intra-op thread budget; results are bit-identical
   /// for any thread count (see tensor/context.hpp for the chunking rules).
+  /// `pc`, when non-null, supplies planned scratch/activation storage; null
+  /// gets a throwaway allocate-per-call context.
   /// Precondition (checked): x is non-empty.
   void forward(const Tensor& x, Tensor& y, bool training,
-               const ComputeContext& ctx = ComputeContext::default_ctx()) {
-    MINSGD_CHECK(!x.empty(), name(), "::forward: empty input");
-    do_forward(x, y, training, ctx);
-  }
+               const ComputeContext& ctx = ComputeContext::default_ctx(),
+               PlanContext* pc = nullptr);
 
   /// Given dL/dy, accumulates parameter gradients and writes dL/dx.
   /// Must be called with the same (x, y) the preceding forward produced.
@@ -69,13 +83,8 @@ class Layer {
   /// preceding forward consumed (dy.shape == y.shape is the generic part;
   /// layers check their own cached-state contracts).
   void backward(const Tensor& x, const Tensor& y, const Tensor& dy, Tensor& dx,
-                const ComputeContext& ctx = ComputeContext::default_ctx()) {
-    MINSGD_CHECK(!x.empty(), name(), "::backward: empty input");
-    MINSGD_CHECK(dy.shape() == y.shape(), name(),
-                 "::backward: dy/y shape mismatch (", dy.numel(), " vs ",
-                 y.numel(), " elements)");
-    do_backward(x, y, dy, dx, ctx);
-  }
+                const ComputeContext& ctx = ComputeContext::default_ctx(),
+                PlanContext* pc = nullptr);
 
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<ParamRef> params() { return {}; }
@@ -99,14 +108,38 @@ class Layer {
     return 0;
   }
 
+  // Memory planning -------------------------------------------------------
+  /// Walks one forward execution of this layer on the plan timeline:
+  /// advances the step clock over the region do_forward will occupy,
+  /// registers per-call scratch (and, for containers, internal activations)
+  /// with the builder, stores the returned TensorIds on the layer, and
+  /// returns the output shape. The base version claims a single step and no
+  /// scratch — correct for every layer whose do_forward allocates nothing.
+  virtual Shape plan_forward(PlanBuilder& builder, const Shape& input);
+
+  /// The backward-direction counterpart, called in output→input layer order
+  /// (mirroring do_backward and the grad-ready hook). Base: one step, no
+  /// scratch.
+  virtual void plan_backward(PlanBuilder& builder, const Shape& input);
+
+  /// Whether do_backward reads x's / y's float *data* (reading only shapes
+  /// does not count). With PlanOptions.recompute_cheap the planner ends an
+  /// activation's liveness at its last forward read when its producer
+  /// reports backward_reads_output() == false and its consumer
+  /// backward_reads_input() == false. Defaults are conservative.
+  virtual bool backward_reads_input() const { return true; }
+  virtual bool backward_reads_output() const { return true; }
+
  protected:
   /// Implementation hooks behind the non-virtual forward/backward above.
   /// Implementations must honour the determinism contract: parallelism only
-  /// via `ctx`, reductions in fixed chunk order.
+  /// via `ctx`, reductions in fixed chunk order — and the allocation
+  /// contract: scratch only via `pc`, requested before parallel regions.
   virtual void do_forward(const Tensor& x, Tensor& y, bool training,
-                          const ComputeContext& ctx) = 0;
+                          const ComputeContext& ctx, PlanContext& pc) = 0;
   virtual void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                           Tensor& dx, const ComputeContext& ctx) = 0;
+                           Tensor& dx, const ComputeContext& ctx,
+                           PlanContext& pc) = 0;
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -31,7 +31,7 @@ Shape Linear::output_shape(const Shape& input) const {
 }
 
 void Linear::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
-                        const ComputeContext& ctx) {
+                        const ComputeContext& ctx, PlanContext& /*pc*/) {
   const Shape out = output_shape(x.shape());
   y.resize(out);
   const std::int64_t batch = x.shape()[0];
@@ -52,7 +52,8 @@ void Linear::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
 }
 
 void Linear::do_backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
-                         Tensor& dx, const ComputeContext& ctx) {
+                         Tensor& dx, const ComputeContext& ctx,
+                         PlanContext& /*pc*/) {
   const std::int64_t batch = x.shape()[0];
   dx.resize(x.shape());
   // dW (out x in) += dy^T (out x batch) * x (batch x in)

@@ -22,11 +22,15 @@ class Linear final : public Layer {
   Tensor& weight() { return w_; }
   Tensor& bias() { return b_; }
 
+  /// Backward reads x (dW needs it) but never y's data.
+  bool backward_reads_output() const override { return false; }
+
  protected:
   void do_forward(const Tensor& x, Tensor& y, bool training,
-                  const ComputeContext& ctx) override;
+                  const ComputeContext& ctx, PlanContext& pc) override;
   void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                   Tensor& dx, const ComputeContext& ctx) override;
+                   Tensor& dx, const ComputeContext& ctx,
+                   PlanContext& pc) override;
 
  private:
   std::int64_t in_, out_;

@@ -10,6 +10,7 @@ namespace minsgd::nn {
 Network& Network::add(LayerPtr layer) {
   if (!layer) throw std::invalid_argument("Network::add: null layer");
   layers_.push_back(std::move(layer));
+  param_cache_valid_ = false;
   return *this;
 }
 
@@ -21,8 +22,56 @@ Shape Network::output_shape(const Shape& input) const {
   return s;
 }
 
+bool Network::backward_reads_input() const {
+  return layers_.empty() || layers_.front()->backward_reads_input();
+}
+
+Shape Network::plan_forward(PlanBuilder& builder, const Shape& input) {
+  plan_act_.assign(layers_.size(), kNoTensor);
+  plan_dact_.assign(layers_.size(), kNoTensor);
+  plan_in_shapes_.assign(layers_.size(), Shape{});
+  plan_input_ = input;
+  plan_epoch_ = builder.epoch();
+  plan_training_ = builder.training();
+  Shape cur = input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    plan_in_shapes_[i] = cur;
+    const std::int32_t s0 = builder.now() + 1;
+    cur = layers_[i]->plan_forward(builder, cur);
+    // The layer's output is defined over its forward region; its input is
+    // read throughout that region.
+    plan_act_[i] = builder.add(cur, s0, builder.now());
+    if (i > 0) builder.extend(plan_act_[i - 1], builder.now());
+  }
+  return cur;
+}
+
+void Network::plan_backward(PlanBuilder& builder, const Shape& /*input*/) {
+  const std::size_t n = layers_.size();
+  for (std::size_t i = n; i-- > 0;) {
+    const std::int32_t s0 = builder.now() + 1;
+    layers_[i]->plan_backward(builder, plan_in_shapes_[i]);
+    const std::int32_t s1 = builder.now();
+    // dx of layer i — defined over this region, read as dy through layer
+    // i-1's region (extended there on the next loop turn).
+    if (i > 0) plan_dact_[i - 1] = builder.add(plan_in_shapes_[i], s0, s1);
+    if (i + 1 < n) builder.extend(plan_dact_[i], s1);
+    // Activations read during this region. Without recompute_cheap every
+    // activation conservatively survives into its consumers' backward; with
+    // it, only layers that declare a data dependence extend the interval —
+    // the rest die at their last forward read and the arena aliases them.
+    const bool rec = builder.recompute();
+    if (!rec || layers_[i]->backward_reads_output()) {
+      builder.extend(plan_act_[i], s1);
+    }
+    if (i > 0 && (!rec || layers_[i]->backward_reads_input())) {
+      builder.extend(plan_act_[i - 1], s1);
+    }
+  }
+}
+
 void Network::do_forward(const Tensor& x, Tensor& y, bool training,
-                         const ComputeContext& ctx) {
+                         const ComputeContext& ctx, PlanContext& pc) {
   if (layers_.empty()) throw std::logic_error("Network::forward: empty net");
   // Span names are built only when tracing is on; the disabled path costs
   // one atomic load per layer.
@@ -32,6 +81,31 @@ void Network::do_forward(const Tensor& x, Tensor& y, bool training,
     outer.start("forward." + label_, obs::cat::kCompute);
     outer.set_threads(static_cast<int>(ctx.threads()));
   }
+  const bool planned = plan_matches(pc) && x.shape() == plan_input_ &&
+                       training == plan_training_;
+  last_forward_planned_ = planned;
+  if (planned) {
+    const Tensor* cur = &x;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      Tensor& out = pc.plan()->tensor(plan_act_[i]);
+      obs::ScopedSpan sp;
+      if (traced) {
+        sp.start("fwd." + layers_[i]->name(), obs::cat::kCompute);
+        sp.set_threads(static_cast<int>(ctx.threads()));
+      }
+      layers_[i]->forward(*cur, out, training, ctx, &pc);
+      cur = &out;
+    }
+    // The caller owns y; hand it the final activation. Backward reads the
+    // arena slice, not y.
+    y.resize(cur->shape());
+    copy(ctx, cur->span(), y.span());
+    return;
+  }
+  // Legacy allocate-per-call path. A planned-but-foreign context (epoch or
+  // geometry mismatch) must not reach sublayers: their stored TensorIds
+  // would index the wrong arena. They get fresh legacy contexts instead.
+  PlanContext* sub = pc.planned() ? nullptr : &pc;
   acts_.resize(layers_.size());
   const Tensor* cur = &x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
@@ -41,7 +115,7 @@ void Network::do_forward(const Tensor& x, Tensor& y, bool training,
       sp.start("fwd." + layers_[i]->name(), obs::cat::kCompute);
       sp.set_threads(static_cast<int>(ctx.threads()));
     }
-    layers_[i]->forward(*cur, out, training, ctx);
+    layers_[i]->forward(*cur, out, training, ctx, sub);
     cur = &out;
   }
   // Keep the final output cached too, so backward() has the (x, y) pair for
@@ -51,16 +125,44 @@ void Network::do_forward(const Tensor& x, Tensor& y, bool training,
 
 void Network::do_backward(const Tensor& x, const Tensor& /*y*/,
                           const Tensor& dy, Tensor& dx,
-                          const ComputeContext& ctx) {
-  if (acts_.size() != layers_.size()) {
-    throw std::logic_error("Network::backward without forward");
-  }
+                          const ComputeContext& ctx, PlanContext& pc) {
   const bool traced = obs::tracer().enabled();
   obs::ScopedSpan outer;
   if (traced) {
     outer.start("backward." + label_, obs::cat::kCompute);
     outer.set_threads(static_cast<int>(ctx.threads()));
   }
+  const bool planned = last_forward_planned_ && plan_matches(pc) &&
+                       x.shape() == plan_input_;
+  if (planned) {
+    const Tensor* cur_dy = &dy;
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+      const Tensor& input = (i == 0) ? x : pc.plan()->tensor(plan_act_[i - 1]);
+      Tensor& out_dx = (i == 0) ? dx : pc.plan()->tensor(plan_dact_[i - 1]);
+      const Tensor& out = pc.plan()->tensor(plan_act_[i]);
+      {
+        obs::ScopedSpan sp;
+        if (traced) {
+          sp.start("bwd." + layers_[i]->name(), obs::cat::kCompute);
+          sp.set_threads(static_cast<int>(ctx.threads()));
+        }
+        layers_[i]->backward(input, out, *cur_dy, out_dx, ctx, &pc);
+      }
+      if (grad_ready_hook_) grad_ready_hook_(i, *layers_[i]);
+      cur_dy = &out_dx;
+    }
+    return;
+  }
+  if (last_forward_planned_) {
+    // Forward ran against a plan this context does not carry; the legacy
+    // acts_ below would be stale. Refuse rather than silently diverge.
+    throw std::logic_error(
+        "Network::backward: planned forward but mismatched backward context");
+  }
+  if (acts_.size() != layers_.size()) {
+    throw std::logic_error("Network::backward without forward");
+  }
+  PlanContext* sub = pc.planned() ? nullptr : &pc;
   dacts_.resize(layers_.size());
   const Tensor* cur_dy = &dy;
   for (std::size_t i = layers_.size(); i-- > 0;) {
@@ -72,24 +174,31 @@ void Network::do_backward(const Tensor& x, const Tensor& /*y*/,
         sp.start("bwd." + layers_[i]->name(), obs::cat::kCompute);
         sp.set_threads(static_cast<int>(ctx.threads()));
       }
-      layers_[i]->backward(input, acts_[i], *cur_dy, out_dx, ctx);
+      layers_[i]->backward(input, acts_[i], *cur_dy, out_dx, ctx, sub);
     }
     if (grad_ready_hook_) grad_ready_hook_(i, *layers_[i]);
     cur_dy = &out_dx;
   }
 }
 
-std::vector<ParamRef> Network::params() {
-  std::vector<ParamRef> all;
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    for (ParamRef p : layers_[i]->params()) {
-      p.name = label_ + "." + std::to_string(i) + "." +
-               layers_[i]->name() + "." + p.name;
-      all.push_back(p);
+const std::vector<ParamRef>& Network::cached_params() {
+  if (!param_cache_valid_) {
+    param_cache_.clear();
+    flat_size_ = 0;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      for (ParamRef p : layers_[i]->params()) {
+        p.name = label_ + "." + std::to_string(i) + "." +
+                 layers_[i]->name() + "." + p.name;
+        flat_size_ += p.value->numel();
+        param_cache_.push_back(std::move(p));
+      }
     }
+    param_cache_valid_ = true;
   }
-  return all;
+  return param_cache_;
 }
+
+std::vector<ParamRef> Network::params() { return cached_params(); }
 
 std::vector<BufferRef> Network::buffers() {
   std::vector<BufferRef> all;
@@ -127,27 +236,39 @@ std::int64_t Network::flops(const Shape& input) const {
 }
 
 std::int64_t Network::num_params() {
-  std::int64_t n = 0;
-  for (const auto& p : params()) n += p.value->numel();
-  return n;
+  cached_params();
+  return flat_size_;
+}
+
+std::int64_t Network::flat_size() {
+  cached_params();
+  return flat_size_;
 }
 
 void Network::zero_grad() {
-  for (const auto& p : params()) p.grad->zero();
+  for (const auto& p : cached_params()) p.grad->zero();
 }
 
 std::vector<float> Network::flatten_params() {
   std::vector<float> flat;
-  for (const auto& p : params()) {
-    const auto s = p.value->span();
-    flat.insert(flat.end(), s.begin(), s.end());
-  }
+  flatten_params_into(flat);
   return flat;
+}
+
+void Network::flatten_params_into(std::vector<float>& flat) {
+  const auto& ps = cached_params();
+  flat.resize(static_cast<std::size_t>(flat_size_));
+  std::size_t off = 0;
+  for (const auto& p : ps) {
+    const auto s = p.value->span();
+    std::copy(s.begin(), s.end(), flat.begin() + static_cast<std::ptrdiff_t>(off));
+    off += s.size();
+  }
 }
 
 void Network::unflatten_params(std::span<const float> flat) {
   std::size_t off = 0;
-  for (const auto& p : params()) {
+  for (const auto& p : cached_params()) {
     const auto n = static_cast<std::size_t>(p.value->numel());
     if (off + n > flat.size()) {
       throw std::invalid_argument("unflatten_params: flat too small");
@@ -162,16 +283,24 @@ void Network::unflatten_params(std::span<const float> flat) {
 
 std::vector<float> Network::flatten_grads() {
   std::vector<float> flat;
-  for (const auto& p : params()) {
-    const auto s = p.grad->span();
-    flat.insert(flat.end(), s.begin(), s.end());
-  }
+  flatten_grads_into(flat);
   return flat;
+}
+
+void Network::flatten_grads_into(std::vector<float>& flat) {
+  const auto& ps = cached_params();
+  flat.resize(static_cast<std::size_t>(flat_size_));
+  std::size_t off = 0;
+  for (const auto& p : ps) {
+    const auto s = p.grad->span();
+    std::copy(s.begin(), s.end(), flat.begin() + static_cast<std::ptrdiff_t>(off));
+    off += s.size();
+  }
 }
 
 void Network::unflatten_grads(std::span<const float> flat) {
   std::size_t off = 0;
-  for (const auto& p : params()) {
+  for (const auto& p : cached_params()) {
     const auto n = static_cast<std::size_t>(p.grad->numel());
     if (off + n > flat.size()) {
       throw std::invalid_argument("unflatten_grads: flat too small");

@@ -3,6 +3,14 @@
 // It owns the inter-layer activations so the usual (x, y, dy) backward
 // contract works for arbitrarily deep stacks, and it can therefore be nested
 // (residual blocks hold Networks for their branches).
+//
+// Under an ExecutionPlan (nn/plan.hpp) the inter-layer activations and
+// backward gradients live in the plan's arena instead of the acts_/dacts_
+// members: plan_forward/plan_backward register them with liveness
+// intervals, and do_forward/do_backward bind layer I/O to the arena slices
+// when the incoming PlanContext carries a matching plan epoch. Contexts
+// from a different (or rebuilt) plan are rejected and execution falls back
+// to the legacy allocate-per-call path, which stays bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +21,7 @@
 #include <vector>
 
 #include "nn/layer.hpp"
+#include "nn/plan.hpp"
 
 namespace minsgd::nn {
 
@@ -43,6 +52,16 @@ class Network final : public Layer {
   void init(Rng& rng) override;
   std::int64_t flops(const Shape& input) const override;
 
+  Shape plan_forward(PlanBuilder& builder, const Shape& input) override;
+  void plan_backward(PlanBuilder& builder, const Shape& input) override;
+
+  /// Whether the first layer's backward reads x's data; the network itself
+  /// only routes x through.
+  bool backward_reads_input() const override;
+  /// do_backward never reads the caller-held y's data — it keeps its own
+  /// copy of the final activation (legacy) or an arena slice (planned).
+  bool backward_reads_output() const override { return false; }
+
   // Whole-network conveniences ------------------------------------------
   /// Total learnable parameter count.
   std::int64_t num_params();
@@ -52,11 +71,18 @@ class Network final : public Layer {
 
   /// Copies all parameter values into a single flat vector (and back).
   /// The flat layout is the order params() returns; it is the unit the
-  /// data-parallel trainer allreduces.
+  /// data-parallel trainer allreduces. The _into variants resize the given
+  /// vector (reusing its capacity) instead of building a fresh one — the
+  /// per-iteration allreduce path hoists one vector and calls them.
   std::vector<float> flatten_params();
+  void flatten_params_into(std::vector<float>& flat);
   void unflatten_params(std::span<const float> flat);
   std::vector<float> flatten_grads();
+  void flatten_grads_into(std::vector<float>& flat);
   void unflatten_grads(std::span<const float> flat);
+
+  /// Total float count of the flat parameter/gradient layout (cached).
+  std::int64_t flat_size();
 
   // Gradient-ready observation -------------------------------------------
   /// Hook fired during backward() immediately after layers_[i]->backward()
@@ -71,6 +97,7 @@ class Network final : public Layer {
   ///   * synchronously, on the thread running backward().
   /// A nested Network (e.g. a residual branch) reports once, as a whole,
   /// when the enclosing top-level layer's backward returns.
+  /// The planned and legacy execution paths fire identically.
   using GradReadyHook = std::function<void(std::size_t layer_index, Layer&)>;
 
   /// Installs (or clears, with nullptr) the gradient-ready hook.
@@ -80,16 +107,41 @@ class Network final : public Layer {
 
  protected:
   void do_forward(const Tensor& x, Tensor& y, bool training,
-                  const ComputeContext& ctx) override;
+                  const ComputeContext& ctx, PlanContext& pc) override;
   void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                   Tensor& dx, const ComputeContext& ctx) override;
+                   Tensor& dx, const ComputeContext& ctx,
+                   PlanContext& pc) override;
 
  private:
+  /// True when `pc` carries the plan this network's ids were assigned by.
+  bool plan_matches(const PlanContext& pc) const {
+    return pc.planned() && pc.epoch() == plan_epoch_;
+  }
+
+  /// Label-prefixed ParamRef list, built once and reused (the per-iteration
+  /// flatten/unflatten path must not rebuild name strings every call).
+  const std::vector<ParamRef>& cached_params();
+
   std::string label_ = "net";
   GradReadyHook grad_ready_hook_;
   std::vector<LayerPtr> layers_;
-  std::vector<Tensor> acts_;    // acts_[i] = output of layers_[i]
-  std::vector<Tensor> dacts_;   // gradient scratch, same indexing
+  std::vector<Tensor> acts_;    // legacy: acts_[i] = output of layers_[i]
+  std::vector<Tensor> dacts_;   // legacy gradient scratch, same indexing
+
+  // Plan state from the most recent plan_forward/plan_backward walk.
+  std::vector<TensorId> plan_act_;    // arena act ids, acts_ indexing
+  std::vector<TensorId> plan_dact_;   // arena dact ids, dacts_ indexing
+  std::vector<Shape> plan_in_shapes_; // input shape seen by each layer
+  Shape plan_input_;
+  std::uint64_t plan_epoch_ = 0;
+  bool plan_training_ = false;
+  bool last_forward_planned_ = false;
+
+  // Cached parameter metadata (satellite of the planning work: the flat
+  // allreduce buffer path was reallocating every call).
+  std::vector<ParamRef> param_cache_;
+  bool param_cache_valid_ = false;
+  std::int64_t flat_size_ = 0;
 };
 
 }  // namespace minsgd::nn

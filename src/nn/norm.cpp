@@ -24,7 +24,7 @@ std::string BatchNorm2d::name() const {
 }
 
 void BatchNorm2d::do_forward(const Tensor& x, Tensor& y, bool training,
-                             const ComputeContext& ctx) {
+                             const ComputeContext& ctx, PlanContext& /*pc*/) {
   if (x.shape().rank() != 4 || x.shape()[1] != c_) {
     throw std::invalid_argument("BatchNorm2d " + name() + ": bad input " +
                                 x.shape().str());
@@ -82,7 +82,7 @@ void BatchNorm2d::do_forward(const Tensor& x, Tensor& y, bool training,
 
 void BatchNorm2d::do_backward(const Tensor& x, const Tensor& /*y*/,
                               const Tensor& dy, Tensor& dx,
-                              const ComputeContext& ctx) {
+                              const ComputeContext& ctx, PlanContext& /*pc*/) {
   if (xhat_.shape() != x.shape()) {
     throw std::logic_error(
         "BatchNorm2d::backward without a preceding training forward");
@@ -150,7 +150,7 @@ LRN::LRN(std::int64_t local_size, float alpha, float beta, float k)
 std::string LRN::name() const { return "lrn(n=" + std::to_string(n_) + ")"; }
 
 void LRN::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
-                     const ComputeContext& ctx) {
+                     const ComputeContext& ctx, PlanContext& /*pc*/) {
   if (x.shape().rank() != 4) {
     throw std::invalid_argument("LRN: input must be NCHW");
   }
@@ -182,7 +182,8 @@ void LRN::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
 }
 
 void LRN::do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                      Tensor& dx, const ComputeContext& ctx) {
+                      Tensor& dx, const ComputeContext& ctx,
+                      PlanContext& /*pc*/) {
   dx.resize(x.shape());
   const std::int64_t batch = x.shape()[0], ch = x.shape()[1];
   const std::int64_t spatial = x.shape()[2] * x.shape()[3];

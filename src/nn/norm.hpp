@@ -27,11 +27,17 @@ class BatchNorm2d final : public Layer {
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
 
+  /// Backward consumes the cached xhat_/batch_inv_std_ from the training
+  /// forward; x and y supply shapes only.
+  bool backward_reads_input() const override { return false; }
+  bool backward_reads_output() const override { return false; }
+
  protected:
   void do_forward(const Tensor& x, Tensor& y, bool training,
-                  const ComputeContext& ctx) override;
+                  const ComputeContext& ctx, PlanContext& pc) override;
   void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                   Tensor& dx, const ComputeContext& ctx) override;
+                   Tensor& dx, const ComputeContext& ctx,
+                   PlanContext& pc) override;
 
  private:
   std::int64_t c_;
@@ -53,11 +59,15 @@ class LRN final : public Layer {
   std::string name() const override;
   Shape output_shape(const Shape& input) const override { return input; }
 
+  // LRN::do_backward genuinely reads both x and y data, so it keeps the
+  // conservative backward_reads_* defaults (true).
+
  protected:
   void do_forward(const Tensor& x, Tensor& y, bool training,
-                  const ComputeContext& ctx) override;
+                  const ComputeContext& ctx, PlanContext& pc) override;
   void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                   Tensor& dx, const ComputeContext& ctx) override;
+                   Tensor& dx, const ComputeContext& ctx,
+                   PlanContext& pc) override;
 
  private:
   std::int64_t n_;

@@ -1,0 +1,228 @@
+// ExecutionPlan: graph-compiled memory for Network forward/backward.
+//
+// Instead of every layer allocating activations and scratch per call, a
+// plan walks the layer graph once per input geometry (Layer::plan_forward /
+// plan_backward, recursing into nested Networks inside residual branches)
+// and records every activation, gradient, and per-call scratch tensor with
+// its size and liveness interval on a single step timeline: all forward
+// steps first, then backward steps in output→input order — the same order
+// the grad-ready hook fires, so the plan agrees with comm overlap about
+// when each buffer is dead. A TensorArena (tensor/arena.hpp) then lays the
+// intervals out with liveness-based aliasing, and execution binds layer I/O
+// to arena slices.
+//
+// Key liveness facts the plan exploits:
+//   * dact_i (the gradient flowing into layer i) dies as soon as layer i's
+//     backward finishes — the whole backward gradient chain collapses into
+//     a two-slot ping-pong.
+//   * with PlanOptions.recompute_cheap, an activation whose producer never
+//     reads its output in backward and whose consumer never reads its input
+//     (Layer::backward_reads_output/backward_reads_input) dies at its last
+//     forward read — e.g. a conv output feeding batch-norm is dead before
+//     backward starts.
+//
+// The plan is invalidated and rebuilt when the input shape, training flag,
+// or recompute option changes. MINSGD_MEMPLAN=off (or
+// ExecutionPlan::set_enabled(false)) reverts to the legacy
+// allocate-per-call path; both paths are bit-identical for every thread
+// count — the plan moves bytes, never arithmetic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/check.hpp"
+#include "tensor/arena.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace minsgd::nn {
+
+class Network;
+class ExecutionPlan;
+
+/// Index of a logical tensor inside a plan's arena.
+using TensorId = std::int32_t;
+inline constexpr TensorId kNoTensor = -1;
+
+/// Options a plan is built under; changing any of them rebuilds the plan.
+struct PlanOptions {
+  /// Plans cover forward+backward; inference-only callers still build with
+  /// training semantics (the arena is sized for the full cycle).
+  bool training = true;
+
+  /// Shrink activations that provably are not read in backward to their
+  /// last forward use. Defaults to MINSGD_MEMPLAN_RECOMPUTE (on unless
+  /// "0|off|false"). Bit-identical either way — only liveness changes.
+  bool recompute_cheap;
+
+  PlanOptions();
+};
+
+/// Accumulates the step timeline and tensor intervals during the
+/// plan_forward/plan_backward walk. Layers store the TensorIds this hands
+/// out and use them to fetch arena slices through PlanContext at run time.
+class PlanBuilder {
+ public:
+  PlanBuilder(std::uint64_t epoch, const PlanOptions& opts)
+      : epoch_(epoch), opts_(opts) {}
+
+  std::uint64_t epoch() const { return epoch_; }
+  bool training() const { return opts_.training; }
+  bool recompute() const { return opts_.recompute_cheap; }
+
+  /// Advances the step clock; returns the new current step. Steps start at
+  /// 1 (0 means "before anything runs").
+  std::int32_t tick() { return ++now_; }
+  std::int32_t now() const { return now_; }
+
+  /// Registers a tensor of `shape` live over [def, last]; returns its id.
+  TensorId add(const Shape& shape, std::int32_t def, std::int32_t last) {
+    items_.push_back({shape, shape.numel(), def, last});
+    return static_cast<TensorId>(items_.size() - 1);
+  }
+
+  /// Per-call scratch of `elems` floats, live only at `step`.
+  TensorId scratch(std::int64_t elems, std::int32_t step) {
+    items_.push_back({Shape{elems}, elems, step, step});
+    return static_cast<TensorId>(items_.size() - 1);
+  }
+
+  /// Extends `id`'s liveness to cover `step` (no-op for kNoTensor).
+  void extend(TensorId id, std::int32_t step) {
+    if (id == kNoTensor) return;
+    auto& it = items_.at(static_cast<std::size_t>(id));
+    if (step > it.last) it.last = step;
+    if (step < it.def) it.def = step;
+  }
+
+  std::vector<ArenaItem> take_items() { return std::move(items_); }
+
+ private:
+  std::uint64_t epoch_;
+  PlanOptions opts_;
+  std::vector<ArenaItem> items_;
+  std::int32_t now_ = 0;
+};
+
+/// A compiled memory plan for one Network at one input geometry. Trainers
+/// own one plan per replica and keep it across iterations; ensure() makes
+/// it a no-op when the geometry is unchanged and a rebuild when it is not.
+class ExecutionPlan {
+ public:
+  /// Process-wide gate, MINSGD_MEMPLAN at startup (on unless "0|off|false").
+  /// Off, context() hands out legacy allocate-per-call contexts.
+  static bool enabled();
+  static void set_enabled(bool on);
+
+  /// Default for PlanOptions::recompute_cheap, MINSGD_MEMPLAN_RECOMPUTE at
+  /// startup; tests flip it to cover both liveness policies.
+  static bool recompute_default();
+  static void set_recompute_default(bool on);
+
+  ExecutionPlan() = default;
+  ExecutionPlan(const ExecutionPlan&) = delete;
+  ExecutionPlan& operator=(const ExecutionPlan&) = delete;
+
+  /// (Re)builds the plan if `net`/`input`/`opts` differ from what it was
+  /// built for. Returns true when a rebuild happened.
+  bool ensure(Network& net, const Shape& input, const PlanOptions& opts = {});
+
+  /// ensure() + a PlanContext bound to this plan — or a legacy context when
+  /// the MINSGD_MEMPLAN gate is off. The one-liner trainers use per
+  /// iteration.
+  class PlanContext context(Network& net, const Shape& input,
+                            const PlanOptions& opts = {});
+
+  bool built() const { return built_; }
+  /// Process-unique build stamp; layers compare it against the ids they
+  /// stored to reject contexts from a different (or rebuilt) plan.
+  std::uint64_t epoch() const { return epoch_; }
+  bool training() const { return training_; }
+  const Shape& input_shape() const { return input_; }
+
+  Tensor& tensor(TensorId id) {
+    MINSGD_CHECK(built_ && id >= 0, "ExecutionPlan: bad tensor id ", id);
+    return arena_.tensor(static_cast<std::size_t>(id));
+  }
+
+  // Stats (also exported as plan.* metrics on each rebuild).
+  std::int64_t arena_bytes() const { return arena_.total_bytes(); }
+  std::int64_t raw_bytes() const { return arena_.raw_bytes(); }
+  std::int64_t num_tensors() const { return static_cast<std::int64_t>(arena_.size()); }
+  std::int32_t steps() const { return steps_; }
+  std::int64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  void build(Network& net, const Shape& input, const PlanOptions& opts);
+
+  TensorArena arena_;
+  Network* net_ = nullptr;
+  Shape input_;
+  bool built_ = false;
+  bool training_ = false;
+  bool recompute_ = false;
+  std::uint64_t epoch_ = 0;
+  std::int32_t steps_ = 0;
+  std::int64_t rebuilds_ = 0;
+};
+
+/// The scratch/binding handle threaded through do_forward/do_backward.
+///
+/// Planned (constructed from a built ExecutionPlan): tensor(id, shape)
+/// returns the arena slice for `id`, reshaped — no allocation. Legacy
+/// (default-constructed): every request allocates a fresh per-call tensor,
+/// released when the requesting layer's forward/backward wrapper returns —
+/// the pre-plan behaviour, kept behind MINSGD_MEMPLAN=off as the semantic
+/// reference. `id == kNoTensor` takes the legacy path even under a plan
+/// (used when a runtime gate, e.g. MINSGD_CONV_DIRECT, changed between plan
+/// build and execution and a scratch exists the plan did not foresee).
+class PlanContext {
+ public:
+  PlanContext() = default;
+  explicit PlanContext(ExecutionPlan* plan)
+      : plan_(plan), epoch_(plan != nullptr ? plan->epoch() : 0) {}
+
+  PlanContext(PlanContext&&) = default;
+  PlanContext& operator=(PlanContext&&) = default;
+
+  bool planned() const { return plan_ != nullptr; }
+  ExecutionPlan* plan() const { return plan_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// The tensor for `id`, resized to `shape`. See class comment for the
+  /// planned/legacy split. References stay valid until the requesting layer
+  /// call returns (legacy) or the plan is rebuilt (planned).
+  Tensor& tensor(TensorId id, const Shape& shape) {
+    if (plan_ != nullptr && id != kNoTensor) {
+      Tensor& t = plan_->tensor(id);
+      t.resize(shape);
+      return t;
+    }
+    legacy_.push_back(std::make_unique<Tensor>(shape));
+    return *legacy_.back();
+  }
+
+  /// Raw float scratch of `elems` (a rank-1 tensor under the hood). Layers
+  /// that need per-chunk scratch request one chunk-strided block *before*
+  /// entering the parallel region and index it by chunk, so no allocation —
+  /// legacy or planned — ever happens on a worker thread.
+  std::span<float> floats(TensorId id, std::int64_t elems) {
+    return tensor(id, Shape{elems}).span();
+  }
+
+  // Per-layer-call scoping for legacy scratch; driven by the Layer NVI
+  // wrappers, never by layer implementations.
+  std::size_t mark() const { return legacy_.size(); }
+  void release(std::size_t m) { legacy_.resize(m); }
+
+ private:
+  ExecutionPlan* plan_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::vector<std::unique_ptr<Tensor>> legacy_;
+};
+
+}  // namespace minsgd::nn

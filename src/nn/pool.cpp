@@ -39,7 +39,7 @@ Shape MaxPool2d::output_shape(const Shape& input) const {
 }
 
 void MaxPool2d::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
-                           const ComputeContext& ctx) {
+                           const ComputeContext& ctx, PlanContext& /*pc*/) {
   const Shape out = output_shape(x.shape());
   y.resize(out);
   argmax_.assign(static_cast<std::size_t>(out.numel()), -1);
@@ -76,7 +76,8 @@ void MaxPool2d::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
 }
 
 void MaxPool2d::do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                            Tensor& dx, const ComputeContext& ctx) {
+                            Tensor& dx, const ComputeContext& ctx,
+                            PlanContext& /*pc*/) {
   dx.resize(x.shape());
   dx.zero();
   // Parallel over the batch only: every argmax index of image n lies inside
@@ -110,7 +111,7 @@ Shape AvgPool2d::output_shape(const Shape& input) const {
 }
 
 void AvgPool2d::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
-                           const ComputeContext& ctx) {
+                           const ComputeContext& ctx, PlanContext& /*pc*/) {
   const Shape out = output_shape(x.shape());
   y.resize(out);
   const std::int64_t batch = out[0], ch = out[1], oh = out[2], ow = out[3];
@@ -140,7 +141,8 @@ void AvgPool2d::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
 }
 
 void AvgPool2d::do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                            Tensor& dx, const ComputeContext& ctx) {
+                            Tensor& dx, const ComputeContext& ctx,
+                            PlanContext& /*pc*/) {
   dx.resize(x.shape());
   dx.zero();
   const Shape out = y.shape();
@@ -177,7 +179,7 @@ Shape GlobalAvgPool::output_shape(const Shape& input) const {
 }
 
 void GlobalAvgPool::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
-                               const ComputeContext& ctx) {
+                               const ComputeContext& ctx, PlanContext& /*pc*/) {
   const Shape out = output_shape(x.shape());
   y.resize(out);
   const std::int64_t batch = out[0], ch = out[1];
@@ -200,7 +202,8 @@ void GlobalAvgPool::do_forward(const Tensor& x, Tensor& y, bool /*training*/,
 
 void GlobalAvgPool::do_backward(const Tensor& x, const Tensor& /*y*/,
                                 const Tensor& dy, Tensor& dx,
-                                const ComputeContext& ctx) {
+                                const ComputeContext& ctx,
+                                PlanContext& /*pc*/) {
   dx.resize(x.shape());
   const std::int64_t batch = x.shape()[0], ch = x.shape()[1];
   const std::int64_t spatial = x.shape()[2] * x.shape()[3];

@@ -16,11 +16,17 @@ class MaxPool2d final : public Layer {
   std::string name() const override;
   Shape output_shape(const Shape& input) const override;
 
+  /// Backward routes dy through the cached argmax indices; x and y supply
+  /// shapes only.
+  bool backward_reads_input() const override { return false; }
+  bool backward_reads_output() const override { return false; }
+
  protected:
   void do_forward(const Tensor& x, Tensor& y, bool training,
-                  const ComputeContext& ctx) override;
+                  const ComputeContext& ctx, PlanContext& pc) override;
   void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                   Tensor& dx, const ComputeContext& ctx) override;
+                   Tensor& dx, const ComputeContext& ctx,
+                   PlanContext& pc) override;
 
  private:
   std::int64_t k_, stride_, pad_;
@@ -36,11 +42,16 @@ class AvgPool2d final : public Layer {
   std::string name() const override;
   Shape output_shape(const Shape& input) const override;
 
+  /// Backward spreads dy uniformly; x and y supply shapes only.
+  bool backward_reads_input() const override { return false; }
+  bool backward_reads_output() const override { return false; }
+
  protected:
   void do_forward(const Tensor& x, Tensor& y, bool training,
-                  const ComputeContext& ctx) override;
+                  const ComputeContext& ctx, PlanContext& pc) override;
   void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                   Tensor& dx, const ComputeContext& ctx) override;
+                   Tensor& dx, const ComputeContext& ctx,
+                   PlanContext& pc) override;
 
  private:
   std::int64_t k_, stride_, pad_;
@@ -52,11 +63,16 @@ class GlobalAvgPool final : public Layer {
   std::string name() const override { return "gap"; }
   Shape output_shape(const Shape& input) const override;
 
+  /// Backward spreads dy uniformly; x and y supply shapes only.
+  bool backward_reads_input() const override { return false; }
+  bool backward_reads_output() const override { return false; }
+
  protected:
   void do_forward(const Tensor& x, Tensor& y, bool training,
-                  const ComputeContext& ctx) override;
+                  const ComputeContext& ctx, PlanContext& pc) override;
   void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                   Tensor& dx, const ComputeContext& ctx) override;
+                   Tensor& dx, const ComputeContext& ctx,
+                   PlanContext& pc) override;
 };
 
 }  // namespace minsgd::nn

@@ -26,43 +26,107 @@ Shape ResidualBlock::output_shape(const Shape& input) const {
   return b;
 }
 
+bool ResidualBlock::backward_reads_input() const {
+  return branch_->backward_reads_input() ||
+         (shortcut_ != nullptr && shortcut_->backward_reads_input());
+}
+
+Shape ResidualBlock::plan_forward(PlanBuilder& builder, const Shape& input) {
+  plan_epoch_ = builder.epoch();
+  const Shape out = branch_->plan_forward(builder, input);
+  // branch_out is written by the branch's final copy step (the last step of
+  // its forward region) and read at the add step below.
+  const std::int32_t s_branch_done = builder.now();
+  std::int32_t s_shortcut_done = 0;
+  if (shortcut_) {
+    shortcut_->plan_forward(builder, input);
+    s_shortcut_done = builder.now();
+  }
+  const std::int32_t s_add = builder.tick();  // add + relu into y
+  plan_branch_out_ = builder.add(out, s_branch_done, s_add);
+  plan_shortcut_out_ =
+      shortcut_ ? builder.add(out, s_shortcut_done, s_add) : kNoTensor;
+  return out;
+}
+
+void ResidualBlock::plan_backward(PlanBuilder& builder, const Shape& input) {
+  const Shape out = branch_->output_shape(input);
+  // Step 1: relu mask — reads y (the enclosing plan keeps it alive because
+  // backward_reads_output() is true) and dy, writes d_sum.
+  const std::int32_t s_relu = builder.tick();
+  plan_d_sum_ = builder.add(out, s_relu, s_relu);
+  // Step region 2: branch backward consumes d_sum as dy, produces d_branch_in.
+  const std::int32_t s_b0 = builder.now() + 1;
+  branch_->plan_backward(builder, input);
+  plan_d_branch_in_ = builder.add(input, s_b0, builder.now());
+  // Step region 3: shortcut backward, same shape.
+  if (shortcut_) {
+    const std::int32_t s_s0 = builder.now() + 1;
+    shortcut_->plan_backward(builder, input);
+    plan_d_shortcut_in_ = builder.add(input, s_s0, builder.now());
+  } else {
+    plan_d_shortcut_in_ = kNoTensor;
+  }
+  // Step 4: combine into dx. d_sum is read through every region above
+  // (identity shortcut reads it at the combine itself).
+  const std::int32_t s_comb = builder.tick();
+  builder.extend(plan_d_sum_, s_comb);
+  builder.extend(plan_d_branch_in_, s_comb);
+  builder.extend(plan_d_shortcut_in_, s_comb);
+}
+
 void ResidualBlock::do_forward(const Tensor& x, Tensor& y, bool training,
-                               const ComputeContext& ctx) {
-  branch_->forward(x, branch_out_, training, ctx);
+                               const ComputeContext& ctx, PlanContext& pc) {
+  const bool planned = pc.planned() && pc.epoch() == plan_epoch_;
+  // A planned context from a different plan must not reach the nested
+  // networks (their TensorIds would index the wrong arena).
+  PlanContext* sub = (planned || !pc.planned()) ? &pc : nullptr;
+  Tensor& bo = planned ? pc.plan()->tensor(plan_branch_out_) : branch_out_;
+  branch_->forward(x, bo, training, ctx, sub);
   const Tensor* sc = &x;
   if (shortcut_) {
-    shortcut_->forward(x, shortcut_out_, training, ctx);
-    sc = &shortcut_out_;
+    Tensor& so =
+        planned ? pc.plan()->tensor(plan_shortcut_out_) : shortcut_out_;
+    shortcut_->forward(x, so, training, ctx, sub);
+    sc = &so;
   }
-  if (branch_out_.shape() != sc->shape()) {
+  if (bo.shape() != sc->shape()) {
     throw std::logic_error("ResidualBlock: shape mismatch at add");
   }
-  sum_out_.resize(branch_out_.shape());
-  add(ctx, branch_out_.span(), sc->span(), sum_out_.span());
-  y.resize(sum_out_.shape());
-  copy(ctx, sum_out_.span(), y.span());
+  y.resize(bo.shape());
+  add(ctx, bo.span(), sc->span(), y.span());
   relu_inplace(ctx, y.span());
 }
 
 void ResidualBlock::do_backward(const Tensor& x, const Tensor& y,
                                 const Tensor& dy, Tensor& dx,
-                                const ComputeContext& ctx) {
+                                const ComputeContext& ctx, PlanContext& pc) {
+  const bool planned = pc.planned() && pc.epoch() == plan_epoch_;
+  PlanContext* sub = (planned || !pc.planned()) ? &pc : nullptr;
+  Tensor& bo = planned ? pc.plan()->tensor(plan_branch_out_) : branch_out_;
+  Tensor& ds = planned ? pc.plan()->tensor(plan_d_sum_) : d_sum_;
+  Tensor& dbi =
+      planned ? pc.plan()->tensor(plan_d_branch_in_) : d_branch_in_;
   // Through the final ReLU: pass gradient where y > 0.
-  d_sum_.resize(y.shape());
+  ds.resize(y.shape());
   ctx.parallel_for(0, y.numel(), [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t i = lo; i < hi; ++i) {
-      d_sum_[i] = y[i] > 0.0f ? dy[i] : 0.0f;
+      ds[i] = y[i] > 0.0f ? dy[i] : 0.0f;
     }
   });
   // The add fans the gradient out to both the branch and the shortcut.
-  branch_->backward(x, branch_out_, d_sum_, d_branch_in_, ctx);
+  branch_->backward(x, bo, ds, dbi, ctx, sub);
   if (shortcut_) {
-    shortcut_->backward(x, shortcut_out_, d_sum_, d_shortcut_in_, ctx);
+    Tensor& so =
+        planned ? pc.plan()->tensor(plan_shortcut_out_) : shortcut_out_;
+    Tensor& dsi =
+        planned ? pc.plan()->tensor(plan_d_shortcut_in_) : d_shortcut_in_;
+    shortcut_->backward(x, so, ds, dsi, ctx, sub);
     dx.resize(x.shape());
-    add(ctx, d_branch_in_.span(), d_shortcut_in_.span(), dx.span());
+    add(ctx, dbi.span(), dsi.span(), dx.span());
   } else {
     dx.resize(x.shape());
-    add(ctx, d_branch_in_.span(), d_sum_.span(), dx.span());
+    add(ctx, dbi.span(), ds.span(), dx.span());
   }
 }
 

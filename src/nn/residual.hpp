@@ -1,7 +1,10 @@
 // Residual block: y = relu(branch(x) + shortcut(x)).
 //
 // The branch and the (optional projection) shortcut are nested Networks, so
-// the block composes from the same layers the rest of the stack uses.
+// the block composes from the same layers the rest of the stack uses — and
+// the memory planner recurses into them the same way: plan_forward walks
+// branch then shortcut then the add/relu step, plan_backward mirrors the
+// relu-mask → branch backward → shortcut backward → combine order.
 #pragma once
 
 #include <memory>
@@ -25,17 +28,37 @@ class ResidualBlock final : public Layer {
   void init(Rng& rng) override;
   std::int64_t flops(const Shape& input) const override;
 
+  Shape plan_forward(PlanBuilder& builder, const Shape& input) override;
+  void plan_backward(PlanBuilder& builder, const Shape& input) override;
+
+  /// x's data is read in backward iff either sub-network's first layer
+  /// reads it (both receive x directly).
+  bool backward_reads_input() const override;
+  /// The final ReLU's backward gates on y > 0, so y's data is read.
+  bool backward_reads_output() const override { return true; }
+
  protected:
   void do_forward(const Tensor& x, Tensor& y, bool training,
-                  const ComputeContext& ctx) override;
+                  const ComputeContext& ctx, PlanContext& pc) override;
   void do_backward(const Tensor& x, const Tensor& y, const Tensor& dy,
-                   Tensor& dx, const ComputeContext& ctx) override;
+                   Tensor& dx, const ComputeContext& ctx,
+                   PlanContext& pc) override;
 
  private:
   std::unique_ptr<Network> branch_;
   std::unique_ptr<Network> shortcut_;  // nullptr = identity
-  Tensor branch_out_, shortcut_out_, sum_out_;
+
+  // Legacy (unplanned) storage; the planned path binds the same roles to
+  // arena slices via the ids below.
+  Tensor branch_out_, shortcut_out_;
   Tensor d_sum_, d_branch_in_, d_shortcut_in_;
+
+  TensorId plan_branch_out_ = kNoTensor;
+  TensorId plan_shortcut_out_ = kNoTensor;
+  TensorId plan_d_sum_ = kNoTensor;
+  TensorId plan_d_branch_in_ = kNoTensor;
+  TensorId plan_d_shortcut_in_ = kNoTensor;
+  std::uint64_t plan_epoch_ = 0;
 };
 
 }  // namespace minsgd::nn

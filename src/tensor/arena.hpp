@@ -1,0 +1,90 @@
+// TensorArena: one backing allocation shared by many logical tensors,
+// laid out with liveness-based aliasing.
+//
+// The execution planner (nn/plan.hpp) walks a network once per input
+// geometry and emits one ArenaItem per logical tensor — activation,
+// gradient, or per-call scratch — carrying a float count and an inclusive
+// liveness interval [def, last] in plan steps. build() assigns offsets with
+// a greedy best-fit sweep (the ccv/NNC-style alternative to
+// allocate-per-call): items are placed largest-first; two items may share
+// bytes iff their intervals do not overlap; among the candidate gaps left
+// by already-placed overlapping items the smallest sufficient one wins.
+// The result is a single block typically far smaller than the sum of item
+// sizes — backward gradient buffers, whose lifetimes form a ping-pong
+// chain, collapse into two slots.
+//
+// Offsets are 16-float (64-byte) aligned so arena slices line up with the
+// SIMD microkernels' cacheline expectations. The layout is a pure function
+// of the item list, so plan-on runs are reproducible byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace minsgd {
+
+/// One logical tensor in a memory plan.
+struct ArenaItem {
+  Shape shape;              // shape the arena view is bound with
+  std::int64_t elems = 0;   // floats reserved; >= shape.numel() (chunk-strided
+                            // scratch reserves chunks * per-chunk elems)
+  std::int32_t def = 0;     // first plan step that writes this tensor
+  std::int32_t last = 0;    // last plan step that reads it (inclusive)
+};
+
+class TensorArena {
+ public:
+  /// Computes the aliased layout, allocates the backing block, and binds one
+  /// Tensor view per item. Replaces any previous layout (all previously
+  /// returned views are rebound).
+  void build(std::vector<ArenaItem> items);
+
+  /// Drops the layout and backing block. Outstanding views dangle; callers
+  /// (ExecutionPlan) must not use them past this point.
+  void release();
+
+  std::size_t size() const { return items_.size(); }
+
+  /// The bound view for item `id`. Valid until the next build()/release().
+  Tensor& tensor(std::size_t id) {
+    MINSGD_CHECK(id < views_.size(), "TensorArena: bad id ", id);
+    return views_[id];
+  }
+
+  /// Float offset of item `id` inside the block (tests / debugging).
+  std::int64_t offset(std::size_t id) const {
+    MINSGD_CHECK(id < offsets_.size(), "TensorArena: bad id ", id);
+    return offsets_[id];
+  }
+
+  const ArenaItem& item(std::size_t id) const {
+    MINSGD_CHECK(id < items_.size(), "TensorArena: bad id ", id);
+    return items_[id];
+  }
+
+  /// Floats/bytes in the aliased block.
+  std::int64_t total_floats() const { return total_; }
+  std::int64_t total_bytes() const {
+    return total_ * static_cast<std::int64_t>(sizeof(float));
+  }
+
+  /// Sum of item sizes with no aliasing — what allocate-per-tensor would
+  /// hold live at once. total_bytes()/raw_bytes() is the aliasing ratio.
+  std::int64_t raw_floats() const { return raw_; }
+  std::int64_t raw_bytes() const {
+    return raw_ * static_cast<std::int64_t>(sizeof(float));
+  }
+
+ private:
+  std::vector<float> block_;
+  std::vector<ArenaItem> items_;
+  std::vector<std::int64_t> offsets_;
+  std::vector<Tensor> views_;
+  std::int64_t total_ = 0;
+  std::int64_t raw_ = 0;
+};
+
+}  // namespace minsgd

@@ -67,6 +67,7 @@ AsyncResult train_async_param_server(
                                  options.augment);
       nn::SoftmaxCrossEntropy loss;
       Tensor logits, dlogits, dx;
+      nn::ExecutionPlan plan;  // per-worker, lives across iterations
       const std::int64_t iters = loader.iterations_per_epoch();
       double first_loss = -1.0;
 
@@ -80,14 +81,15 @@ AsyncResult train_async_param_server(
           }
           net->zero_grad();
           nn::LossResult lres;
+          auto pc = plan.context(*net, batch.x.shape());
           {
             obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
-            net->forward(batch.x, logits, /*training=*/true, ctx);
+            net->forward(batch.x, logits, /*training=*/true, ctx, &pc);
             lres = loss.forward_backward(logits, batch.labels, &dlogits, ctx);
           }
           {
             obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
-            net->backward(batch.x, logits, dlogits, dx, ctx);
+            net->backward(batch.x, logits, dlogits, dx, ctx, &pc);
           }
           const double lr = schedule.lr(server.updates_applied());
           auto grad = net->flatten_grads();

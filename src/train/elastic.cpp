@@ -186,6 +186,9 @@ ElasticResult train_sync_elastic(
     nn::SoftmaxCrossEntropy loss;
     optim::ElasticLrScale lrs(schedule, base_gb);
     Tensor logits, dlogits, dx;
+    nn::ExecutionPlan plan;       // survives generation changes; rebuilds on
+                                  // batch-geometry change after a resize
+    std::vector<float> flat_own;  // hoisted serial-path allreduce buffer
 
     // Per-generation state, rebuilt by adopt() after every commit.
     std::unique_ptr<comm::Communicator> gc;
@@ -305,25 +308,25 @@ ElasticResult train_sync_elastic(
       }
       net->zero_grad();
       nn::LossResult lres;
+      auto pc = plan.context(*net, batch.x.shape());
       {
         obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
-        net->forward(batch.x, logits, /*training=*/true, *ctx);
+        net->forward(batch.x, logits, /*training=*/true, *ctx, &pc);
         lres = loss.forward_backward(logits, batch.labels, &dlogits, *ctx);
       }
       if (overlap) overlap->begin_iteration();
       {
         obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
-        net->backward(batch.x, logits, dlogits, dx, *ctx);
+        net->backward(batch.x, logits, dlogits, dx, *ctx, &pc);
       }
       // Sum gradients across the members, then average by the live world.
       // Bucket boundaries match the fixed trainer's, so a run that never
       // resizes is bit-identical to train_sync_data_parallel.
       std::span<float> flat;
-      std::vector<float> flat_own;
       if (overlap) {
         flat = overlap->finish();
       } else {
-        flat_own = net->flatten_grads();
+        net->flatten_grads_into(flat_own);
         flat = flat_own;
         if (t.bucket_bytes > 0) {
           const auto bucket = static_cast<std::size_t>(t.bucket_bytes / 4);

@@ -95,6 +95,8 @@ FaultTolerantResult train_sync_fault_tolerant(
     nn::SoftmaxCrossEntropy loss;
     const std::int64_t iters = loader.iterations_per_epoch();
     Tensor logits, dlogits, dx;
+    nn::ExecutionPlan plan;       // per-rank, lives across iterations
+    std::vector<float> flat_own;  // hoisted serial-path allreduce buffer
     const float inv_world = 1.0f / static_cast<float>(world);
     std::unique_ptr<OverlapAllreducer> overlap;
     if (topt.overlap_comm) {
@@ -133,15 +135,16 @@ FaultTolerantResult train_sync_fault_tolerant(
         }
         net->zero_grad();
         nn::LossResult lres;
+        auto pc = plan.context(*net, batch.x.shape());
         {
           obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
-          net->forward(batch.x, logits, /*training=*/true, ctx);
+          net->forward(batch.x, logits, /*training=*/true, ctx, &pc);
           lres = loss.forward_backward(logits, batch.labels, &dlogits, ctx);
         }
         if (overlap) overlap->begin_iteration();
         {
           obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
-          net->backward(batch.x, logits, dlogits, dx, ctx);
+          net->backward(batch.x, logits, dlogits, dx, ctx, &pc);
         }
 
         // Identical update sequence to train_sync_data_parallel: rank-sum
@@ -149,11 +152,10 @@ FaultTolerantResult train_sync_fault_tolerant(
         // overlap on/off determinism guarantee carries over), divide by
         // world, step at lr(global_iter).
         std::span<float> flat;
-        std::vector<float> flat_own;
         if (overlap) {
           flat = overlap->finish();
         } else {
-          flat_own = net->flatten_grads();
+          net->flatten_grads_into(flat_own);
           flat = flat_own;
           obs::ScopedSpan sp("phase.allreduce", obs::cat::kPhase);
           sp.set_bytes(static_cast<std::int64_t>(flat.size()) * 4);

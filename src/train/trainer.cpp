@@ -60,6 +60,9 @@ TrainResult train_single(nn::Network& net, optim::Optimizer& opt,
         "train_single: accumulation_steps exceeds iterations per epoch");
   }
   Tensor logits, dlogits, dx;
+  // One memory plan per trainer, kept across iterations; context() is a
+  // no-op while the batch geometry is stable and a rebuild when it changes.
+  nn::ExecutionPlan plan;
   double first_loss = -1.0;
   std::int64_t global_iter = 0;
   const float inv_accum = 1.0f / static_cast<float>(accum);
@@ -78,14 +81,15 @@ TrainResult train_single(nn::Network& net, optim::Optimizer& opt,
           batch = loader.load_train(epoch, it * accum + micro, ctx);
         }
         nn::LossResult lres;
+        auto pc = plan.context(net, batch.x.shape());
         {
           obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
-          net.forward(batch.x, logits, /*training=*/true, ctx);
+          net.forward(batch.x, logits, /*training=*/true, ctx, &pc);
           lres = loss.forward_backward(logits, batch.labels, &dlogits, ctx);
         }
         {
           obs::ScopedSpan sp("phase.backward", obs::cat::kPhase);
-          net.backward(batch.x, logits, dlogits, dx, ctx);
+          net.backward(batch.x, logits, dlogits, dx, ctx, &pc);
         }
         step_loss += lres.loss;
         epoch_correct += lres.correct;
@@ -181,6 +185,8 @@ DistResult train_sync_data_parallel(
     nn::SoftmaxCrossEntropy loss;
     const std::int64_t iters = loader.iterations_per_epoch();
     Tensor logits, dlogits, dx;
+    nn::ExecutionPlan plan;           // per-replica, lives across iterations
+    std::vector<float> flat_own;      // hoisted serial-path allreduce buffer
     const float inv_world = 1.0f / static_cast<float>(world);
     std::unique_ptr<comm::OneBitCompressor> compressor;
     if (options.compress_one_bit) {
@@ -211,9 +217,10 @@ DistResult train_sync_data_parallel(
         }
         net->zero_grad();
         nn::LossResult lres;
+        auto pc = plan.context(*net, batch.x.shape());
         {
           obs::ScopedSpan sp("phase.forward", obs::cat::kPhase);
-          net->forward(batch.x, logits, /*training=*/true, ctx);
+          net->forward(batch.x, logits, /*training=*/true, ctx, &pc);
           lres = loss.forward_backward(logits, batch.labels, &dlogits, ctx);
         }
         if (overlap) overlap->begin_iteration();
@@ -222,18 +229,17 @@ DistResult train_sync_data_parallel(
           // With overlap on, the gradient-ready hook fires in here: each
           // finalized layer is copied into the flat buffer and full buckets
           // launch on the comm worker while later layers still compute.
-          net->backward(batch.x, logits, dlogits, dx, ctx);
+          net->backward(batch.x, logits, dlogits, dx, ctx, &pc);
         }
 
         // Sum gradients across ranks, then average: each local gradient is
         // the mean over the local shard, so the global-batch mean is the
         // rank-sum divided by world.
         std::span<float> flat;
-        std::vector<float> flat_own;  // storage for the serial paths
         if (overlap) {
           flat = overlap->finish();  // wait on all in-flight buckets
         } else {
-          flat_own = net->flatten_grads();
+          net->flatten_grads_into(flat_own);
           flat = flat_own;
           obs::ScopedSpan sp_comm;
           if (obs::tracer().enabled()) {

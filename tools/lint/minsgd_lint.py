@@ -50,6 +50,12 @@ Rules (ids in brackets; see DESIGN.md §11 for the catalog):
                           ...) directly: the macro carries the enabled() gate,
                           so a direct call bypasses the off switch and pays
                           the record cost even when the recorder is disabled.
+  [hot-path-alloc]        Inside a do_forward/do_backward body in src/nn,
+                          constructing a Tensor or declaring a std::vector
+                          allocates on the training hot path. Layer scratch
+                          must come from the PlanContext (arena-backed when
+                          planned, pooled in legacy mode) so steady-state
+                          iterations perform zero heap allocations.
   [bad-suppression]       A suppression that names an unknown rule or omits
                           the justification text.
 
@@ -94,6 +100,7 @@ RULES = {
     "naked-assert": "assert() in src/ instead of MINSGD_CHECK/MINSGD_DCHECK",
     "cast": "reinterpret_cast/const_cast in src/ without a written justification",
     "flight-record": "direct flight-recorder record() call instead of the MINSGD_FLIGHT macro",
+    "hot-path-alloc": "Tensor/std::vector construction inside do_forward/do_backward in src/nn",
     "bad-suppression": "malformed minsgd-lint suppression comment",
 }
 
@@ -484,6 +491,56 @@ class FileLint:
                                 "which carries the enabled() gate")
                     break
 
+    HOT_PATH_FN_RE = re.compile(r"\bdo_(?:forward|backward)\s*\(")
+    # A named Tensor local or a Tensor temporary. References/pointers
+    # (`const Tensor& x`, `const Tensor* in`) bind existing storage and are
+    # fine; `std::vector<Tensor>` never matches `Tensor\s+ident`.
+    TENSOR_ALLOC_RE = re.compile(r"\bTensor\s+[A-Za-z_]\w*|\bTensor\s*[({]")
+    # A named std::vector local (declaration => construction). Greedy `.*>`
+    # keeps `const std::vector<float>&` (reference, next char is '&') out.
+    VECTOR_ALLOC_RE = re.compile(r"\bstd::vector\s*<.*>\s+[A-Za-z_]\w*")
+
+    def rule_hot_path_alloc(self):
+        if not self.fixture_mode and not self.relpath.startswith("src/nn/"):
+            return
+        for m in self.HOT_PATH_FN_RE.finditer(self.code):
+            # Find the matching ')' of the parameter list, then require a
+            # definition body ('{' with no ';' in between — declarations and
+            # call sites are skipped).
+            i = m.end() - 1
+            depth = 0
+            n = len(self.code)
+            while i < n:
+                if self.code[i] == "(":
+                    depth += 1
+                elif self.code[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            brace = self.code.find("{", i)
+            if brace == -1 or ";" in self.code[i:brace]:
+                continue
+            depth = 1
+            k = brace + 1
+            while k < n and depth:
+                if self.code[k] == "{":
+                    depth += 1
+                elif self.code[k] == "}":
+                    depth -= 1
+                k += 1
+            body = self.code[brace:k]
+            for pat, what in ((self.TENSOR_ALLOC_RE, "Tensor construction"),
+                              (self.VECTOR_ALLOC_RE,
+                               "std::vector declaration")):
+                for am in pat.finditer(body):
+                    self.report(line_of(self.code, brace + am.start()),
+                                "hot-path-alloc",
+                                f"{what} inside do_forward/do_backward — "
+                                "take scratch from the PlanContext "
+                                "(pc.tensor / pc.floats) so steady-state "
+                                "iterations allocate nothing")
+
     # -- driver ------------------------------------------------------------
 
     def run(self) -> list[Finding]:
@@ -497,6 +554,7 @@ class FileLint:
         self.rule_naked_assert()
         self.rule_cast()
         self.rule_flight_record()
+        self.rule_hot_path_alloc()
 
         kept = []
         for f in self.findings:
