@@ -121,8 +121,8 @@ bool run_config(bool plan_on, bool recompute, std::int64_t batch,
   close(fds[1]);
   ssize_t got = 0;
   char* dst = reinterpret_cast<char*>(&out);
-  // minsgd-lint: allow(cast): reading a trivially-copyable report struct
-  // byte-wise from the child's pipe.
+  // minsgd-lint: allow(cast): reading the trivially-copyable ChildReport
+  // struct byte-wise from the child's pipe.
   while (got < static_cast<ssize_t>(sizeof(out))) {
     const ssize_t n = read(fds[0], dst + got, sizeof(out) - got);
     if (n <= 0) break;

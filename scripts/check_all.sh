@@ -74,7 +74,15 @@ lint_stage() {
     python3 tools/lint/minsgd_lint.py --self-test
 }
 
+# Cross-TU semantic analysis: fixture self-test first (proves every check
+# still fires), then the five whole-program checks over the real tree.
+# Findings land in analyze_results/findings.json as well as on stdout.
 analyze_stage() {
+  python3 tools/analyze/analyze.py --self-test &&
+    python3 tools/analyze/analyze.py
+}
+
+trace_analyze_stage() {
   python3 tools/trace/analyze.py --self-test
 }
 
@@ -121,6 +129,7 @@ tsan_stage() {
 FAILED=0
 run_stage "lint" lint_stage || FAILED=1
 run_stage "analyze" analyze_stage || FAILED=1
+run_stage "trace-analyze" trace_analyze_stage || FAILED=1
 if run_stage "build" build_stage; then
   run_stage "tier1" tier1_stage || FAILED=1
   run_stage "bench-memplan" bench_memplan_stage || FAILED=1

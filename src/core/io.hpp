@@ -26,7 +26,8 @@ inline void write_bytes(std::ostream& out, const void* p, std::size_t n) {
   // The ostream byte interface is char*; viewing any object representation
   // as char is explicitly sanctioned by the standard's aliasing rules, and
   // every typed overload in this header funnels through here.
-  // minsgd-lint: allow(cast): sole sanctioned object-to-char bridge (see above)
+  // minsgd-lint: allow(cast): write_bytes is the sole object-to-char
+  // bridge; every typed overload in io.hpp funnels through it (see above)
   out.write(reinterpret_cast<const char*>(p),
             static_cast<std::streamsize>(n));
 }

@@ -202,6 +202,9 @@ class PlanContext {
       t.resize(shape);
       return t;
     }
+    // minsgd-analyze: allow(hot-path-alloc): PlanContext::tensor IS the
+    // sanctioned allocator — the legacy fallback when ExecutionPlan is
+    // disabled (MINSGD_MEMPLAN=0); planned runs take the arena branch above.
     legacy_.push_back(std::make_unique<Tensor>(shape));
     return *legacy_.back();
   }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
 
 #include "core/check.hpp"
 #include "tensor/context.hpp"
@@ -89,12 +88,16 @@ void conv2d_forward_direct(const ComputeContext& ctx, const float* x,
   // The weight matrix (out_c x kdim) is shared by every image: pack it once
   // into A-panel layout for all kc blocks. Block p0 starts at
   // mtiles*kMR*p0 because every block's footprint is proportional to kc.
+  // The packed weights live in calling-thread scratch: written here, before
+  // the parallel region starts, and read-only by every worker inside it
+  // (region start/join orders the accesses).
   const std::int64_t mtiles = (g.out_c + kMR - 1) / kMR;
-  std::vector<float> wpack(static_cast<std::size_t>(mtiles * kMR * kdim));
+  float* const wpack = pack_scratch(
+      kPackScratchConvW, static_cast<std::size_t>(mtiles * kMR * kdim));
   for (std::int64_t p0 = 0; p0 < kdim; p0 += kKC) {
     const std::int64_t kc = std::min(kKC, kdim - p0);
     pack_a_panel(w, kdim, Trans::kNo, 0, p0, g.out_c, kc, /*alpha=*/1.0f,
-                 wpack.data() + mtiles * kMR * p0);
+                 wpack + mtiles * kMR * p0);
   }
 
   // Batch-parallel with per-chunk packing scratch; the inner blocked loops
@@ -103,7 +106,8 @@ void conv2d_forward_direct(const ComputeContext& ctx, const float* x,
   ctx.for_chunks(
       batch, /*grain=*/1,
       [&](std::int64_t /*c*/, std::int64_t lo, std::int64_t hi) {
-        std::vector<float> bpack(static_cast<std::size_t>(kKC * kNC));
+        float* const bpack = pack_scratch(
+            kPackScratchConvB, static_cast<std::size_t>(kKC * kNC));
         for (std::int64_t n = lo; n < hi; ++n) {
           const float* xn = x + n * in_plane;
           float* yn = y + n * out_plane;
@@ -111,14 +115,14 @@ void conv2d_forward_direct(const ComputeContext& ctx, const float* x,
                       static_cast<std::size_t>(out_plane) * sizeof(float));
           for (std::int64_t p0 = 0; p0 < kdim; p0 += kKC) {
             const std::int64_t kc = std::min(kKC, kdim - p0);
-            const float* apanel = wpack.data() + mtiles * kMR * p0;
+            const float* apanel = wpack + mtiles * kMR * p0;
             for (std::int64_t j0 = 0; j0 < spatial; j0 += kNC) {
               const std::int64_t nc = std::min(kNC, spatial - j0);
               const std::int64_t ntiles = (nc + kNR - 1) / kNR;
-              pack_b_im2col(xn, g, p0, j0, kc, nc, bpack.data());
+              pack_b_im2col(xn, g, p0, j0, kc, nc, bpack);
               for (std::int64_t jt = 0; jt < ntiles; ++jt) {
                 const std::int64_t nr = std::min(kNR, nc - jt * kNR);
-                const float* btile = bpack.data() + jt * kc * kNR;
+                const float* btile = bpack + jt * kc * kNR;
                 for (std::int64_t it = 0; it < mtiles; ++it) {
                   const std::int64_t mr = std::min(kMR, g.out_c - it * kMR);
                   ukr(kc, apanel + it * kc * kMR, btile,

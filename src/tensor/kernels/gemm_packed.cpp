@@ -1,7 +1,6 @@
 #include "tensor/kernels/gemm_packed.hpp"
 
 #include <algorithm>
-#include <vector>
 
 #include "tensor/context.hpp"
 #include "tensor/kernels/microkernel.hpp"
@@ -33,26 +32,29 @@ void gemm_packed(const ComputeContext& ctx, Trans ta, Trans tb, std::int64_t m,
   ctx.parallel_for(
       0, row_blocks,
       [&](std::int64_t blk_lo, std::int64_t blk_hi) {
-        // Packed-panel scratch, private to this chunk.
-        std::vector<float> apack(static_cast<std::size_t>(kMC * kKC));
-        std::vector<float> bpack(static_cast<std::size_t>(kKC * kNC));
+        // Packed-panel scratch, private to this worker thread (grow-only;
+        // every pack fully overwrites what the microkernel reads).
+        float* const apack =
+            pack_scratch(kPackScratchA, static_cast<std::size_t>(kMC * kKC));
+        float* const bpack =
+            pack_scratch(kPackScratchB, static_cast<std::size_t>(kKC * kNC));
         for (std::int64_t blk = blk_lo; blk < blk_hi; ++blk) {
           const std::int64_t i0 = blk * kMC;
           const std::int64_t mc = std::min(kMC, m - i0);
           const std::int64_t mtiles = (mc + kMR - 1) / kMR;
           for (std::int64_t p0 = 0; p0 < k; p0 += kKC) {
             const std::int64_t kc = std::min(kKC, k - p0);
-            pack_a_panel(a, lda, ta, i0, p0, mc, kc, alpha, apack.data());
+            pack_a_panel(a, lda, ta, i0, p0, mc, kc, alpha, apack);
             for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
               const std::int64_t nc = std::min(kNC, n - j0);
               const std::int64_t ntiles = (nc + kNR - 1) / kNR;
-              pack_b_panel(b, ldb, tb, p0, j0, kc, nc, bpack.data());
+              pack_b_panel(b, ldb, tb, p0, j0, kc, nc, bpack);
               for (std::int64_t jt = 0; jt < ntiles; ++jt) {
                 const std::int64_t nr = std::min(kNR, nc - jt * kNR);
-                const float* btile = bpack.data() + jt * kc * kNR;
+                const float* btile = bpack + jt * kc * kNR;
                 for (std::int64_t it = 0; it < mtiles; ++it) {
                   const std::int64_t mr = std::min(kMR, mc - it * kMR);
-                  ukr(kc, apack.data() + it * kc * kMR, btile,
+                  ukr(kc, apack + it * kc * kMR, btile,
                       c + (i0 + it * kMR) * ldc + j0 + jt * kNR, ldc, mr, nr);
                 }
               }

@@ -1,10 +1,22 @@
 #include "tensor/kernels/pack.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "tensor/kernels/microkernel.hpp"
 
 namespace minsgd::kernels {
+
+float* pack_scratch(int slot, std::size_t elems) {
+  // minsgd-analyze: allow(hot-path-alloc): grow-only thread_local scratch
+  // shared by gemm_packed and conv2d_forward_direct; it reaches steady-state
+  // size on the first block and never reallocates on the planned hot path.
+  static thread_local std::vector<float> buffers[kPackScratchSlots];
+  std::vector<float>& buf = buffers[slot];
+  if (buf.size() < elems) buf.resize(elems);
+  return buf.data();
+}
+
 namespace {
 
 inline float load_a(const float* a, std::int64_t lda, Trans ta, std::int64_t i,

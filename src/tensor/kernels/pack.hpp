@@ -16,11 +16,34 @@
 // the zero fill cannot perturb any output element.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "tensor/gemm.hpp"
 
 namespace minsgd::kernels {
+
+// Thread-local, grow-only scratch backing packed panels, so the blocked
+// drivers never allocate on the planned hot path (hot-path-alloc contract).
+// Distinct slots keep concurrent users on one thread from aliasing:
+//   kPackScratchA / kPackScratchB       gemm_packed, inside its region
+//   kPackScratchConvB                   conv2d_forward_direct, per chunk
+//   kPackScratchConvW                   conv2d_forward_direct, packed on the
+//                                       calling thread before its region and
+//                                       read-only inside it
+// Buffers reach steady-state size after the first block and are reused dirty;
+// that is bitwise-safe because every pack fully overwrites the region the
+// microkernels read, zero-filling edge lanes (see layout notes above).
+inline constexpr int kPackScratchA = 0;
+inline constexpr int kPackScratchB = 1;
+inline constexpr int kPackScratchConvB = 2;
+inline constexpr int kPackScratchConvW = 3;
+inline constexpr int kPackScratchSlots = 4;
+
+/// Returns this thread's scratch buffer for `slot`, grown to at least
+/// `elems` floats. The pointer stays valid until the next pack_scratch call
+/// on the same thread and slot with a larger `elems`.
+float* pack_scratch(int slot, std::size_t elems);
 
 /// Packs the (mc x kc) block of op(A) starting at logical row i0, depth p0
 /// into A-panel layout, scaling every element by alpha.

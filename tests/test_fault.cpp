@@ -54,8 +54,8 @@ TEST(MailboxTimeout, TimesOutOnMissingMessage) {
 
 TEST(MailboxTimeout, DeliveredMessageBeatsDeadline) {
   Mailbox mb;
-  // minsgd-lint: allow(thread-spawn): test needs a raw producer thread to
-  // race a real delivery against the mailbox deadline.
+  // minsgd-lint: allow(thread-spawn): a raw producer thread races a real
+  // delivery against the Mailbox::take_for deadline.
   std::thread producer([&] {
     std::this_thread::sleep_for(10ms);
     mb.deliver(Message{0, 7, {1.0f, 2.0f}});
@@ -68,8 +68,8 @@ TEST(MailboxTimeout, DeliveredMessageBeatsDeadline) {
 
 TEST(MailboxTimeout, AbortWakesWaiter) {
   Mailbox mb;
-  // minsgd-lint: allow(thread-spawn): test needs a raw thread to abort the
-  // mailbox out from under a blocked waiter.
+  // minsgd-lint: allow(thread-spawn): a raw thread calls Mailbox::abort out
+  // from under a waiter blocked in Mailbox::take_for.
   std::thread aborter([&] {
     std::this_thread::sleep_for(10ms);
     mb.abort();

@@ -192,8 +192,8 @@ TEST_F(ObsTest, SummaryGroupsByCategoryAndName) {
 TEST_F(ObsTest, ConcurrentSpansFromThreadPoolProduceValidChromeTrace) {
   obs::tracer().set_enabled(true);
   constexpr int kTasks = 64;
-  // minsgd-lint: allow(thread-spawn): the tracer's per-thread buffers are
-  // exercised from a raw pool here to test cross-thread span collection.
+  // minsgd-lint: allow(thread-spawn): a raw ThreadPool exercises the
+  // tracer's per-thread buffers to test cross-thread span collection.
   ThreadPool pool(4);
   for (int t = 0; t < kTasks; ++t) {
     pool.submit([t] {
@@ -511,8 +511,8 @@ TEST(FlightRecorder, ConcurrentWritersAndSnapshotsStayExact) {
   constexpr int kWriters = 4;
   constexpr int kEvents = 4000;
   std::atomic<bool> done{false};
-  // minsgd-lint: allow(thread-spawn): the seqlock's writer/reader race is
-  // exactly what this test must create.
+  // minsgd-lint: allow(thread-spawn): the FlightRecorder::record vs
+  // snapshot seqlock race is exactly what this test must create.
   std::vector<std::thread> writers;
   for (int r = 0; r < kWriters; ++r) {
     writers.emplace_back([&rec, r] {
@@ -524,7 +524,8 @@ TEST(FlightRecorder, ConcurrentWritersAndSnapshotsStayExact) {
       obs::set_thread_rank(-1);
     });
   }
-  // minsgd-lint: allow(thread-spawn): concurrent reader half of the race.
+  // minsgd-lint: allow(thread-spawn): FlightRecorder::snapshot reader half
+  // of the seqlock race.
   std::thread reader([&] {
     while (!done.load(std::memory_order_relaxed)) {
       for (const auto& e : rec.snapshot()) {
@@ -702,8 +703,8 @@ TEST(Postmortem, DumpWritesTheConfiguredPath) {
 TEST_F(ObsTest, SpansOfExitedThreadsSurviveUntilExportThenPrune) {
   obs::tracer().set_enabled(true);
   const std::size_t base = obs::tracer().thread_buffer_count();
-  // minsgd-lint: allow(thread-spawn): the regression under test is a span
-  // recorded by a thread that exits before export.
+  // minsgd-lint: allow(thread-spawn): the regression under test is a
+  // ScopedSpan recorded by a thread that exits before export.
   std::thread worker([] {
     obs::ScopedSpan sp("short.lived.worker", obs::cat::kCompute);
   });

@@ -62,8 +62,9 @@ TEST(ParameterServer, ConcurrentPushesAllApplied) {
   ParameterServer ps({0.0f});
   const int workers = 8, per_worker = 50;
   ps.set_workers(workers);
-  // minsgd-lint: allow(thread-spawn): stress test hammers the server from
-  // raw threads on purpose — the unit under test is its internal locking.
+  // minsgd-lint: allow(thread-spawn): raw threads hammer
+  // ParameterServer::push_pull on purpose — the unit under test is its
+  // internal locking.
   std::vector<std::thread> threads;
   for (int t = 0; t < workers; ++t) {
     threads.emplace_back([&, t] {

@@ -1,0 +1,217 @@
+"""callgraph: name-based whole-program call graph with NVI and lambda edges.
+
+Built on the cpp_model Index. Resolution rules, in order of bearing on the
+minsgd tree:
+
+  * plain calls `foo(...)` resolve to every indexed definition named `foo`;
+    when more than one TU defines the name, candidates whose TU is in the
+    caller's include closure are preferred (cuts cross-subsystem collisions
+    without pretending to do real overload resolution);
+  * method calls `obj.m(...)` / `p->m(...)` resolve by method name; when `m`
+    is declared `virtual` anywhere, the call fans out to every `Cls::m`
+    override — this is what carries `Layer::forward -> do_forward` edges to
+    each concrete layer under the repo's NVI convention;
+  * lambdas are not functions here: a lambda body belongs to the enclosing
+    definition, so calls inside `ctx.parallel_for(..., [&](...){ ... })`
+    become edges out of the enclosing method. Parallel-region lambdas
+    (arguments to parallel_for / for_chunks / for_chunks_n) are additionally
+    recorded per function because the deterministic-reduction check treats
+    code inside them differently from code on the calling thread;
+  * constructors/destructors are excluded as edge targets: object
+    construction is handled by site-level detectors in checks.py, and ctor
+    edges would double-count every `Tensor t(...)` as a call into the ctor.
+
+BFS helpers return parent pointers so checks can print a full entrypoint ->
+offender call chain in diagnostics.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+
+from cpp_model import CONTROL_KEYWORDS, FunctionDef, Index
+
+CALL_RE = re.compile(r"(?:(\.|->|::)\s*)?(~?[A-Za-z_]\w*)\s*\(")
+PARALLEL_APIS = ("parallel_for", "for_chunks_n", "for_chunks")
+
+# Common identifiers that read like calls but never resolve usefully: casts,
+# std:: machinery, and C library noise that the index may coincidentally name.
+CALL_NOISE = frozenset(
+    "assert memcpy memset memmove printf fprintf snprintf abort exit "
+    "push_back emplace_back pop_back reserve resize clear insert erase at "
+    "begin end cbegin cend rbegin size empty data find count front back "
+    "c_str str substr append get reset release swap emplace make_pair "
+    "make_tuple make_unique make_shared move forward min max abs fabs sqrt "
+    "exp log pow lround lrint static_cast".split())
+
+
+def lambda_bodies_after(code: str, api_pos: int):
+    """Bodies of every lambda appearing in the call whose name starts at
+    api_pos — i.e. the `[...](...){ ... }` arguments of a parallel API call.
+
+    Returns list of (body_start, body_end) offsets into `code` (the text
+    between the lambda's braces).
+    """
+    open_paren = code.find("(", api_pos)
+    if open_paren == -1:
+        return []
+    # Find the matching close paren of the API call.
+    depth = 0
+    i = open_paren
+    end = len(code)
+    while i < end:
+        c = code[i]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    call_end = i
+    out = []
+    j = open_paren
+    while j < call_end:
+        if code[j] == "[":
+            # Potential lambda intro: `[...]` then optional `(...)` then `{`.
+            k = j
+            d = 0
+            while k < call_end:
+                if code[k] == "[":
+                    d += 1
+                elif code[k] == "]":
+                    d -= 1
+                    if d == 0:
+                        break
+                k += 1
+            k += 1
+            while k < call_end and code[k].isspace():
+                k += 1
+            if k < call_end and code[k] == "(":
+                d = 0
+                while k < call_end:
+                    if code[k] == "(":
+                        d += 1
+                    elif code[k] == ")":
+                        d -= 1
+                        if d == 0:
+                            break
+                    k += 1
+                k += 1
+                while k < call_end and code[k].isspace():
+                    k += 1
+            if k < call_end and code[k] == "{":
+                d = 0
+                body_start = k + 1
+                while k < call_end + 1 and k < len(code):
+                    if code[k] == "{":
+                        d += 1
+                    elif code[k] == "}":
+                        d -= 1
+                        if d == 0:
+                            break
+                    k += 1
+                out.append((body_start, k))
+                j = k
+        j += 1
+    return out
+
+
+def calls_in(body: str):
+    """(name, offset, is_method_call) for each call-looking site in body."""
+    out = []
+    for m in CALL_RE.finditer(body):
+        name = m.group(2)
+        if name in CONTROL_KEYWORDS or name in CALL_NOISE:
+            continue
+        if name.startswith("~"):
+            continue
+        sep = m.group(1)
+        # `Type ident(` declarations: identifier preceded by another
+        # identifier or `>`/`&`/`*` AND followed by nothing call-like is
+        # still ambiguous; we accept the noise — name-based resolution only
+        # creates an edge when a definition by that name exists.
+        out.append((name, m.start(2), sep in (".", "->")))
+    return out
+
+
+class CallGraph:
+    def __init__(self, index: Index):
+        self.index = index
+        # FunctionDef -> list[(callee FunctionDef, call name, offset)]
+        self.edges: dict[FunctionDef, list] = {}
+        # FunctionDef -> list[(start, end)] parallel lambda body spans
+        self.parallel_spans: dict[FunctionDef, list] = {}
+        self._build()
+
+    def _resolve(self, caller: FunctionDef, name: str, is_method: bool):
+        cands = self.index.by_name.get(name, [])
+        if not cands:
+            return []
+        # Never edge into constructors/destructors (see module docstring).
+        cands = [fd for fd in cands
+                 if fd.cls != fd.name and not fd.name.startswith("~")]
+        if not cands:
+            return []
+        if len(cands) > 1:
+            closure = self.index.include_closure(caller.tu.relpath)
+            near = [fd for fd in cands
+                    if fd.tu.relpath in closure
+                    or fd.tu.relpath == caller.tu.relpath]
+            if near:
+                cands = near
+        if is_method and name not in self.index.virtuals:
+            # Non-virtual method call: keep only method definitions.
+            methods = [fd for fd in cands if fd.cls]
+            if methods:
+                cands = methods
+        return cands
+
+    def _build(self):
+        for fns in self.index.by_name.values():
+            for fn in fns:
+                edges = []
+                for name, off, is_method in calls_in(fn.body):
+                    for callee in self._resolve(fn, name, is_method):
+                        if callee is fn:
+                            continue
+                        edges.append((callee, name, off))
+                self.edges[fn] = edges
+                spans = []
+                for api in PARALLEL_APIS:
+                    for m in re.finditer(r"\b" + api + r"\s*\(", fn.body):
+                        spans.extend(lambda_bodies_after(fn.body, m.start()))
+                self.parallel_spans[fn] = spans
+
+    def reachable_from(self, entries):
+        """BFS over call edges. Returns {FunctionDef: parent FunctionDef}
+        with entries mapping to None, for call-chain reconstruction."""
+        parent: dict[FunctionDef, FunctionDef | None] = {}
+        work = deque()
+        for e in entries:
+            if e not in parent:
+                parent[e] = None
+                work.append(e)
+        while work:
+            cur = work.popleft()
+            for callee, _name, _off in self.edges.get(cur, ()):
+                if callee not in parent:
+                    parent[callee] = cur
+                    work.append(callee)
+        return parent
+
+    @staticmethod
+    def chain(parent, fn):
+        """Entry -> ... -> fn as a list of qualified names."""
+        out = []
+        cur = fn
+        seen = set()
+        while cur is not None and cur not in seen:
+            seen.add(cur)
+            out.append(f"{cur.qual} ({cur.tu.relpath}:{cur.line})")
+            cur = parent.get(cur)
+        return list(reversed(out))
+
+    def in_parallel_span(self, fn: FunctionDef, offset: int) -> bool:
+        return any(s <= offset < e for s, e in self.parallel_spans.get(fn, ()))

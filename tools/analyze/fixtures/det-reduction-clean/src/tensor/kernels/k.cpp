@@ -1,0 +1,7 @@
+namespace minsgd::kernels {
+
+void axpy_k(float* y, const float* x, float a, long n) {
+  for (long i = 0; i < n; ++i) y[i] = a * x[i] + y[i];
+}
+
+}  // namespace minsgd::kernels

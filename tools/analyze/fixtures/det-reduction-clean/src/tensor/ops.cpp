@@ -1,0 +1,18 @@
+// Clean: per-chunk partials, combined in ascending chunk order on the
+// calling thread — the canonical deterministic reduction shape.
+namespace minsgd {
+
+double sum_fixed(const float* x, long n) {
+  double partial[16] = {};
+  const long chunks = 4;
+  for_chunks_n(n, 1, [&](long c, long lo, long hi) {
+    double acc = 0.0;
+    for (long i = lo; i < hi; ++i) acc += x[i];
+    partial[c] = acc;
+  });
+  double total = 0.0;
+  for (long c = 0; c < chunks; ++c) total += partial[c];
+  return total;
+}
+
+}  // namespace minsgd

@@ -1,0 +1,32 @@
+// Firing: four distinct ways to lose the fixed-order reduction contract.
+namespace minsgd {
+
+// Accumulates into a caller's float& — fine alone, a race and an ordering
+// leak once called from a parallel region (see call_from_parallel).
+void add_into(float& acc, const float* x, long n) {
+  for (long i = 0; i < n; ++i) acc += x[i];
+}
+
+double bad_sum(const float* x, long n) {
+  double total = 0.0;
+  parallel_for(0, n, [&](long lo, long hi) {
+    for (long i = lo; i < hi; ++i) total += x[i];
+  });
+  return total;
+}
+
+float call_from_parallel(const float* x, long n) {
+  float acc = 0.0f;
+  parallel_for(0, n, [&](long lo, long hi) {
+    add_into(acc, x + lo, hi - lo);
+  });
+  return acc;
+}
+
+double reversed_combine(const double* partial, long chunks) {
+  double acc = 0.0;
+  for (long c = chunks - 1; c >= 0; --c) acc += partial[c];
+  return acc;
+}
+
+}  // namespace minsgd

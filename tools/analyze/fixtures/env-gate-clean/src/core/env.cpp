@@ -1,0 +1,10 @@
+#include <cstdlib>
+
+namespace minsgd {
+
+bool foo_enabled() {
+  const char* v = std::getenv("MINSGD_FOO");
+  return v == nullptr || v[0] != '0';
+}
+
+}  // namespace minsgd

@@ -1,0 +1,4 @@
+// Exercises the MINSGD_FOO gate's programmatic twin.
+namespace minsgd {
+void check_foo() { (void)foo_enabled(); }
+}  // namespace minsgd

@@ -1,0 +1,10 @@
+#include <cstdlib>
+
+namespace minsgd {
+
+// MINSGD_BAR is documented but untested; MINSGD_BAZ is tested but
+// undocumented. Each should produce exactly one finding.
+bool bar_enabled() { return std::getenv("MINSGD_BAR") != nullptr; }
+bool baz_enabled() { return std::getenv("MINSGD_BAZ") != nullptr; }
+
+}  // namespace minsgd

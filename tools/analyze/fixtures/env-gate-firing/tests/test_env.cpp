@@ -1,0 +1,4 @@
+// Exercises MINSGD_BAZ's twin only.
+namespace minsgd {
+void check_baz() { (void)baz_enabled(); }
+}  // namespace minsgd

@@ -1,0 +1,20 @@
+// Clean: everything reachable from do_forward works in caller-owned memory.
+namespace minsgd::nn {
+
+void scale_rows(float* y, const float* x, int n, float s) {
+  for (int i = 0; i < n; ++i) y[i] = s * x[i];
+}
+
+class Dense {
+ public:
+  void do_forward(float* y, const float* x, int n);
+
+ private:
+  float scale_ = 2.0f;
+};
+
+void Dense::do_forward(float* y, const float* x, int n) {
+  scale_rows(y, x, n, scale_);
+}
+
+}  // namespace minsgd::nn

@@ -1,0 +1,14 @@
+// Firing: do_forward itself is alloc-free, but a helper one call away in a
+// different TU is not — only the interprocedural check can see it.
+namespace minsgd::nn {
+
+class Dense {
+ public:
+  void do_forward(float* y, const float* x, int n);
+};
+
+void Dense::do_forward(float* y, const float* x, int n) {
+  scale_rows(y, x, n);
+}
+
+}  // namespace minsgd::nn

@@ -1,0 +1,11 @@
+#include <vector>
+
+namespace minsgd {
+
+void scale_rows(float* y, const float* x, int n) {
+  std::vector<float> tmp(static_cast<unsigned long>(n));
+  for (int i = 0; i < n; ++i) tmp[i] = x[i];
+  for (int i = 0; i < n; ++i) y[i] = 2.0f * tmp[i];
+}
+
+}  // namespace minsgd

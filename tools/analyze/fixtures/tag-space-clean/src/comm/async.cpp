@@ -1,0 +1,10 @@
+#include "comm/communicator.hpp"
+
+namespace minsgd::comm {
+
+void start_async(int r) {
+  Communicator comm(r, /*channel=*/1);  // async engine owns channel 1
+  (void)comm;
+}
+
+}  // namespace minsgd::comm

@@ -1,0 +1,10 @@
+#include "comm/communicator.hpp"
+
+namespace minsgd::comm {
+
+void propose(int r) {
+  Communicator wc(r, Communicator::kMembershipChannel);
+  (void)wc;
+}
+
+}  // namespace minsgd::comm

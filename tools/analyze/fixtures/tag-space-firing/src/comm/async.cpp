@@ -1,0 +1,12 @@
+#include "comm/communicator.hpp"
+
+namespace minsgd::comm {
+
+void start_async(int r) {
+  // BUG under test: the async engine grabs channel 0, which the rank-thread
+  // communicators already use — tags from the two subsystems cross-match.
+  Communicator comm(r, /*channel=*/0);
+  (void)comm;
+}
+
+}  // namespace minsgd::comm

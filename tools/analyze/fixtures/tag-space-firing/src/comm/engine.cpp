@@ -1,0 +1,10 @@
+#include "comm/communicator.hpp"
+
+namespace minsgd::comm {
+
+void start_rank(int r) {
+  Communicator comm(r);  // defaulted channel: rank-thread collectives on 0
+  (void)comm;
+}
+
+}  // namespace minsgd::comm

@@ -25,8 +25,12 @@ shape, so the numbers agree whether the dump is read in-process (tests) or
 offline (this tool). Keep the two in sync.
 
 Usage:
-    analyze.py <postmortem.json> [--world N] [--json]
+    analyze.py <postmortem.json> [--world N] [--json] [--out PATH]
     analyze.py --self-test
+
+--json prints the machine-readable analysis to stdout; --out writes it to
+PATH via the shared atomic tmp+rename helper (tools/common/report.py), so a
+crash can never leave a truncated report for a later stage to misread.
 
 Exit status: 0 on success, 1 on analysis/self-test failure, 2 on usage error.
 """
@@ -34,9 +38,14 @@ Exit status: 0 on success, 1 on analysis/self-test failure, 2 on usage error.
 from __future__ import annotations
 
 import json
+import os
 import sys
 from collections import defaultdict
 from dataclasses import dataclass, field
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from common.report import write_json_atomic  # noqa: E402
 
 SCHEMA = "minsgd-postmortem-v1"
 
@@ -373,6 +382,15 @@ def main(argv) -> int:
         return self_test()
     world = 0
     as_json = "--json" in args
+    out_path = None
+    if "--out" in args:
+        i = args.index("--out")
+        try:
+            out_path = args[i + 1]
+        except IndexError:
+            print("analyze.py: --out needs a path", file=sys.stderr)
+            return 2
+        del args[i:i + 2]
     if "--world" in args:
         i = args.index("--world")
         try:
@@ -391,10 +409,12 @@ def main(argv) -> int:
         print(f"analyze.py: {err}", file=sys.stderr)
         return 1
     a = analyze(events, world=world or int(root.get("world", 0)))
+    if out_path is not None:
+        write_json_atomic(out_path, to_json(a))
     if as_json:
         json.dump(to_json(a), sys.stdout, indent=2)
         print()
-    else:
+    elif out_path is None:
         report(a, root=root)
     return 0
 
